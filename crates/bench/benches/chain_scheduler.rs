@@ -1,0 +1,49 @@
+//! E13 companion bench: per-decision cost of the scheduling strategies —
+//! what the Chain scheduler's metadata subscriptions cost per pick,
+//! compared with FIFO and round-robin, across queue counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use streammeta_bench::scenarios::parallel_queries;
+use streammeta_engine::{
+    ChainScheduler, FifoScheduler, QueueSet, RoundRobinScheduler, Scheduler, VirtualEngine,
+};
+use streammeta_streams::{tuple, Element, Value};
+use streammeta_time::{TimeSpan, Timestamp};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_decision");
+    for &queries in &[4usize, 32] {
+        let s = parallel_queries(queries, 10, 50);
+        // Warm the selectivity measurements the Chain scheduler reads.
+        let mut engine = VirtualEngine::new(s.graph.clone(), s.clock.clone());
+        engine.run_until(Timestamp(200));
+        s.clock.advance(TimeSpan(1));
+
+        // Build a standalone queue set with one pending element per filter.
+        let mut queues = QueueSet::new();
+        for f in &s.filters {
+            queues.push((*f, 0), Element::new(tuple([Value::Int(1)]), Timestamp(0)));
+        }
+
+        let mut fifo = FifoScheduler;
+        g.bench_with_input(BenchmarkId::new("fifo", queries), &queries, |b, _| {
+            b.iter(|| fifo.next(&queues))
+        });
+        let mut rr = RoundRobinScheduler::default();
+        g.bench_with_input(
+            BenchmarkId::new("round_robin", queries),
+            &queries,
+            |b, _| b.iter(|| rr.next(&queues)),
+        );
+        let mut chain = ChainScheduler::new(&s.graph);
+        // First pick performs the lazy subscriptions; do it outside.
+        let _ = chain.next(&queues);
+        g.bench_with_input(BenchmarkId::new("chain", queries), &queries, |b, _| {
+            b.iter(|| chain.next(&queues))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E11 bench (Section 4.2): metadata read latency under concurrent
+//! updates — the cost of the item-level read/write locking that gives the
+//! consistency guarantees.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use streammeta_core::{ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId, NodeRegistry};
+use streammeta_time::{Clock, TimeSpan, VirtualClock};
+
+fn bench_concurrency(c: &mut Criterion) {
+    let clock = VirtualClock::shared();
+    let manager = MetadataManager::new(clock.clone());
+    let reg = NodeRegistry::new(NodeId(0));
+    reg.define(
+        ItemDef::periodic("p", TimeSpan(1))
+            .compute(|ctx| MetadataValue::U64(ctx.now().units()))
+            .build(),
+    );
+    manager.attach_node(reg);
+    let sub = Arc::new(manager.subscribe(MetadataKey::new(NodeId(0), "p")).unwrap());
+
+    let mut g = c.benchmark_group("versioned_read");
+    // Uncontended baseline.
+    g.bench_function("uncontended", |b| b.iter(|| sub.versioned()));
+
+    // Contended: a background thread drives periodic refreshes as fast as
+    // it can while the benchmark thread reads.
+    let stop = Arc::new(AtomicBool::new(false));
+    let updater = {
+        let manager = manager.clone();
+        let clock = clock.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                clock.advance(TimeSpan(1));
+                manager.periodic().advance_to(clock.now());
+            }
+        })
+    };
+    g.bench_function("under_concurrent_updates", |b| b.iter(|| sub.versioned()));
+    stop.store(true, Ordering::SeqCst);
+    updater.join().unwrap();
+    g.finish();
+}
+
+criterion_group!(benches, bench_concurrency);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E9 bench (Section 2.4): automatic inclusion/exclusion cost as a
+//! function of dependency-graph shape — chain depth and fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use streammeta_core::{ItemDef, MetadataKey, MetadataManager, NodeId, NodeRegistry};
+use streammeta_time::VirtualClock;
+
+/// A chain `top -> c(d-1) -> ... -> c0`.
+fn chain_registry(depth: usize) -> std::sync::Arc<NodeRegistry> {
+    let reg = NodeRegistry::new(NodeId(0));
+    reg.define(ItemDef::static_value("c0", 1.0));
+    for i in 1..=depth {
+        reg.define(
+            ItemDef::triggered(format!("c{i}"))
+                .dep_local(format!("c{}", i - 1))
+                .compute(move |ctx| ctx.dep(&format!("c{}", i - 1)))
+                .build(),
+        );
+    }
+    reg
+}
+
+/// A star `top -> {l0..l(f-1)}`.
+fn star_registry(fanout: usize) -> std::sync::Arc<NodeRegistry> {
+    let reg = NodeRegistry::new(NodeId(0));
+    let mut top = ItemDef::triggered("top");
+    for i in 0..fanout {
+        reg.define(ItemDef::static_value(format!("l{i}"), i as f64));
+        top = top.dep_local(format!("l{i}"));
+    }
+    reg.define(
+        top.compute(|_| streammeta_core::MetadataValue::F64(0.0))
+            .build(),
+    );
+    reg
+}
+
+fn bench_dependency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subscribe_unsubscribe");
+    for &depth in &[1usize, 4, 16, 64] {
+        let manager = MetadataManager::new(VirtualClock::shared());
+        manager.attach_node(chain_registry(depth));
+        let key = MetadataKey::new(NodeId(0), format!("c{depth}"));
+        g.bench_with_input(BenchmarkId::new("chain_depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                let sub = manager.subscribe(key.clone()).unwrap();
+                drop(sub);
+            })
+        });
+    }
+    for &fanout in &[1usize, 4, 16, 64] {
+        let manager = MetadataManager::new(VirtualClock::shared());
+        manager.attach_node(star_registry(fanout));
+        let key = MetadataKey::new(NodeId(0), "top");
+        g.bench_with_input(BenchmarkId::new("fanout", fanout), &fanout, |b, _| {
+            b.iter(|| {
+                let sub = manager.subscribe(key.clone()).unwrap();
+                drop(sub);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dependency);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E3 companion bench: the read-path cost of the access styles compared
+//! in Figure 4 — naive stateful on-demand measurement vs. a shared
+//! periodic handler (plus static metadata as the baseline).
+//!
+//! Periodic reads are plain snapshot loads; on-demand reads pay a full
+//! recomputation per access. This cost asymmetry is why the paper makes
+//! the update mechanism a per-item choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use streammeta_core::{MetadataKey, MetadataManager};
+use streammeta_graph::{MetadataConfig, QueryGraph};
+use streammeta_streams::{ConstantRate, TupleGen};
+use streammeta_time::{Clock, TimeSpan, Timestamp, VirtualClock};
+
+fn bench_read_paths(c: &mut Criterion) {
+    let clock = VirtualClock::shared();
+    let manager = MetadataManager::new(clock.clone());
+    let graph = QueryGraph::with_config(
+        manager.clone(),
+        MetadataConfig {
+            rate_window: TimeSpan(50),
+        },
+    );
+    let src = graph.source(
+        "s",
+        Box::new(ConstantRate::new(
+            Timestamp(0),
+            TimeSpan(10),
+            TupleGen::Sequence,
+            1,
+        )),
+    );
+    let sink = graph.sink_discard("k", src);
+    let naive = manager
+        .subscribe(MetadataKey::new(sink, "input_rate_naive"))
+        .unwrap();
+    let periodic = manager
+        .subscribe(MetadataKey::new(sink, "input_rate"))
+        .unwrap();
+    let stat = manager.subscribe(MetadataKey::new(sink, "schema")).unwrap();
+    clock.advance(TimeSpan(100));
+    manager.periodic().advance_to(clock.now());
+
+    let mut g = c.benchmark_group("fig4_read_path");
+    g.bench_function("static", |b| b.iter(|| stat.get()));
+    g.bench_function("periodic_snapshot", |b| b.iter(|| periodic.get()));
+    g.bench_function("naive_on_demand", |b| b.iter(|| naive.get()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_read_paths);
+criterion_main!(benches);

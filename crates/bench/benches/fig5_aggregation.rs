@@ -1,0 +1,74 @@
+//! E4 companion bench: cost of keeping an aggregate fresh — triggered
+//! propagation (update pushed on change) vs. on-demand recomputation
+//! (pulled on every access).
+//!
+//! When accesses outnumber changes, triggered wins; the bench quantifies
+//! both unit costs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use streammeta_core::{ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId, NodeRegistry};
+use streammeta_time::VirtualClock;
+
+fn bench_aggregation_styles(c: &mut Criterion) {
+    let clock = VirtualClock::shared();
+    let manager = MetadataManager::new(clock.clone());
+    let reg = NodeRegistry::new(NodeId(0));
+    let cell = Arc::new(AtomicU64::new(0));
+    let c2 = cell.clone();
+    reg.define(
+        ItemDef::on_demand("base")
+            .compute(move |_| MetadataValue::U64(c2.load(Ordering::Relaxed)))
+            .build(),
+    );
+    // Triggered running sum over base.
+    let sum_t = Arc::new(AtomicU64::new(0));
+    let s2 = sum_t.clone();
+    reg.define(
+        ItemDef::triggered("sum_triggered")
+            .dep_local("base")
+            .compute(move |ctx| {
+                let v = ctx.dep_f64("base").unwrap_or(0.0) as u64;
+                MetadataValue::U64(s2.fetch_add(v, Ordering::Relaxed) + v)
+            })
+            .build(),
+    );
+    // On-demand running sum over base.
+    let sum_o = Arc::new(AtomicU64::new(0));
+    let s3 = sum_o.clone();
+    reg.define(
+        ItemDef::on_demand("sum_on_demand")
+            .dep_local("base")
+            .compute(move |ctx| {
+                let v = ctx.dep_f64("base").unwrap_or(0.0) as u64;
+                MetadataValue::U64(s3.fetch_add(v, Ordering::Relaxed) + v)
+            })
+            .build(),
+    );
+    manager.attach_node(reg);
+    let triggered = manager
+        .subscribe(MetadataKey::new(NodeId(0), "sum_triggered"))
+        .unwrap();
+    let on_demand = manager
+        .subscribe(MetadataKey::new(NodeId(0), "sum_on_demand"))
+        .unwrap();
+
+    let mut g = c.benchmark_group("fig5_aggregation");
+    // Cost of one underlying change propagating to the triggered item.
+    g.bench_function("change_propagation", |b| {
+        b.iter(|| {
+            cell.fetch_add(1, Ordering::Relaxed);
+            manager.notify_changed(MetadataKey::new(NodeId(0), "base"));
+        })
+    });
+    // Cost of reading the pre-computed triggered value.
+    g.bench_function("triggered_read", |b| b.iter(|| triggered.get()));
+    // Cost of one on-demand access (recomputes base + aggregate).
+    g.bench_function("on_demand_read", |b| b.iter(|| on_demand.get()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_aggregation_styles);
+criterion_main!(benches);

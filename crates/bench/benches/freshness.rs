@@ -1,0 +1,47 @@
+//! E6 companion bench: the computational-overhead half of the
+//! freshness/overhead trade-off — cost of driving periodic updates over a
+//! fixed span as the update window shrinks.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use streammeta_core::{
+    Counter, ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId, NodeRegistry,
+    WindowDelta,
+};
+use streammeta_time::{Clock, TimeSpan, VirtualClock};
+
+fn bench_freshness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("periodic_updates_per_1000_units");
+    for &window in &[10u64, 50, 250, 1000] {
+        let clock = VirtualClock::shared();
+        let manager = MetadataManager::new(clock.clone());
+        let reg = NodeRegistry::new(NodeId(0));
+        let counter = Counter::new();
+        let delta = Arc::new(WindowDelta::new(counter.clone()));
+        reg.define(
+            ItemDef::periodic("rate", TimeSpan(window))
+                .counter(&counter)
+                .compute(move |ctx| match delta.rate_over(ctx.window().unwrap()) {
+                    Some(r) => MetadataValue::F64(r),
+                    None => MetadataValue::Unavailable,
+                })
+                .build(),
+        );
+        manager.attach_node(reg);
+        let _sub = manager
+            .subscribe(MetadataKey::new(NodeId(0), "rate"))
+            .unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, _| {
+            b.iter(|| {
+                counter.record_n(100);
+                clock.advance(TimeSpan(1000));
+                manager.periodic().advance_to(clock.now())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_freshness);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E8 bench (Section 3.2.3): triggered vs. periodic maintenance cost.
+//!
+//! "Because the value of certain metadata items can only be outdated if
+//! one of its underlying metadata items has been changed, a periodic
+//! update would waste resources."
+//!
+//! Ten triggered dependents hang off one source item. When the source
+//! changes rarely, triggered maintenance costs almost nothing per unit of
+//! time, while a periodic design pays every boundary regardless.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use streammeta_core::{ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId, NodeRegistry};
+use streammeta_time::{Clock, TimeSpan, VirtualClock};
+
+const FANOUT: usize = 10;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let clock = VirtualClock::shared();
+    let manager = MetadataManager::new(clock.clone());
+    let reg = NodeRegistry::new(NodeId(0));
+    let cell = Arc::new(AtomicU64::new(0));
+    let c2 = cell.clone();
+    reg.define(
+        ItemDef::on_demand("base")
+            .compute(move |_| MetadataValue::U64(c2.load(Ordering::Relaxed)))
+            .build(),
+    );
+    for i in 0..FANOUT {
+        // Triggered dependents: updated only when base changes.
+        reg.define(
+            ItemDef::triggered(format!("t{i}"))
+                .dep_local("base")
+                .compute(|ctx| ctx.dep("base"))
+                .build(),
+        );
+        // Periodic counterparts: recomputed every 10-unit boundary.
+        reg.define(
+            ItemDef::periodic(format!("p{i}"), TimeSpan(10))
+                .dep_local("base")
+                .compute(|ctx| ctx.dep("base"))
+                .build(),
+        );
+    }
+    manager.attach_node(reg);
+    let _triggered: Vec<_> = (0..FANOUT)
+        .map(|i| {
+            manager
+                .subscribe(MetadataKey::new(NodeId(0), format!("t{i}")))
+                .unwrap()
+        })
+        .collect();
+    let _periodic: Vec<_> = (0..FANOUT)
+        .map(|i| {
+            manager
+                .subscribe(MetadataKey::new(NodeId(0), format!("p{i}")))
+                .unwrap()
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("maintenance_per_100_units");
+    // Triggered: the source changes once per 100 units.
+    g.bench_function("triggered_rare_changes", |b| {
+        b.iter(|| {
+            cell.fetch_add(1, Ordering::Relaxed);
+            manager.notify_changed(MetadataKey::new(NodeId(0), "base"));
+        })
+    });
+    // Periodic: ten boundaries per 100 units, each refreshing FANOUT items.
+    g.bench_function("periodic_every_10_units", |b| {
+        b.iter(|| {
+            clock.advance(TimeSpan(100));
+            manager.periodic().advance_to(clock.now())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

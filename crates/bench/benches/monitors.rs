@@ -1,0 +1,47 @@
+//! Ablation: the cost of activatable monitors on the hot processing path
+//! (Section 4.4.1 — monitoring code is activated by `addMetadata` and
+//! deactivated by `removeMetadata`).
+//!
+//! Three designs compared per recorded event:
+//! * `inactive` — monitor present but switched off (the common case under
+//!   tailored provision): one relaxed flag load;
+//! * `active` — switched on: flag load + relaxed increment;
+//! * `unconditional` — the ablated design without activation flags, the
+//!   cost every node would pay for every item under maintain-all.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use streammeta_core::Counter;
+
+fn bench_monitors(c: &mut Criterion) {
+    let inactive = Counter::new();
+    let active = Counter::new();
+    active.activate();
+    let unconditional = Counter::always_on();
+
+    let mut g = c.benchmark_group("monitor_record");
+    g.bench_function("inactive", |b| b.iter(|| inactive.record()));
+    g.bench_function("active", |b| b.iter(|| active.record()));
+    g.bench_function("unconditional", |b| b.iter(|| unconditional.record()));
+    // A batch of 16 monitors, mixed activation — the realistic per-node
+    // situation (one node defines ~19 items, few included).
+    let monitors: Vec<_> = (0..16)
+        .map(|i| {
+            let m = Counter::new();
+            if i % 8 == 0 {
+                m.activate();
+            }
+            m
+        })
+        .collect();
+    g.bench_function("node_with_16_monitors_2_active", |b| {
+        b.iter(|| {
+            for m in &monitors {
+                m.record();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_monitors);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E5 companion bench: per-tick engine cost as the number of concurrent
+//! queries grows, under the three metadata provision modes (none /
+//! pub-sub one item / maintain-all).
+//!
+//! The paper's headline claim in steady state: tailored provision keeps
+//! the metadata overhead independent of graph size, while maintain-all
+//! adds per-node work to every periodic boundary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use streammeta_bench::scenarios::parallel_queries;
+use streammeta_core::MetadataKey;
+use streammeta_engine::VirtualEngine;
+use streammeta_time::{TimeSpan, Timestamp};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability_per_100_ticks");
+    g.sample_size(10);
+    for &queries in &[10usize, 50, 200] {
+        for mode in ["none", "pubsub", "all"] {
+            let s = parallel_queries(queries, 10, 50);
+            let _subs = match mode {
+                "none" => Vec::new(),
+                "pubsub" => vec![s
+                    .manager
+                    .subscribe(MetadataKey::new(s.filters[0], "input_rate"))
+                    .unwrap()],
+                _ => {
+                    let mut subs = Vec::new();
+                    for node in s.graph.nodes() {
+                        subs.extend(s.manager.subscribe_all(node).unwrap());
+                    }
+                    subs
+                }
+            };
+            let mut engine = VirtualEngine::new(s.graph.clone(), s.clock.clone());
+            engine.run_until(Timestamp(200)); // warm-up
+            g.bench_with_input(BenchmarkId::new(mode, queries), &queries, |b, _| {
+                b.iter(|| {
+                    engine.run_for(TimeSpan(100));
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

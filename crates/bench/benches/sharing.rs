@@ -1,0 +1,71 @@
+//! E7 bench (Section 2.1): handler sharing.
+//!
+//! "For the case that a handler already exists for the requested metadata
+//! item, the subscription returns the existing handler and increments a
+//! counter. Thus, sharing handlers saves redundant maintenance costs."
+//!
+//! Compares (a) an additional subscription to an already-provided item —
+//! a refcount bump — against (b) a first subscription that includes a
+//! five-item dependency chain with hooks, monitors and a periodic task.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use streammeta_core::{
+    Counter, ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId, NodeRegistry,
+    WindowDelta,
+};
+use streammeta_time::{TimeSpan, VirtualClock};
+
+fn registry() -> std::sync::Arc<NodeRegistry> {
+    let reg = NodeRegistry::new(NodeId(0));
+    let counter = Counter::new();
+    let delta = Arc::new(WindowDelta::new(counter.clone()));
+    reg.define(
+        ItemDef::periodic("d0", TimeSpan(100))
+            .counter(&counter)
+            .compute(move |ctx| match delta.rate_over(ctx.window().unwrap()) {
+                Some(r) => MetadataValue::F64(r),
+                None => MetadataValue::Unavailable,
+            })
+            .build(),
+    );
+    for i in 1..=4 {
+        reg.define(
+            ItemDef::triggered(format!("d{i}"))
+                .dep_local(format!("d{}", i - 1))
+                .compute(move |ctx| ctx.dep(&format!("d{}", i - 1)))
+                .build(),
+        );
+    }
+    reg
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    let clock = VirtualClock::shared();
+    let manager = MetadataManager::new(clock);
+    manager.attach_node(registry());
+    let key = MetadataKey::new(NodeId(0), "d4");
+
+    let mut g = c.benchmark_group("sharing");
+    // First subscription: full five-item inclusion + exclusion.
+    g.bench_function("first_subscription_chain5", |b| {
+        b.iter(|| {
+            let sub = manager.subscribe(key.clone()).unwrap();
+            drop(sub);
+        })
+    });
+    // Shared subscription: the handler already exists.
+    let keep_alive = manager.subscribe(key.clone()).unwrap();
+    g.bench_function("shared_subscription", |b| {
+        b.iter(|| {
+            let sub = manager.subscribe(key.clone()).unwrap();
+            drop(sub);
+        })
+    });
+    drop(keep_alive);
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharing);
+criterion_main!(benches);

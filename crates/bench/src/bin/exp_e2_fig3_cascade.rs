@@ -1,0 +1,63 @@
+//! E2 (Figure 3 / Section 2.5): automatic inclusion and exclusion of the
+//! cost-model dependency network.
+//!
+//! A monitoring tool subscribes to the join's `estimated_cpu_usage`; the
+//! framework includes every (transitively) required item across nodes —
+//! stream rates and element validities at the windows, predicate cost and
+//! selectivity at the join — while items that are merely *available*
+//! (e.g. the join's `estimated_output_rate`) get no handler.
+//! Unsubscribing excludes the whole cascade again.
+
+use streammeta_bench::scenarios::join_scenario;
+use streammeta_bench::table::Table;
+use streammeta_core::MetadataKey;
+use streammeta_costmodel::{ESTIMATED_CPU_USAGE, ESTIMATED_OUTPUT_RATE};
+use streammeta_engine::VirtualEngine;
+use streammeta_time::Timestamp;
+
+fn main() {
+    let s = join_scenario(10, 100, 100);
+    let mgr = &s.manager;
+    println!("E2 / Figure 3 — subscription cascade of the join cost model\n");
+    println!("handlers before subscription: {}", mgr.handler_count());
+
+    let cpu = mgr
+        .subscribe(MetadataKey::new(s.join, ESTIMATED_CPU_USAGE))
+        .expect("subscribe estimated_cpu_usage");
+    println!(
+        "handlers after subscribing estimated_cpu_usage: {}\n",
+        mgr.handler_count()
+    );
+
+    let mut table = Table::new(&["included item", "mechanism", "subscriptions"]);
+    for key in mgr.included_keys() {
+        let mech = mgr.mechanism_of(&key).expect("included");
+        table.row(vec![
+            key.to_string(),
+            mech.label().to_string(),
+            mgr.subscription_count(&key).to_string(),
+        ]);
+    }
+    table.print();
+
+    let unused = MetadataKey::new(s.join, ESTIMATED_OUTPUT_RATE);
+    println!(
+        "\navailable but unused (no handler): {} -> included = {}",
+        unused,
+        mgr.is_included(&unused)
+    );
+
+    // Run the query so the estimate becomes a real number.
+    let mut engine = VirtualEngine::new(s.graph.clone(), s.clock.clone());
+    engine.run_until(Timestamp(2000));
+    println!(
+        "\nestimated CPU usage of the join after 2000 time units: {}",
+        cpu.get()
+    );
+
+    drop(cpu);
+    println!(
+        "handlers after unsubscription (automatic exclusion): {}",
+        mgr.handler_count()
+    );
+}

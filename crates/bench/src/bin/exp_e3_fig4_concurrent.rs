@@ -1,0 +1,69 @@
+//! E3 (Figure 4 / Section 3.1): the concurrent-access anomaly of naive
+//! on-demand rate measurement, and the periodic handler that fixes it.
+//!
+//! Two consumers measure the input rate of the same operator. The stream
+//! is constant at one element per 10 time units (true rate 0.1); each
+//! consumer accesses every 50 units, offset by 25. The naive reset-on-
+//! access measurement interferes: each access covers only the 25 units
+//! since the *other* consumer's access, so both report wrong rates — the
+//! table of the paper's Figure 4. The shared periodic handler (window 50)
+//! reports 0.1 to both.
+
+use streammeta_bench::table::{f, Table};
+use streammeta_core::{MetadataKey, MetadataManager};
+use streammeta_engine::VirtualEngine;
+use streammeta_graph::{MetadataConfig, QueryGraph};
+use streammeta_streams::{ConstantRate, TupleGen};
+use streammeta_time::{TimeSpan, Timestamp, VirtualClock};
+
+fn main() {
+    let clock = VirtualClock::shared();
+    let manager = MetadataManager::new(clock.clone());
+    let graph = std::sync::Arc::new(QueryGraph::with_config(
+        manager.clone(),
+        MetadataConfig {
+            rate_window: TimeSpan(50),
+        },
+    ));
+    let src = graph.source(
+        "s",
+        Box::new(ConstantRate::new(
+            Timestamp(0),
+            TimeSpan(10),
+            TupleGen::Sequence,
+            1,
+        )),
+    );
+    let sink = graph.sink_discard("sink", src);
+
+    // Both consumers share the same handlers (Section 2.1).
+    let naive = manager
+        .subscribe(MetadataKey::new(sink, "input_rate_naive"))
+        .expect("naive item");
+    let periodic = manager
+        .subscribe(MetadataKey::new(sink, "input_rate"))
+        .expect("periodic item");
+
+    let mut engine = VirtualEngine::new(graph.clone(), clock.clone());
+
+    println!("E3 / Figure 4 — concurrent metadata access (true input rate = 0.1)\n");
+    let mut table = Table::new(&["t", "consumer", "naive on-demand", "periodic (window 50)"]);
+    // User 1 accesses at 50,100,150,200; user 2 at 75,125,175.
+    let mut accesses: Vec<(u64, &str)> = (1..=4).map(|i| (i * 50, "user 1")).collect();
+    accesses.extend((0..3).map(|i| (75 + i * 50, "user 2")));
+    accesses.sort();
+    for (t, user) in accesses {
+        engine.run_until(Timestamp(t));
+        let n = naive.get_f64().unwrap_or(f64::NAN);
+        let p = periodic.get_f64().unwrap_or(f64::NAN);
+        table.row(vec![t.to_string(), user.to_string(), f(n), f(p)]);
+    }
+    table.print();
+
+    println!(
+        "\nThe naive reset-on-access measurement alternates around the truth \
+         (0.08 / 0.12) because the consumers reset each other's interval;\n\
+         the shared periodic handler returns the correct 0.1 to both \
+         (isolation condition of Section 3)."
+    );
+}

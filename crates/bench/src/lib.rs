@@ -1,0 +1,8 @@
+//! # streammeta-bench — shared experiment scaffolding
+//!
+//! Scenario builders and table formatting used by both the experiment
+//! binaries (`src/bin/exp_*.rs`, one per paper figure/claim — see
+//! DESIGN.md's experiment index) and the Criterion benchmarks.
+
+pub mod scenarios;
+pub mod table;

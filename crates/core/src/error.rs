@@ -1,0 +1,77 @@
+//! Error type of the metadata framework.
+
+use std::fmt;
+
+use crate::{MetadataKey, NodeId};
+
+/// Errors raised by metadata operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetadataError {
+    /// The node has no registry attached to the manager.
+    NodeUnknown(NodeId),
+    /// The node's registry does not define the requested item.
+    ItemUndefined(MetadataKey),
+    /// A dependency cycle was found while including items; the vector is
+    /// the inclusion path that closed the cycle.
+    CyclicDependency(Vec<MetadataKey>),
+    /// The item has no handler (it was never subscribed, or already fully
+    /// unsubscribed).
+    NotIncluded(MetadataKey),
+    /// An item definition cannot be replaced while a handler for it is
+    /// live (redefinition requires exclusion first, Section 4.4.2).
+    ItemInUse(MetadataKey),
+}
+
+impl fmt::Display for MetadataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetadataError::NodeUnknown(n) => {
+                write!(f, "node {n} has no metadata registry")
+            }
+            MetadataError::ItemUndefined(k) => {
+                write!(f, "metadata item {k} is not defined")
+            }
+            MetadataError::CyclicDependency(path) => {
+                write!(f, "cyclic metadata dependency: ")?;
+                for (i, k) in path.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                Ok(())
+            }
+            MetadataError::NotIncluded(k) => {
+                write!(f, "metadata item {k} is not included (no handler)")
+            }
+            MetadataError::ItemInUse(k) => {
+                write!(f, "metadata item {k} cannot be redefined while included")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetadataError {}
+
+/// Result alias for metadata operations.
+pub type Result<T> = std::result::Result<T, MetadataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key() {
+        let k = MetadataKey::new(NodeId(4), "selectivity");
+        let e = MetadataError::ItemUndefined(k.clone());
+        assert!(e.to_string().contains("n4/selectivity"));
+        let c = MetadataError::CyclicDependency(vec![k.clone(), k]);
+        assert!(c.to_string().contains("->"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&MetadataError::NodeUnknown(NodeId(1)));
+    }
+}

@@ -1,0 +1,182 @@
+//! Metadata handlers.
+//!
+//! "An incoming subscription causes the system to create and return a
+//! so-called metadata handler. There is a 1-to-1 relationship between
+//! metadata items and metadata handlers." (Section 2.1)
+//!
+//! The handler is the proxy that (i) synchronizes the possibly concurrent
+//! access of multiple consumers and (ii) guarantees a consistent view on a
+//! metadata item during updates. Handlers are created on first subscription,
+//! shared by reference count, and removed when the count reaches zero.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+use streammeta_time::{TaskId, Timestamp};
+
+use crate::item::{ItemDef, Mechanism, ResolvedDep};
+use crate::{MetadataKey, MetadataValue, VersionedValue};
+
+/// Push observer signature: called with each stored value change.
+pub type ObserverFn = dyn Fn(&VersionedValue) + Send + Sync;
+
+/// Runtime state of one included metadata item.
+pub(crate) struct Handler {
+    pub(crate) key: MetadataKey,
+    pub(crate) def: ItemDef,
+    /// Dependencies resolved at inclusion time.
+    pub(crate) resolved_deps: Vec<ResolvedDep>,
+    /// Item-level lock of the three-level scheme (Section 4.2).
+    value: RwLock<VersionedValue>,
+    /// Serializes computations so stateful compute functions (counters
+    /// that reset on sampling) see one evaluation at a time.
+    pub(crate) compute_lock: Mutex<()>,
+    /// The periodic refresh task, if the mechanism is periodic.
+    pub(crate) periodic_task: Mutex<Option<TaskId>>,
+    /// Push observers, notified after every stored change (Section 2.1's
+    /// consumers as listeners — e.g. a monitoring tool plotting values).
+    observers: Mutex<Vec<(u64, Box<ObserverFn>)>>,
+    next_observer: AtomicU64,
+    accesses: AtomicU64,
+    updates: AtomicU64,
+    computes: AtomicU64,
+}
+
+impl Handler {
+    pub(crate) fn new(key: MetadataKey, def: ItemDef, resolved_deps: Vec<ResolvedDep>) -> Self {
+        Handler {
+            key,
+            def,
+            resolved_deps,
+            value: RwLock::new(VersionedValue::unavailable()),
+            compute_lock: Mutex::new(()),
+            periodic_task: Mutex::new(None),
+            observers: Mutex::new(Vec::new()),
+            next_observer: AtomicU64::new(0),
+            accesses: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            computes: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn mechanism(&self) -> Mechanism {
+        self.def.mechanism()
+    }
+
+    /// A consistent snapshot of the current value.
+    pub(crate) fn snapshot(&self) -> VersionedValue {
+        self.value.read().clone()
+    }
+
+    /// Stores `value` if it differs from the current one. Returns whether
+    /// anything changed (drives trigger propagation). Push observers are
+    /// notified after the value lock is released.
+    pub(crate) fn store_if_changed(&self, value: MetadataValue, now: Timestamp) -> bool {
+        let snapshot = {
+            let mut cur = self.value.write();
+            if cur.value == value {
+                return false;
+            }
+            cur.value = value;
+            cur.version += 1;
+            cur.updated_at = now;
+            cur.clone()
+        };
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        let observers = self.observers.lock();
+        for (_, f) in observers.iter() {
+            f(&snapshot);
+        }
+        true
+    }
+
+    /// Registers a push observer; returns its id for deregistration.
+    pub(crate) fn add_observer(&self, f: Box<ObserverFn>) -> u64 {
+        let id = self.next_observer.fetch_add(1, Ordering::Relaxed);
+        self.observers.lock().push((id, f));
+        id
+    }
+
+    /// Removes a push observer.
+    pub(crate) fn remove_observer(&self, id: u64) {
+        self.observers.lock().retain(|(i, _)| *i != id);
+    }
+
+    pub(crate) fn record_access(&self) {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_compute(&self) {
+        self.computes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn access_count(&self) -> u64 {
+        self.accesses.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn update_count(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn compute_count(&self) -> u64 {
+        self.computes.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-item statistics, exposed for profiling and the overhead benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HandlerStats {
+    /// Consumer accesses through `read`/`Subscription::get`.
+    pub accesses: u64,
+    /// Stored value changes.
+    pub updates: u64,
+    /// Compute-function evaluations.
+    pub computes: u64,
+    /// Current number of subscriptions (direct + dependent inclusions).
+    pub subscriptions: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ItemDef, NodeId};
+
+    fn handler() -> Handler {
+        Handler::new(
+            MetadataKey::new(NodeId(1), "x"),
+            ItemDef::static_value("x", 1u64),
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn starts_unavailable() {
+        let h = handler();
+        let v = h.snapshot();
+        assert_eq!(v.value, MetadataValue::Unavailable);
+        assert_eq!(v.version, 0);
+    }
+
+    #[test]
+    fn store_bumps_version_only_on_change() {
+        let h = handler();
+        assert!(h.store_if_changed(MetadataValue::F64(0.1), Timestamp(5)));
+        assert!(!h.store_if_changed(MetadataValue::F64(0.1), Timestamp(9)));
+        let v = h.snapshot();
+        assert_eq!(v.version, 1);
+        assert_eq!(v.updated_at, Timestamp(5));
+        assert!(h.store_if_changed(MetadataValue::F64(0.2), Timestamp(9)));
+        assert_eq!(h.snapshot().version, 2);
+        assert_eq!(h.update_count(), 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let h = handler();
+        h.record_access();
+        h.record_access();
+        h.record_compute();
+        assert_eq!(h.access_count(), 2);
+        assert_eq!(h.compute_count(), 1);
+    }
+}

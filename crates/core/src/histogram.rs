@@ -1,0 +1,258 @@
+//! Equi-width histograms — the "data distributions" metadata the paper
+//! lists for stream sources (Section 1).
+//!
+//! A [`HistogramMonitor`] is an activatable probe: the processing path
+//! calls [`HistogramMonitor::observe`] per element (cheap atomic bucket
+//! increments when active, a single flag load when not). A periodic
+//! metadata item snapshots it per window into a [`HistogramSnapshot`],
+//! from which consumers — e.g. a selectivity estimator for a filter
+//! predicate, or a query optimizer — derive range selectivities.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::monitor::Counter;
+
+/// Activatable equi-width histogram over `i64` values.
+#[derive(Debug)]
+pub struct HistogramMonitor {
+    /// Piggybacks activation handling on a counter (total observations).
+    total: Arc<Counter>,
+    lo: i64,
+    width: u64,
+    buckets: Vec<AtomicU64>,
+    /// Values below `lo` / at or above the upper edge.
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+}
+
+impl HistogramMonitor {
+    /// A histogram over `[lo, hi)` with `buckets` equal-width buckets.
+    pub fn new(lo: i64, hi: i64, buckets: usize) -> Arc<Self> {
+        assert!(hi > lo, "empty histogram domain");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        let span = (hi - lo) as u64;
+        let width = span.div_ceil(buckets as u64).max(1);
+        Arc::new(HistogramMonitor {
+            total: Counter::new(),
+            lo,
+            width,
+            buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            underflow: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+        })
+    }
+
+    /// The activation counter; attach it to the item via
+    /// [`crate::ItemDefBuilder::counter`] so inclusion switches the
+    /// histogram on.
+    pub fn activation(&self) -> &Arc<Counter> {
+        &self.total
+    }
+
+    /// Records one observation if active. Hot path.
+    #[inline]
+    pub fn observe(&self, v: i64) {
+        if !self.total.is_active() {
+            return;
+        }
+        self.total.record();
+        if v < self.lo {
+            self.underflow.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let idx = ((v - self.lo) as u64 / self.width) as usize;
+        match self.buckets.get(idx) {
+            Some(b) => {
+                b.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.overflow.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A consistent-enough snapshot of the current counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            lo: self.lo,
+            width: self.width,
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            underflow: self.underflow.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable histogram snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    lo: i64,
+    width: u64,
+    counts: Arc<[u64]>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimated fraction of values `< bound` (linear interpolation
+    /// within the boundary bucket). `None` before any observation.
+    pub fn selectivity_lt(&self, bound: i64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let mut below = self.underflow as f64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let b_lo = self.lo + (i as u64 * self.width) as i64;
+            let b_hi = b_lo + self.width as i64;
+            if bound >= b_hi {
+                below += count as f64;
+            } else if bound > b_lo {
+                let frac = (bound - b_lo) as f64 / self.width as f64;
+                below += count as f64 * frac;
+                break;
+            } else {
+                break;
+            }
+        }
+        Some(below / total as f64)
+    }
+
+    /// Estimated fraction of values equal to `v` (uniformity within the
+    /// bucket). `None` before any observation.
+    pub fn selectivity_eq(&self, v: i64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        if v < self.lo {
+            return Some(0.0);
+        }
+        let idx = ((v - self.lo) as u64 / self.width) as usize;
+        let Some(&count) = self.counts.get(idx) else {
+            return Some(0.0);
+        };
+        Some(count as f64 / self.width as f64 / total as f64)
+    }
+
+    /// Renders `bucket_lo:count` pairs, for textual metadata export.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, &count) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let b_lo = self.lo + (i as u64 * self.width) as i64;
+            let _ = write!(out, "{b_lo}:{count}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active(lo: i64, hi: i64, buckets: usize) -> Arc<HistogramMonitor> {
+        let h = HistogramMonitor::new(lo, hi, buckets);
+        h.activation().activate();
+        h
+    }
+
+    #[test]
+    fn inactive_histogram_records_nothing() {
+        let h = HistogramMonitor::new(0, 100, 10);
+        h.observe(5);
+        assert_eq!(h.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn buckets_fill_correctly() {
+        let h = active(0, 100, 10);
+        for v in [0, 5, 9, 10, 55, 99] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.counts()[0], 3); // 0,5,9
+        assert_eq!(s.counts()[1], 1); // 10
+        assert_eq!(s.counts()[5], 1); // 55
+        assert_eq!(s.counts()[9], 1); // 99
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let h = active(0, 10, 2);
+        h.observe(-1);
+        h.observe(10);
+        h.observe(100);
+        let s = h.snapshot();
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.counts().iter().sum::<u64>(), 0);
+        assert_eq!(s.selectivity_lt(0), Some(1.0 / 3.0));
+    }
+
+    #[test]
+    fn selectivity_lt_uniform() {
+        let h = active(0, 100, 10);
+        for v in 0..100 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.selectivity_lt(50), Some(0.5));
+        assert_eq!(s.selectivity_lt(0), Some(0.0));
+        assert_eq!(s.selectivity_lt(100), Some(1.0));
+        // Interpolation inside a bucket.
+        let sel = s.selectivity_lt(25).unwrap();
+        assert!((sel - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_eq_uniform() {
+        let h = active(0, 10, 10);
+        for v in 0..10 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert!((s.selectivity_eq(3).unwrap() - 0.1).abs() < 1e-9);
+        assert_eq!(s.selectivity_eq(-5), Some(0.0));
+        assert_eq!(s.selectivity_eq(50), Some(0.0));
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_selectivity() {
+        let h = active(0, 10, 2);
+        assert_eq!(h.snapshot().selectivity_lt(5), None);
+        assert_eq!(h.snapshot().selectivity_eq(5), None);
+    }
+
+    #[test]
+    fn render_lists_buckets() {
+        let h = active(0, 4, 2);
+        h.observe(0);
+        h.observe(3);
+        assert_eq!(h.snapshot().render(), "0:1 2:1");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram domain")]
+    fn empty_domain_rejected() {
+        HistogramMonitor::new(5, 5, 2);
+    }
+}

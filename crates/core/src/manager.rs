@@ -1,0 +1,772 @@
+//! The metadata manager: publish-subscribe, automatic inclusion/exclusion,
+//! and trigger propagation.
+//!
+//! The manager owns the runtime side of the framework:
+//!
+//! * the **node registries** (item definitions, attached per graph node);
+//! * the live **handlers** with their subscription counts (Section 2.1);
+//! * the runtime **dependency graph** — for every handler the resolved
+//!   sources it depends on, plus the inverted edges used to notify
+//!   dependents (Sections 2.3, 2.4, 3.2.3);
+//! * the integration with the [`PeriodicRegistry`] that drives periodic
+//!   handlers (Section 3.2.2 / 4.3).
+//!
+//! ## Locking (Section 4.2)
+//!
+//! Three levels of locks, always acquired top-down:
+//!
+//! 1. *graph level*: the registries map (`RwLock`);
+//! 2. *node level*: each registry's item map (`RwLock`);
+//! 3. *item level*: each handler's value (`RwLock`) and compute mutex.
+//!
+//! Subscription bookkeeping lives in one internal mutex; user code
+//! (compute functions, hooks) is never called while it is held.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::{Mutex, RwLock};
+use streammeta_time::{ClockRef, PeriodicRegistry, PeriodicTask, TimeSpan, Timestamp};
+
+use crate::handler::{Handler, HandlerStats};
+use crate::item::{DepReader, DepSource, EvalCtx, ItemDef, Mechanism};
+use crate::registry::NodeRegistry;
+use crate::subscription::Subscription;
+use crate::{
+    EventKey, ItemPath, MetadataError, MetadataKey, MetadataValue, NodeId, Result, VersionedValue,
+};
+
+struct HandlerEntry {
+    handler: Arc<Handler>,
+    refcount: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    handlers: HashMap<MetadataKey, HandlerEntry>,
+    /// Inverted dependency edges: source -> items that depend on it.
+    dependents: HashMap<DepSource, Vec<MetadataKey>>,
+}
+
+/// Aggregate counters of the manager, used by the scalability experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ManagerStats {
+    /// Live handlers (included metadata items).
+    pub handlers: usize,
+    /// Sum of all subscription counts.
+    pub subscriptions: usize,
+    /// Total compute-function evaluations.
+    pub computes: u64,
+    /// Total stored value changes.
+    pub updates: u64,
+    /// Total consumer accesses.
+    pub accesses: u64,
+    /// Total trigger propagation rounds.
+    pub propagations: u64,
+    /// Compute functions that panicked (contained; the item reported
+    /// `Unavailable` for that evaluation).
+    pub compute_failures: u64,
+}
+
+/// The central coordinator of dynamic metadata management.
+///
+/// Always used through `Arc`: subscriptions and periodic tasks hold
+/// references back to the manager.
+pub struct MetadataManager {
+    clock: ClockRef,
+    periodic: Arc<PeriodicRegistry>,
+    /// Graph-level lock (Section 4.2).
+    registries: RwLock<HashMap<NodeId, Arc<NodeRegistry>>>,
+    inner: Mutex<Inner>,
+    computes: AtomicU64,
+    updates: AtomicU64,
+    accesses: AtomicU64,
+    propagations: AtomicU64,
+    compute_failures: AtomicU64,
+    self_weak: Weak<MetadataManager>,
+}
+
+impl MetadataManager {
+    /// A manager using `clock` and its own periodic registry.
+    pub fn new(clock: ClockRef) -> Arc<Self> {
+        Self::with_periodic(clock, PeriodicRegistry::shared())
+    }
+
+    /// A manager sharing an external periodic registry (so an engine or a
+    /// [`streammeta_time::WorkerPool`] can drive the updates).
+    pub fn with_periodic(clock: ClockRef, periodic: Arc<PeriodicRegistry>) -> Arc<Self> {
+        Arc::new_cyclic(|weak| MetadataManager {
+            clock,
+            periodic,
+            registries: RwLock::new(HashMap::new()),
+            inner: Mutex::new(Inner::default()),
+            computes: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            accesses: AtomicU64::new(0),
+            propagations: AtomicU64::new(0),
+            compute_failures: AtomicU64::new(0),
+            self_weak: weak.clone(),
+        })
+    }
+
+    /// The manager's clock.
+    pub fn clock(&self) -> &ClockRef {
+        &self.clock
+    }
+
+    /// The periodic registry driving periodic handlers. Virtual-time
+    /// drivers call `advance_to` on it as they step the clock.
+    pub fn periodic(&self) -> &Arc<PeriodicRegistry> {
+        &self.periodic
+    }
+
+    // ------------------------------------------------------------------
+    // Node registries
+    // ------------------------------------------------------------------
+
+    /// Attaches a node's registry. Replaces a previous attachment.
+    pub fn attach_node(&self, registry: Arc<NodeRegistry>) {
+        self.registries.write().insert(registry.node(), registry);
+    }
+
+    /// Detaches a node's registry. Existing handlers keep the definitions
+    /// they were created with; new subscriptions on the node fail.
+    pub fn detach_node(&self, node: NodeId) -> Option<Arc<NodeRegistry>> {
+        self.registries.write().remove(&node)
+    }
+
+    /// The registry attached for `node`.
+    pub fn registry(&self, node: NodeId) -> Option<Arc<NodeRegistry>> {
+        self.registries.read().get(&node).cloned()
+    }
+
+    /// Metadata discovery: the available item paths of a node.
+    pub fn available_items(&self, node: NodeId) -> Result<Vec<ItemPath>> {
+        self.registry(node)
+            .map(|r| r.available())
+            .ok_or(MetadataError::NodeUnknown(node))
+    }
+
+    /// All attached nodes, sorted.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<_> = self.registries.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Redefines an item (inheritance/overriding, Section 4.4.2) with a
+    /// consistency guard: redefinition is refused while the item has a
+    /// live handler, because existing consumers would silently keep the
+    /// old semantics while new dependents resolved against the new one.
+    pub fn redefine(&self, node: NodeId, def: ItemDef) -> Result<()> {
+        let key = MetadataKey::new(node, def.path().clone());
+        let reg = self
+            .registry(node)
+            .ok_or(MetadataError::NodeUnknown(node))?;
+        let inner = self.inner.lock();
+        if inner.handlers.contains_key(&key) {
+            return Err(MetadataError::ItemInUse(key));
+        }
+        // Holding `inner` prevents a concurrent inclusion from racing the
+        // definition swap (inclusion takes `inner` first).
+        reg.define(def);
+        Ok(())
+    }
+
+    fn lookup_def(&self, key: &MetadataKey) -> Result<ItemDef> {
+        let reg = self
+            .registry(key.node)
+            .ok_or(MetadataError::NodeUnknown(key.node))?;
+        reg.get(&key.item)
+            .ok_or_else(|| MetadataError::ItemUndefined(key.clone()))
+    }
+
+    // ------------------------------------------------------------------
+    // Subscription (automatic inclusion / exclusion, Section 2.4)
+    // ------------------------------------------------------------------
+
+    /// Subscribes to a metadata item. All (transitive) dependencies are
+    /// included automatically; shared items are reference counted. The
+    /// returned [`Subscription`] unsubscribes on drop.
+    pub fn subscribe(self: &Arc<Self>, key: MetadataKey) -> Result<Subscription> {
+        let mut created: Vec<Arc<Handler>> = Vec::new();
+        let mut log: Vec<MetadataKey> = Vec::new();
+        let result = {
+            let mut inner = self.inner.lock();
+            let mut stack = Vec::new();
+            self.include(&mut inner, key.clone(), &mut stack, &mut log, &mut created)
+        };
+        match result {
+            Ok(()) => {
+                self.run_inclusion_actions(&created);
+                Ok(Subscription::new(self.clone(), key))
+            }
+            Err(e) => {
+                self.rollback(&log);
+                Err(e)
+            }
+        }
+    }
+
+    /// Subscribes to `key` with a push observer: `callback` runs after
+    /// every stored value change (periodic publishes, trigger updates,
+    /// on-demand recomputations that changed the value). The callback is
+    /// invoked on the updating thread and must be fast and non-blocking;
+    /// it must not call back into the manager. Deregistered when the
+    /// returned [`Subscription`] drops.
+    pub fn subscribe_with(
+        self: &Arc<Self>,
+        key: MetadataKey,
+        callback: impl Fn(&VersionedValue) + Send + Sync + 'static,
+    ) -> Result<Subscription> {
+        let sub = self.subscribe(key.clone())?;
+        let handler = self
+            .handler(&key)
+            .expect("subscription keeps the handler alive");
+        let id = handler.add_observer(Box::new(callback));
+        Ok(sub.with_observer(id))
+    }
+
+    /// Removes a push observer (used by [`Subscription`] on drop).
+    pub(crate) fn remove_observer(&self, key: &MetadataKey, id: u64) {
+        if let Some(handler) = self.handler(key) {
+            handler.remove_observer(id);
+        }
+    }
+
+    /// Subscribes to every available item of `node` (the "maintain all
+    /// metadata" mode the paper argues against; used as the baseline in
+    /// the scalability experiments).
+    pub fn subscribe_all(self: &Arc<Self>, node: NodeId) -> Result<Vec<Subscription>> {
+        let items = self.available_items(node)?;
+        items
+            .into_iter()
+            .map(|item| self.subscribe(MetadataKey::new(node, item)))
+            .collect()
+    }
+
+    fn include(
+        &self,
+        inner: &mut Inner,
+        key: MetadataKey,
+        stack: &mut Vec<MetadataKey>,
+        log: &mut Vec<MetadataKey>,
+        created: &mut Vec<Arc<Handler>>,
+    ) -> Result<()> {
+        if let Some(entry) = inner.handlers.get_mut(&key) {
+            // "The traversal stops at items already provided" — but every
+            // inclusion path contributes one reference.
+            entry.refcount += 1;
+            log.push(key);
+            return Ok(());
+        }
+        if stack.contains(&key) {
+            let mut path = stack.clone();
+            path.push(key);
+            return Err(MetadataError::CyclicDependency(path));
+        }
+        let def = self.lookup_def(&key)?;
+        stack.push(key.clone());
+        let resolved = {
+            let handlers = &inner.handlers;
+            def.resolve_deps(key.node, &|k| handlers.contains_key(k))
+        };
+        for dep in &resolved {
+            if let DepSource::Item(dep_key) = &dep.source {
+                self.include(inner, dep_key.clone(), stack, log, created)?;
+            }
+        }
+        stack.pop();
+        let handler = Arc::new(Handler::new(key.clone(), def, resolved));
+        for dep in &handler.resolved_deps {
+            let dependents = inner.dependents.entry(dep.source.clone()).or_default();
+            // Duplicate subscriptions by the same item are detected to
+            // avoid redundant notifications (Section 3.2.3).
+            if !dependents.contains(&key) {
+                dependents.push(key.clone());
+            }
+        }
+        inner.handlers.insert(
+            key.clone(),
+            HandlerEntry {
+                handler: handler.clone(),
+                refcount: 1,
+            },
+        );
+        log.push(key);
+        created.push(handler);
+        Ok(())
+    }
+
+    /// Post-inclusion actions, run without the bookkeeping lock, in
+    /// dependency order (dependencies first): activate monitoring code,
+    /// register periodic refresh tasks, and pre-compute initial values
+    /// (triggered values "are pre-computed on the first subscription",
+    /// Section 3.2.3).
+    fn run_inclusion_actions(self: &Arc<Self>, created: &[Arc<Handler>]) {
+        let now = self.clock.now();
+        for h in created {
+            for m in &h.def.monitors {
+                m.activate();
+            }
+            if let Some(hook) = &h.def.on_include {
+                hook();
+            }
+            match h.mechanism() {
+                Mechanism::Static => {
+                    let v = self.compute_value(h, None, now);
+                    h.store_if_changed(v, now);
+                }
+                Mechanism::OnDemand => {} // computed on access
+                Mechanism::Periodic { window } => {
+                    // Initial evaluation over an empty window lets stateful
+                    // compute functions initialise; then schedule refreshes.
+                    let _guard = h.compute_lock.lock();
+                    let v = self.compute_value(h, Some(TimeSpan::ZERO), now);
+                    h.store_if_changed(v, now);
+                    drop(_guard);
+                    let task = PeriodicRefresh {
+                        manager: self.self_weak.clone(),
+                        key: h.key.clone(),
+                        window,
+                    };
+                    let id = self.periodic.register(
+                        now + window,
+                        window,
+                        Arc::new(task) as Arc<dyn PeriodicTask>,
+                    );
+                    *h.periodic_task.lock() = Some(id);
+                }
+                Mechanism::Triggered => {
+                    let v = self.compute_value(h, None, now);
+                    h.store_if_changed(v, now);
+                }
+            }
+        }
+    }
+
+    fn rollback(&self, log: &[MetadataKey]) {
+        let mut removed = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            for key in log.iter().rev() {
+                Self::decrement(&mut inner, key, &mut removed);
+            }
+        }
+        // Handlers removed during rollback never ran their inclusion
+        // actions, so no exclusion actions are due.
+        debug_assert!(removed
+            .iter()
+            .all(|h: &Arc<Handler>| { h.periodic_task.lock().is_none() }));
+    }
+
+    /// Decrements `key`'s refcount; on zero removes the handler and its
+    /// inverted edges (without recursing into dependencies).
+    fn decrement(inner: &mut Inner, key: &MetadataKey, removed: &mut Vec<Arc<Handler>>) {
+        let Some(entry) = inner.handlers.get_mut(key) else {
+            return;
+        };
+        entry.refcount -= 1;
+        if entry.refcount > 0 {
+            return;
+        }
+        let entry = inner.handlers.remove(key).expect("present");
+        for dep in &entry.handler.resolved_deps {
+            if let Some(list) = inner.dependents.get_mut(&dep.source) {
+                list.retain(|k| k != key);
+                if list.is_empty() {
+                    inner.dependents.remove(&dep.source);
+                }
+            }
+        }
+        removed.push(entry.handler);
+    }
+
+    /// Cancels one subscription on `key`. Called by [`Subscription`] on
+    /// drop; dependent items are excluded recursively (Section 2.4).
+    pub(crate) fn unsubscribe(&self, key: &MetadataKey) {
+        let mut removed = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            self.exclude(&mut inner, key, &mut removed);
+        }
+        self.run_exclusion_actions(&removed);
+    }
+
+    fn exclude(&self, inner: &mut Inner, key: &MetadataKey, removed: &mut Vec<Arc<Handler>>) {
+        let before = removed.len();
+        Self::decrement(inner, key, removed);
+        if removed.len() == before {
+            return; // still referenced (or unknown)
+        }
+        let handler = removed[before].clone();
+        for dep in &handler.resolved_deps {
+            if let DepSource::Item(dep_key) = &dep.source {
+                self.exclude(inner, dep_key, removed);
+            }
+        }
+    }
+
+    fn run_exclusion_actions(&self, removed: &[Arc<Handler>]) {
+        for h in removed {
+            if let Some(task) = h.periodic_task.lock().take() {
+                self.periodic.cancel(task);
+            }
+            for m in &h.def.monitors {
+                m.deactivate();
+            }
+            if let Some(hook) = &h.def.on_exclude {
+                hook();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Access
+    // ------------------------------------------------------------------
+
+    fn handler(&self, key: &MetadataKey) -> Option<Arc<Handler>> {
+        self.inner
+            .lock()
+            .handlers
+            .get(key)
+            .map(|e| e.handler.clone())
+    }
+
+    /// The current value of an included item. On-demand items are
+    /// recomputed by this access (Section 3.2.1).
+    pub fn read(&self, key: &MetadataKey) -> Result<MetadataValue> {
+        self.read_versioned(key).map(|v| v.value)
+    }
+
+    /// Like [`Self::read`], including version and update instant.
+    pub fn read_versioned(&self, key: &MetadataKey) -> Result<VersionedValue> {
+        let handler = self
+            .handler(key)
+            .ok_or_else(|| MetadataError::NotIncluded(key.clone()))?;
+        handler.record_access();
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        Ok(self.access_handler(&handler))
+    }
+
+    fn access_handler(&self, handler: &Arc<Handler>) -> VersionedValue {
+        match handler.mechanism() {
+            Mechanism::OnDemand => {
+                let now = self.clock.now();
+                let _guard = handler.compute_lock.lock();
+                let v = self.compute_value(handler, None, now);
+                handler.store_if_changed(v, now);
+                handler.snapshot()
+            }
+            _ => handler.snapshot(),
+        }
+    }
+
+    /// Whether `key` currently has a handler.
+    pub fn is_included(&self, key: &MetadataKey) -> bool {
+        self.inner.lock().handlers.contains_key(key)
+    }
+
+    /// The subscription count of `key` (0 if not included).
+    pub fn subscription_count(&self, key: &MetadataKey) -> usize {
+        self.inner
+            .lock()
+            .handlers
+            .get(key)
+            .map_or(0, |e| e.refcount)
+    }
+
+    /// Number of live handlers.
+    pub fn handler_count(&self) -> usize {
+        self.inner.lock().handlers.len()
+    }
+
+    /// The keys of all live handlers, sorted.
+    pub fn included_keys(&self) -> Vec<MetadataKey> {
+        let mut v: Vec<_> = self.inner.lock().handlers.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Per-item statistics, if the item is included.
+    pub fn handler_stats(&self, key: &MetadataKey) -> Option<HandlerStats> {
+        let inner = self.inner.lock();
+        inner.handlers.get(key).map(|e| HandlerStats {
+            accesses: e.handler.access_count(),
+            updates: e.handler.update_count(),
+            computes: e.handler.compute_count(),
+            subscriptions: e.refcount,
+        })
+    }
+
+    /// The update mechanism of an included item.
+    pub fn mechanism_of(&self, key: &MetadataKey) -> Option<Mechanism> {
+        self.handler(key).map(|h| h.mechanism())
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ManagerStats {
+        let inner = self.inner.lock();
+        ManagerStats {
+            handlers: inner.handlers.len(),
+            subscriptions: inner.handlers.values().map(|e| e.refcount).sum(),
+            computes: self.computes.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            accesses: self.accesses.load(Ordering::Relaxed),
+            propagations: self.propagations.load(Ordering::Relaxed),
+            compute_failures: self.compute_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dependency-graph introspection
+    // ------------------------------------------------------------------
+
+    /// All edges of the runtime dependency graph, as
+    /// `(source, dependent item)` pairs, sorted.
+    pub fn dependency_edges(&self) -> Vec<(DepSource, MetadataKey)> {
+        let inner = self.inner.lock();
+        let mut edges: Vec<(DepSource, MetadataKey)> = inner
+            .dependents
+            .iter()
+            .flat_map(|(src, deps)| deps.iter().map(move |d| (src.clone(), d.clone())))
+            .collect();
+        edges.sort();
+        edges
+    }
+
+    /// The items currently registered as dependents of `source`.
+    pub fn dependents_of(&self, source: &DepSource) -> Vec<MetadataKey> {
+        let mut v = self
+            .inner
+            .lock()
+            .dependents
+            .get(source)
+            .cloned()
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// The resolved dependencies of an included item (role + source), in
+    /// declaration order.
+    pub fn dependencies_of(&self, key: &MetadataKey) -> Option<Vec<crate::ResolvedDep>> {
+        self.handler(key).map(|h| h.resolved_deps.clone())
+    }
+
+    /// The included dependency subgraph in Graphviz DOT syntax: boxes for
+    /// metadata items (labelled with their mechanism), diamonds for event
+    /// sources, arrows from dependency to dependent.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph metadata {\n  rankdir=BT;\n");
+        for key in self.included_keys() {
+            let mech = self.mechanism_of(&key).map_or("?", |m| m.label());
+            let _ = writeln!(out, "  \"{key}\" [shape=box, label=\"{key}\\n({mech})\"];");
+        }
+        let mut events = std::collections::BTreeSet::new();
+        for (src, dependent) in self.dependency_edges() {
+            let from = match &src {
+                DepSource::Item(k) => format!("{k}"),
+                DepSource::Event(e) => {
+                    events.insert(e.clone());
+                    format!("{e}")
+                }
+            };
+            let _ = writeln!(out, "  \"{from}\" -> \"{dependent}\";");
+        }
+        for e in events {
+            let _ = writeln!(out, "  \"{e}\" [shape=diamond];");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Updates and trigger propagation (Section 3.2.3)
+    // ------------------------------------------------------------------
+
+    /// Evaluates a handler's compute function. Panics in user compute
+    /// code are contained: the evaluation reports `Unavailable` and the
+    /// failure is counted, so one faulty metadata item cannot take down
+    /// query processing or leave the framework's locks poisoned (all
+    /// bookkeeping locks are released while user code runs).
+    fn compute_value(
+        &self,
+        handler: &Arc<Handler>,
+        window: Option<TimeSpan>,
+        now: Timestamp,
+    ) -> MetadataValue {
+        handler.record_compute();
+        self.computes.fetch_add(1, Ordering::Relaxed);
+        let ctx = EvalCtx {
+            now,
+            window,
+            reader: self,
+            deps: &handler.resolved_deps,
+        };
+        let compute = &handler.def.compute;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compute(&ctx))) {
+            Ok(v) => v,
+            Err(_) => {
+                self.compute_failures.fetch_add(1, Ordering::Relaxed);
+                MetadataValue::Unavailable
+            }
+        }
+    }
+
+    /// Refresh of one periodic handler at a window boundary.
+    fn periodic_refresh(&self, key: &MetadataKey, boundary: Timestamp, window: TimeSpan) {
+        let Some(handler) = self.handler(key) else {
+            return; // unsubscribed between scheduling and firing
+        };
+        let changed = {
+            let _guard = handler.compute_lock.lock();
+            let v = self.compute_value(&handler, Some(window), boundary);
+            let changed = handler.store_if_changed(v, boundary);
+            if changed {
+                self.updates.fetch_add(1, Ordering::Relaxed);
+            }
+            changed
+        };
+        if changed {
+            self.propagate(DepSource::Item(key.clone()), boundary);
+        }
+    }
+
+    /// Fires a manual event notification (Section 3.2.3): all triggered
+    /// handlers depending on the event are updated, and changes propagate
+    /// along the inverted dependency graph.
+    pub fn fire_event(&self, event: EventKey) {
+        let now = self.clock.now();
+        self.propagate(DepSource::Event(event), now);
+    }
+
+    /// Notifies that the underlying state of an (on-demand) item changed,
+    /// so triggered handlers depending on it recompute with fresh values
+    /// (Section 3.2.3: bridging on-demand sources into triggered updates).
+    pub fn notify_changed(&self, key: MetadataKey) {
+        let now = self.clock.now();
+        self.propagate(DepSource::Item(key), now);
+    }
+
+    /// Recomputes all triggered items transitively reachable from `origin`
+    /// over the inverted dependency graph. Items are processed in
+    /// topological order of their dependencies, each at most once per
+    /// round; an item only recomputes if one of its sources actually
+    /// changed, and only propagates further if its own value changed.
+    fn propagate(&self, origin: DepSource, now: Timestamp) {
+        self.propagations.fetch_add(1, Ordering::Relaxed);
+        // Phase 1: snapshot the affected subgraph.
+        let plan: Vec<Arc<Handler>> = {
+            let inner = self.inner.lock();
+            let mut reach: BTreeMap<MetadataKey, Arc<Handler>> = BTreeMap::new();
+            let mut frontier: VecDeque<DepSource> = VecDeque::new();
+            frontier.push_back(origin.clone());
+            while let Some(src) = frontier.pop_front() {
+                if let Some(deps) = inner.dependents.get(&src) {
+                    for key in deps {
+                        if reach.contains_key(key) {
+                            continue;
+                        }
+                        let Some(entry) = inner.handlers.get(key) else {
+                            continue;
+                        };
+                        // Updates pass through *triggered* handlers only:
+                        // periodic dependents refresh on their own
+                        // schedule, on-demand dependents on access.
+                        if entry.handler.mechanism() == Mechanism::Triggered {
+                            reach.insert(key.clone(), entry.handler.clone());
+                            frontier.push_back(DepSource::Item(key.clone()));
+                        }
+                    }
+                }
+            }
+            topo_order(reach)
+        };
+        // Phase 2: recompute outside the bookkeeping lock.
+        let mut changed: HashSet<DepSource> = HashSet::new();
+        changed.insert(origin);
+        for handler in plan {
+            let affected = handler
+                .resolved_deps
+                .iter()
+                .any(|d| changed.contains(&d.source));
+            if !affected {
+                continue;
+            }
+            let _guard = handler.compute_lock.lock();
+            let v = self.compute_value(&handler, None, now);
+            if handler.store_if_changed(v, now) {
+                self.updates.fetch_add(1, Ordering::Relaxed);
+                changed.insert(DepSource::Item(handler.key.clone()));
+            }
+        }
+    }
+}
+
+/// Sorts the affected handlers so every handler appears after all of its
+/// in-set dependencies (Kahn's algorithm; `BTreeMap` keeps it
+/// deterministic).
+fn topo_order(reach: BTreeMap<MetadataKey, Arc<Handler>>) -> Vec<Arc<Handler>> {
+    let mut indegree: BTreeMap<&MetadataKey, usize> = BTreeMap::new();
+    let mut edges: BTreeMap<&MetadataKey, Vec<&MetadataKey>> = BTreeMap::new();
+    for (key, handler) in &reach {
+        indegree.entry(key).or_insert(0);
+        for dep in &handler.resolved_deps {
+            if let DepSource::Item(dep_key) = &dep.source {
+                if let Some((stored_key, _)) = reach.get_key_value(dep_key) {
+                    edges.entry(stored_key).or_default().push(key);
+                    *indegree.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut ready: VecDeque<&MetadataKey> = indegree
+        .iter()
+        .filter(|(_, d)| **d == 0)
+        .map(|(k, _)| *k)
+        .collect();
+    let mut order = Vec::with_capacity(reach.len());
+    while let Some(key) = ready.pop_front() {
+        order.push(reach[key].clone());
+        if let Some(next) = edges.get(key) {
+            for n in next {
+                let d = indegree.get_mut(n).expect("indexed");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push_back(n);
+                }
+            }
+        }
+    }
+    // The dependency graph is acyclic by construction (cycles are rejected
+    // at inclusion), so every handler is ordered.
+    debug_assert_eq!(order.len(), reach.len());
+    order
+}
+
+impl DepReader for MetadataManager {
+    fn read_dep(&self, key: &MetadataKey) -> MetadataValue {
+        match self.handler(key) {
+            Some(h) => self.access_handler(&h).value,
+            None => MetadataValue::Unavailable,
+        }
+    }
+}
+
+/// Periodic refresh task registered per periodic handler.
+struct PeriodicRefresh {
+    manager: Weak<MetadataManager>,
+    key: MetadataKey,
+    window: TimeSpan,
+}
+
+impl PeriodicTask for PeriodicRefresh {
+    fn run(&self, fired_at: Timestamp) {
+        if let Some(mgr) = self.manager.upgrade() {
+            mgr.periodic_refresh(&self.key, fired_at, self.window);
+        }
+    }
+}

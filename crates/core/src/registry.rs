@@ -1,0 +1,293 @@
+//! Per-node metadata registries.
+//!
+//! Metadata items are stored at the respective graph nodes (Section 2.2):
+//! every node owns a [`NodeRegistry`] holding its item *definitions*. The
+//! registry also powers metadata **discovery** ("each node gives
+//! information about available metadata items"), **inheritance** (a more
+//! specific operator redefines inherited items, Section 4.4.2) and
+//! **module scoping** (metadata of exchangeable modules, Section 4.5).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::item::{DepSpec, DepTarget, ItemDef};
+use crate::{ItemPath, NodeId};
+
+/// Registry of the metadata items one node can provide.
+pub struct NodeRegistry {
+    node: NodeId,
+    /// Node-level lock of the three-level locking scheme (Section 4.2).
+    items: RwLock<HashMap<ItemPath, ItemDef>>,
+}
+
+impl NodeRegistry {
+    /// An empty registry for `node`.
+    pub fn new(node: NodeId) -> Arc<Self> {
+        Arc::new(NodeRegistry {
+            node,
+            items: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Defines an item, replacing any previous definition of the same path
+    /// (inheritance/overriding, Section 4.4.2). Returns the replaced
+    /// definition, if any.
+    ///
+    /// Replacing the definition of an item that currently has a live
+    /// handler does not affect the handler; the new definition applies
+    /// from the next inclusion. The manager refuses redefinition of live
+    /// items at subscription level where consistency matters.
+    pub fn define(&self, def: ItemDef) -> Option<ItemDef> {
+        self.items.write().insert(def.path().clone(), def)
+    }
+
+    /// Defines several items at once.
+    pub fn define_all(&self, defs: impl IntoIterator<Item = ItemDef>) {
+        let mut items = self.items.write();
+        for def in defs {
+            items.insert(def.path().clone(), def);
+        }
+    }
+
+    /// Removes an item definition, returning it if it existed.
+    pub fn undefine(&self, path: &ItemPath) -> Option<ItemDef> {
+        self.items.write().remove(path)
+    }
+
+    /// A clone of the definition at `path`.
+    pub fn get(&self, path: &ItemPath) -> Option<ItemDef> {
+        self.items.read().get(path).cloned()
+    }
+
+    /// Whether `path` is defined.
+    pub fn contains(&self, path: &ItemPath) -> bool {
+        self.items.read().contains_key(path)
+    }
+
+    /// All available item paths, sorted (metadata discovery, Section 2.2).
+    pub fn available(&self) -> Vec<ItemPath> {
+        let mut v: Vec<_> = self.items.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of defined items.
+    pub fn len(&self) -> usize {
+        self.items.read().len()
+    }
+
+    /// Whether no items are defined.
+    pub fn is_empty(&self) -> bool {
+        self.items.read().is_empty()
+    }
+
+    /// A module scope: items defined through it live under
+    /// `prefix.<name>` and their local dependencies are rewritten into the
+    /// same scope, so module metadata nests recursively (Section 4.5).
+    pub fn scope<'a>(self: &'a Arc<Self>, prefix: &str) -> RegistryScope<'a> {
+        assert!(!prefix.is_empty(), "module scope prefix must be non-empty");
+        RegistryScope {
+            registry: self,
+            prefix: prefix.to_owned(),
+        }
+    }
+}
+
+/// A metadata module that installs its items into a scope (Section 4.5).
+///
+/// Exchangeable operator parts (a join's state data structures, for
+/// instance) implement this so the owning operator can expose their
+/// metadata under its own registry, whatever implementation is plugged in.
+pub trait MetadataModule {
+    /// Installs the module's item definitions into `scope`.
+    fn register_metadata(&self, scope: &RegistryScope<'_>);
+}
+
+/// A view of a [`NodeRegistry`] under a path prefix.
+pub struct RegistryScope<'a> {
+    registry: &'a Arc<NodeRegistry>,
+    prefix: String,
+}
+
+impl<'a> RegistryScope<'a> {
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.registry.node()
+    }
+
+    /// The scope's path prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The absolute path of `name` within this scope.
+    pub fn path(&self, name: impl Into<ItemPath>) -> ItemPath {
+        name.into().scoped(&self.prefix)
+    }
+
+    /// Defines an item inside the scope. The item's path and its
+    /// `Local`/`LocalEvent` dependency targets are rewritten under the
+    /// scope prefix; `Remote` targets and dynamic resolvers are left
+    /// untouched (dynamic resolvers see the node, not the scope).
+    pub fn define(&self, def: ItemDef) {
+        let mut def = def;
+        def = def.clone().with_path(def.path().scoped(&self.prefix));
+        if let DepSpec::Fixed(deps) = &mut def.deps {
+            for d in deps.iter_mut() {
+                d.target =
+                    match std::mem::replace(&mut d.target, DepTarget::Local(ItemPath::new("_"))) {
+                        DepTarget::Local(p) => DepTarget::Local(p.scoped(&self.prefix)),
+                        DepTarget::LocalEvent(p) => DepTarget::LocalEvent(p.scoped(&self.prefix)),
+                        other => other,
+                    };
+            }
+        }
+        self.registry.define(def);
+    }
+
+    /// Defines an item whose path is prefixed but whose dependencies are
+    /// already absolute within the node.
+    pub fn define_raw(&self, def: ItemDef) {
+        let scoped = def.path().scoped(&self.prefix);
+        self.registry.define(def.with_path(scoped));
+    }
+
+    /// A nested scope `prefix.name` (recursive modules).
+    pub fn child(&self, name: &str) -> RegistryScope<'a> {
+        RegistryScope {
+            registry: self.registry,
+            prefix: format!("{}.{name}", self.prefix),
+        }
+    }
+
+    /// Installs a module's metadata into this scope.
+    pub fn install(&self, module: &dyn MetadataModule) {
+        module.register_metadata(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::DepSpec;
+    use crate::MetadataValue;
+
+    #[test]
+    fn define_and_discover() {
+        let reg = NodeRegistry::new(NodeId(1));
+        assert!(reg.is_empty());
+        reg.define(ItemDef::static_value("schema", "a,b"));
+        reg.define(ItemDef::static_value("element_size", 16u64));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.contains(&ItemPath::new("schema")));
+        let avail = reg.available();
+        assert_eq!(
+            avail,
+            vec![ItemPath::new("element_size"), ItemPath::new("schema")]
+        );
+    }
+
+    #[test]
+    fn redefinition_replaces_and_returns_old() {
+        let reg = NodeRegistry::new(NodeId(1));
+        assert!(reg.define(ItemDef::static_value("x", 1u64)).is_none());
+        let old = reg.define(ItemDef::static_value("x", 2u64));
+        assert!(old.is_some());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn undefine_removes() {
+        let reg = NodeRegistry::new(NodeId(1));
+        reg.define(ItemDef::static_value("x", 1u64));
+        assert!(reg.undefine(&ItemPath::new("x")).is_some());
+        assert!(reg.undefine(&ItemPath::new("x")).is_none());
+        assert!(!reg.contains(&ItemPath::new("x")));
+    }
+
+    #[test]
+    fn scope_rewrites_paths_and_local_deps() {
+        let reg = NodeRegistry::new(NodeId(1));
+        let scope = reg.scope("state");
+        scope.define(
+            ItemDef::triggered("memory_usage")
+                .dep_local("size")
+                .on_event("resized")
+                .compute(|_| MetadataValue::Unavailable)
+                .build(),
+        );
+        let def = reg.get(&ItemPath::new("state.memory_usage")).unwrap();
+        match &def.deps {
+            DepSpec::Fixed(deps) => {
+                assert_eq!(
+                    deps[0].target,
+                    DepTarget::Local(ItemPath::new("state.size"))
+                );
+                assert_eq!(
+                    deps[1].target,
+                    DepTarget::LocalEvent(ItemPath::new("state.resized"))
+                );
+            }
+            _ => panic!("expected fixed deps"),
+        }
+    }
+
+    #[test]
+    fn scope_leaves_remote_deps_untouched() {
+        let reg = NodeRegistry::new(NodeId(1));
+        let remote = crate::MetadataKey::new(NodeId(2), "output_rate");
+        let scope = reg.scope("state");
+        scope.define(
+            ItemDef::triggered("x")
+                .dep_remote("r", remote.clone())
+                .compute(|_| MetadataValue::Unavailable)
+                .build(),
+        );
+        let def = reg.get(&ItemPath::new("state.x")).unwrap();
+        match &def.deps {
+            DepSpec::Fixed(deps) => {
+                assert_eq!(deps[0].target, DepTarget::Remote(remote));
+            }
+            _ => panic!("expected fixed deps"),
+        }
+    }
+
+    #[test]
+    fn nested_scopes_compose() {
+        let reg = NodeRegistry::new(NodeId(1));
+        let scope = reg.scope("state");
+        let left = scope.child("left");
+        left.define(ItemDef::static_value("size", 0u64));
+        assert!(reg.contains(&ItemPath::new("state.left.size")));
+        assert_eq!(left.path("size").as_str(), "state.left.size");
+    }
+
+    #[test]
+    fn module_installation() {
+        struct ListState;
+        impl MetadataModule for ListState {
+            fn register_metadata(&self, scope: &RegistryScope<'_>) {
+                scope.define(ItemDef::static_value("impl", "list"));
+                scope.define(ItemDef::static_value("size", 0u64));
+            }
+        }
+        let reg = NodeRegistry::new(NodeId(1));
+        reg.scope("state.left").install(&ListState);
+        assert!(reg.contains(&ItemPath::new("state.left.impl")));
+        assert!(reg.contains(&ItemPath::new("state.left.size")));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_scope_prefix_rejected() {
+        let reg = NodeRegistry::new(NodeId(1));
+        let _ = reg.scope("");
+    }
+}

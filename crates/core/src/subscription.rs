@@ -1,0 +1,89 @@
+//! Subscription handles.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::manager::MetadataManager;
+use crate::{MetadataKey, MetadataValue, VersionedValue};
+
+/// A live subscription to one metadata item.
+///
+/// Created by [`MetadataManager::subscribe`]. While at least one
+/// subscription (or dependent inclusion) exists, the item's handler is
+/// maintained; dropping the last subscription excludes the item and all
+/// dependencies that are no longer needed (Section 2.1 of the paper).
+pub struct Subscription {
+    manager: Arc<MetadataManager>,
+    key: MetadataKey,
+    /// Push-observer registered with this subscription, if any.
+    observer: Option<u64>,
+}
+
+impl Subscription {
+    pub(crate) fn new(manager: Arc<MetadataManager>, key: MetadataKey) -> Self {
+        Subscription {
+            manager,
+            key,
+            observer: None,
+        }
+    }
+
+    pub(crate) fn with_observer(mut self, id: u64) -> Self {
+        self.observer = Some(id);
+        self
+    }
+
+    /// The subscribed item.
+    pub fn key(&self) -> &MetadataKey {
+        &self.key
+    }
+
+    /// The item's current value. On-demand items are recomputed by this
+    /// access.
+    pub fn get(&self) -> MetadataValue {
+        self.manager
+            .read(&self.key)
+            .expect("subscription keeps the handler alive")
+    }
+
+    /// Like [`Self::get`], with version and update instant.
+    pub fn versioned(&self) -> VersionedValue {
+        self.manager
+            .read_versioned(&self.key)
+            .expect("subscription keeps the handler alive")
+    }
+
+    /// Numeric shortcut: the value coerced to `f64`, if possible.
+    pub fn get_f64(&self) -> Option<f64> {
+        self.get().as_f64()
+    }
+
+    /// The manager this subscription belongs to.
+    pub fn manager(&self) -> &Arc<MetadataManager> {
+        &self.manager
+    }
+}
+
+impl Clone for Subscription {
+    /// Cloning registers an additional subscription on the same item.
+    fn clone(&self) -> Self {
+        self.manager
+            .subscribe(self.key.clone())
+            .expect("item is included while a subscription exists")
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        if let Some(id) = self.observer {
+            self.manager.remove_observer(&self.key, id);
+        }
+        self.manager.unsubscribe(&self.key);
+    }
+}
+
+impl fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Subscription({})", self.key)
+    }
+}

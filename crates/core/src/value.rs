@@ -1,0 +1,262 @@
+//! Metadata values.
+
+use std::fmt;
+use std::sync::Arc;
+
+use streammeta_time::{TimeSpan, Timestamp};
+
+use crate::histogram::HistogramSnapshot;
+
+/// The value of one metadata item.
+///
+/// The framework is value-typed rather than generic over item types so that
+/// handlers, the dependency graph and the profiler can treat all items
+/// uniformly; the small enum covers every metadata item the paper names
+/// (rates, selectivities, resource usage, window sizes, schema descriptions,
+/// priorities, …).
+#[derive(Clone)]
+pub enum MetadataValue {
+    /// No value has been produced yet (e.g. a periodic item before its
+    /// first window boundary).
+    Unavailable,
+    /// A floating point quantity (rates, selectivities, costs).
+    F64(f64),
+    /// A signed integer quantity.
+    I64(i64),
+    /// An unsigned integer quantity (counts, sizes in bytes).
+    U64(u64),
+    /// A boolean flag.
+    Bool(bool),
+    /// Descriptive text (schema names, implementation type).
+    Text(Arc<str>),
+    /// A span of time (window sizes, element validities).
+    Span(TimeSpan),
+    /// A point in time.
+    Time(Timestamp),
+    /// A value-distribution snapshot (equi-width histogram) — the "data
+    /// distributions" metadata of stream sources.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetadataValue {
+    /// Text value from anything string-like.
+    pub fn text(s: impl AsRef<str>) -> Self {
+        MetadataValue::Text(Arc::from(s.as_ref()))
+    }
+
+    /// Whether a value is present.
+    pub fn is_available(&self) -> bool {
+        !matches!(self, MetadataValue::Unavailable)
+    }
+
+    /// Numeric coercion: `F64`, `I64`, `U64` and `Span` (in time units)
+    /// convert; everything else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            MetadataValue::F64(v) => Some(*v),
+            MetadataValue::I64(v) => Some(*v as f64),
+            MetadataValue::U64(v) => Some(*v as f64),
+            MetadataValue::Span(s) => Some(s.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            MetadataValue::U64(v) => Some(*v),
+            MetadataValue::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a time span, if it is one.
+    pub fn as_span(&self) -> Option<TimeSpan> {
+        match self {
+            MetadataValue::Span(s) => Some(*s),
+            MetadataValue::U64(v) => Some(TimeSpan(*v)),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            MetadataValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as text, if it is text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            MetadataValue::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The value as a histogram snapshot, if it is one.
+    pub fn as_histogram(&self) -> Option<&HistogramSnapshot> {
+        match self {
+            MetadataValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// Change detection: floats compare bit-wise so `NaN == NaN` holds and a
+/// recomputation yielding the same bits does not propagate triggers.
+impl PartialEq for MetadataValue {
+    fn eq(&self, other: &Self) -> bool {
+        use MetadataValue::*;
+        match (self, other) {
+            (Unavailable, Unavailable) => true,
+            (F64(a), F64(b)) => a.to_bits() == b.to_bits(),
+            (I64(a), I64(b)) => a == b,
+            (U64(a), U64(b)) => a == b,
+            (Bool(a), Bool(b)) => a == b,
+            (Text(a), Text(b)) => a == b,
+            (Span(a), Span(b)) => a == b,
+            (Time(a), Time(b)) => a == b,
+            (Histogram(a), Histogram(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for MetadataValue {}
+
+impl fmt::Debug for MetadataValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use MetadataValue::*;
+        match self {
+            Unavailable => write!(f, "<unavailable>"),
+            F64(v) => write!(f, "{v}"),
+            I64(v) => write!(f, "{v}"),
+            U64(v) => write!(f, "{v}"),
+            Bool(v) => write!(f, "{v}"),
+            Text(v) => write!(f, "{v:?}"),
+            Span(v) => write!(f, "{v:?}"),
+            Time(v) => write!(f, "{v:?}"),
+            Histogram(h) => write!(f, "hist[{}]", h.render()),
+        }
+    }
+}
+
+impl fmt::Display for MetadataValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<f64> for MetadataValue {
+    fn from(v: f64) -> Self {
+        MetadataValue::F64(v)
+    }
+}
+impl From<u64> for MetadataValue {
+    fn from(v: u64) -> Self {
+        MetadataValue::U64(v)
+    }
+}
+impl From<i64> for MetadataValue {
+    fn from(v: i64) -> Self {
+        MetadataValue::I64(v)
+    }
+}
+impl From<bool> for MetadataValue {
+    fn from(v: bool) -> Self {
+        MetadataValue::Bool(v)
+    }
+}
+impl From<TimeSpan> for MetadataValue {
+    fn from(v: TimeSpan) -> Self {
+        MetadataValue::Span(v)
+    }
+}
+impl From<Timestamp> for MetadataValue {
+    fn from(v: Timestamp) -> Self {
+        MetadataValue::Time(v)
+    }
+}
+impl From<&str> for MetadataValue {
+    fn from(v: &str) -> Self {
+        MetadataValue::text(v)
+    }
+}
+
+/// A metadata value together with its version and update instant.
+///
+/// The version counter increments on every stored change; experiments use
+/// it to assert the isolation condition of Section 3 — all consumers reading
+/// within one period observe the same version.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VersionedValue {
+    /// The current value.
+    pub value: MetadataValue,
+    /// Number of changes stored so far (0 = never updated).
+    pub version: u64,
+    /// When the value was last stored.
+    pub updated_at: Timestamp,
+}
+
+impl VersionedValue {
+    /// The initial, unavailable value.
+    pub fn unavailable() -> Self {
+        VersionedValue {
+            value: MetadataValue::Unavailable,
+            version: 0,
+            updated_at: Timestamp::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_equals_itself() {
+        assert_eq!(MetadataValue::F64(f64::NAN), MetadataValue::F64(f64::NAN));
+        assert_ne!(MetadataValue::F64(0.0), MetadataValue::F64(-0.0));
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(MetadataValue::F64(1.5).as_f64(), Some(1.5));
+        assert_eq!(MetadataValue::U64(3).as_f64(), Some(3.0));
+        assert_eq!(MetadataValue::I64(-2).as_f64(), Some(-2.0));
+        assert_eq!(MetadataValue::Span(TimeSpan(7)).as_f64(), Some(7.0));
+        assert_eq!(MetadataValue::Bool(true).as_f64(), None);
+        assert_eq!(MetadataValue::U64(9).as_span(), Some(TimeSpan(9)));
+        assert_eq!(MetadataValue::I64(-1).as_u64(), None);
+        assert_eq!(MetadataValue::I64(5).as_u64(), Some(5));
+        assert_eq!(MetadataValue::text("hash").as_text(), Some("hash"));
+    }
+
+    #[test]
+    fn cross_variant_inequality() {
+        assert_ne!(MetadataValue::F64(1.0), MetadataValue::U64(1));
+        assert_ne!(MetadataValue::Unavailable, MetadataValue::F64(0.0));
+    }
+
+    #[test]
+    fn availability() {
+        assert!(!MetadataValue::Unavailable.is_available());
+        assert!(MetadataValue::Bool(false).is_available());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MetadataValue::F64(0.1).to_string(), "0.1");
+        assert_eq!(MetadataValue::Unavailable.to_string(), "<unavailable>");
+        assert_eq!(MetadataValue::Span(TimeSpan(5)).to_string(), "5u");
+    }
+
+    #[test]
+    fn versioned_initial() {
+        let v = VersionedValue::unavailable();
+        assert_eq!(v.version, 0);
+        assert!(!v.value.is_available());
+    }
+}

@@ -1,0 +1,269 @@
+//! Property-based tests of the metadata framework's central invariants:
+//!
+//! * inclusion equals the transitive dependency closure of all live
+//!   subscriptions — nothing more (tailored provision), nothing less;
+//! * arbitrary subscribe/unsubscribe sequences never leak handlers,
+//!   reference counts, periodic tasks or monitor activations;
+//! * periodic rate measurement is exact for arbitrary arrival patterns;
+//! * trigger propagation updates exactly the transitive dependents.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the maths
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use streammeta_core::{
+    Counter, ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId, NodeRegistry,
+    Subscription, WindowDelta,
+};
+use streammeta_time::{Clock, TimeSpan, VirtualClock};
+
+/// Builds a random DAG of `n` triggered items where item `i` may depend
+/// only on items `j < i` (guaranteeing acyclicity). Returns the adjacency
+/// list (dependencies per item).
+fn random_dag(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut deps = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        let (hi, lo) = (a.max(b), a.min(b));
+        if hi != lo && hi < n && !deps[hi].contains(&lo) {
+            deps[hi].push(lo);
+        }
+    }
+    deps
+}
+
+fn install_dag(mgr: &Arc<MetadataManager>, deps: &[Vec<usize>]) {
+    let reg = NodeRegistry::new(NodeId(0));
+    for (i, ds) in deps.iter().enumerate() {
+        let mut b = ItemDef::triggered(format!("i{i}"));
+        for d in ds {
+            b = b.dep_local(format!("i{d}"));
+        }
+        reg.define(b.compute(move |_| MetadataValue::U64(i as u64)).build());
+    }
+    mgr.attach_node(reg);
+}
+
+fn closure(deps: &[Vec<usize>], roots: &BTreeSet<usize>) -> BTreeSet<usize> {
+    let mut seen = BTreeSet::new();
+    let mut stack: Vec<usize> = roots.iter().copied().collect();
+    while let Some(i) = stack.pop() {
+        if seen.insert(i) {
+            stack.extend(deps[i].iter().copied());
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any sequence of subscribes and drops, the set of live
+    /// handlers is exactly the transitive closure of the directly
+    /// subscribed items.
+    #[test]
+    fn inclusion_is_exactly_the_dependency_closure(
+        n in 1usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..40),
+        ops in proptest::collection::vec((0usize..12, prop::bool::ANY), 1..40),
+    ) {
+        let deps = random_dag(n, &edges);
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock);
+        install_dag(&mgr, &deps);
+
+        // Live direct subscriptions, keyed by item index (latest wins).
+        let mut live: BTreeMap<usize, Subscription> = BTreeMap::new();
+        for (raw, subscribe) in ops {
+            let i = raw % n;
+            if subscribe {
+                let sub = mgr
+                    .subscribe(MetadataKey::new(NodeId(0), format!("i{i}")))
+                    .unwrap();
+                live.insert(i, sub);
+            } else {
+                live.remove(&i);
+            }
+            let roots: BTreeSet<usize> = live.keys().copied().collect();
+            let expect = closure(&deps, &roots);
+            let got: BTreeSet<usize> = mgr
+                .included_keys()
+                .into_iter()
+                .map(|k| k.item.as_str()[1..].parse::<usize>().unwrap())
+                .collect();
+            prop_assert_eq!(&got, &expect);
+        }
+        drop(live);
+        prop_assert_eq!(mgr.handler_count(), 0);
+        prop_assert_eq!(mgr.stats().subscriptions, 0);
+    }
+
+    /// Subscribe/unsubscribe never leaves periodic tasks or active
+    /// monitors behind.
+    #[test]
+    fn no_task_or_monitor_leaks(
+        rounds in 1usize..30,
+        windows in proptest::collection::vec(1u64..50, 1..6),
+    ) {
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock);
+        let reg = NodeRegistry::new(NodeId(0));
+        let mut counters = Vec::new();
+        for (i, w) in windows.iter().enumerate() {
+            let c = Counter::new();
+            let d = Arc::new(WindowDelta::new(c.clone()));
+            reg.define(
+                ItemDef::periodic(format!("rate{i}"), TimeSpan(*w))
+                    .counter(&c)
+                    .compute(move |ctx| match d.rate_over(ctx.window().unwrap()) {
+                        Some(r) => MetadataValue::F64(r),
+                        None => MetadataValue::Unavailable,
+                    })
+                    .build(),
+            );
+            counters.push(c);
+        }
+        mgr.attach_node(reg);
+        for r in 0..rounds {
+            let subs: Vec<_> = (0..windows.len())
+                .filter(|i| (i + r) % 2 == 0)
+                .map(|i| {
+                    mgr.subscribe(MetadataKey::new(NodeId(0), format!("rate{i}")))
+                        .unwrap()
+                })
+                .collect();
+            prop_assert_eq!(mgr.periodic().live_tasks(), subs.len());
+            drop(subs);
+            prop_assert_eq!(mgr.periodic().live_tasks(), 0);
+        }
+        for c in &counters {
+            prop_assert!(!c.is_active());
+        }
+    }
+
+    /// Periodic rate measurement over fixed windows is exact for any
+    /// arrival pattern: the reported rate after each boundary equals the
+    /// number of arrivals in that window divided by the window length.
+    #[test]
+    fn periodic_rate_is_exact_per_window(
+        window in 1u64..20,
+        arrivals_per_window in proptest::collection::vec(0u64..30, 1..20),
+    ) {
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock.clone());
+        let reg = NodeRegistry::new(NodeId(0));
+        let c = Counter::new();
+        let d = Arc::new(WindowDelta::new(c.clone()));
+        reg.define(
+            ItemDef::periodic("rate", TimeSpan(window))
+                .counter(&c)
+                .compute(move |ctx| match d.rate_over(ctx.window().unwrap()) {
+                    Some(r) => MetadataValue::F64(r),
+                    None => MetadataValue::Unavailable,
+                })
+                .build(),
+        );
+        mgr.attach_node(reg);
+        let sub = mgr.subscribe(MetadataKey::new(NodeId(0), "rate")).unwrap();
+        for &k in &arrivals_per_window {
+            c.record_n(k);
+            clock.advance(TimeSpan(window));
+            mgr.periodic().advance_to(clock.now());
+            let got = sub.get_f64().unwrap();
+            let want = k as f64 / window as f64;
+            prop_assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+        }
+    }
+
+    /// Firing a change at a DAG source updates exactly its transitive
+    /// dependents (and every final value is consistent with its deps).
+    #[test]
+    fn propagation_updates_exactly_the_transitive_dependents(
+        n in 2usize..10,
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 1..30),
+        source_raw in 0usize..10,
+    ) {
+        let deps = random_dag(n, &edges);
+        let source = source_raw % n;
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock);
+        // Item i computes source_value + i when it (transitively) depends
+        // on the source; a changing source must update exactly those.
+        let reg = NodeRegistry::new(NodeId(0));
+        let source_cell = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        for (i, ds) in deps.iter().enumerate() {
+            if i == source {
+                let cell = source_cell.clone();
+                let mut b = ItemDef::on_demand(format!("i{i}"));
+                for d in ds {
+                    b = b.dep_local(format!("i{d}"));
+                }
+                reg.define(
+                    b.compute(move |_| {
+                        MetadataValue::U64(cell.load(std::sync::atomic::Ordering::SeqCst))
+                    })
+                    .build(),
+                );
+            } else {
+                let mut b = ItemDef::triggered(format!("i{i}"));
+                for d in ds {
+                    b = b.dep_local(format!("i{d}"));
+                }
+                reg.define(
+                    b.compute(move |ctx| {
+                        let sum: f64 = ctx
+                            .roles()
+                            .map(|r| r.to_owned())
+                            .collect::<Vec<_>>()
+                            .iter()
+                            .filter_map(|r| ctx.dep_f64(r))
+                            .sum();
+                        MetadataValue::F64(sum + i as f64)
+                    })
+                    .build(),
+                );
+            }
+        }
+        mgr.attach_node(reg);
+        // Subscribe to every item so all are included.
+        let subs: Vec<_> = (0..n)
+            .map(|i| mgr.subscribe(MetadataKey::new(NodeId(0), format!("i{i}"))).unwrap())
+            .collect();
+        let before: Vec<u64> = (0..n)
+            .map(|i| mgr.handler_stats(&MetadataKey::new(NodeId(0), format!("i{i}"))).unwrap().updates)
+            .collect();
+        // Change the source and notify.
+        source_cell.store(1000, std::sync::atomic::Ordering::SeqCst);
+        mgr.notify_changed(MetadataKey::new(NodeId(0), format!("i{source}")));
+        // Which items transitively depend on the source?
+        let mut dependents = BTreeSet::new();
+        loop {
+            let mut grew = false;
+            for i in 0..n {
+                if dependents.contains(&i) || i == source {
+                    continue;
+                }
+                if deps[i].iter().any(|d| *d == source || dependents.contains(d)) {
+                    dependents.insert(i);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        for i in 0..n {
+            let after = mgr
+                .handler_stats(&MetadataKey::new(NodeId(0), format!("i{i}")))
+                .unwrap()
+                .updates;
+            if dependents.contains(&i) {
+                prop_assert!(after > before[i], "item i{i} should have updated");
+            } else if i != source {
+                prop_assert_eq!(after, before[i], "item i{} must not update", i);
+            }
+        }
+        drop(subs);
+    }
+}

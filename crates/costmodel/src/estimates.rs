@@ -1,0 +1,276 @@
+//! Cost-model metadata items (Figure 3 of the paper).
+//!
+//! The estimation network of the paper's running example:
+//!
+//! * a **source** estimates its output rate from the measured (periodic)
+//!   output rate — triggered, so downstream estimates update only when
+//!   the measurement actually changes;
+//! * a **window operator** estimates the element validity from its
+//!   (adjustable) window size — re-triggered by the `window_size_changed`
+//!   event — and forwards its input's estimated output rate ("the
+//!   expected output rate of a window operator depends on the expected
+//!   output rate of its input ... dependencies may proceed recursively");
+//! * a **join** estimates output rate, CPU usage and memory usage from
+//!   the estimated rates and validities of its inputs (inter-node
+//!   dependencies), its predicate cost and its measured selectivity
+//!   (intra-node dependencies).
+//!
+//! For a symmetric sliding-window join with arrival rates `λl, λr`,
+//! validities `wl, wr`, per-candidate predicate cost `c` and per-pair
+//! selectivity `σ`:
+//!
+//! ```text
+//! candidates/time  = λl·(λr·wr) + λr·(λl·wl) = λl·λr·(wl + wr)
+//! est. CPU usage   = (λl + λr) + c · λl·λr·(wl + wr)   [work units/time]
+//! est. output rate = σ · λl·λr·(wl + wr)
+//! est. memory      = λl·wl·sl + λr·wr·sr               [bytes]
+//! ```
+//!
+//! These match the engine's measured quantities (one work unit per
+//! processed element plus one per candidate pair; list-based states hold
+//! `λ·w` elements of nominal size `s`), so experiments can validate the
+//! estimates against measurements.
+
+use streammeta_core::{ItemDef, MetadataKey, MetadataValue, NodeId};
+use streammeta_graph::{NodeKind, QueryGraph, WINDOW_SIZE_CHANGED};
+
+/// Item name: estimated output rate.
+pub const ESTIMATED_OUTPUT_RATE: &str = "estimated_output_rate";
+/// Item name: estimated element validity.
+pub const ESTIMATED_ELEMENT_VALIDITY: &str = "estimated_element_validity";
+/// Item name: estimated CPU usage.
+pub const ESTIMATED_CPU_USAGE: &str = "estimated_cpu_usage";
+/// Item name: estimated memory usage.
+pub const ESTIMATED_MEMORY_USAGE: &str = "estimated_memory_usage";
+
+/// Installs `estimated_output_rate` on a source: triggered by the
+/// measured (periodic) output rate.
+pub fn install_source_estimates(graph: &QueryGraph, source: NodeId) {
+    let slot = graph.get(source).expect("source exists");
+    slot.registry().define(
+        ItemDef::triggered(ESTIMATED_OUTPUT_RATE)
+            .dep_local("output_rate")
+            .doc("estimated stream rate (currently the measured rate)")
+            .compute(|ctx| match ctx.dep_f64("output_rate") {
+                Some(r) => MetadataValue::F64(r),
+                None => MetadataValue::Unavailable,
+            })
+            .build(),
+    );
+}
+
+/// Installs `estimated_element_validity` and `estimated_output_rate` on a
+/// window operator.
+pub fn install_window_estimates(graph: &QueryGraph, window: NodeId) {
+    let slot = graph.get(window).expect("window exists");
+    let upstream = graph.upstream(window);
+    assert_eq!(upstream.len(), 1, "window has one input");
+    slot.registry().define(
+        ItemDef::triggered(ESTIMATED_ELEMENT_VALIDITY)
+            .dep_local("window_size")
+            .on_event(WINDOW_SIZE_CHANGED)
+            .doc("estimated element validity = current window size")
+            .compute(|ctx| match ctx.dep_span("window_size") {
+                Some(w) => MetadataValue::Span(w),
+                None => MetadataValue::Unavailable,
+            })
+            .build(),
+    );
+    slot.registry().define(
+        ItemDef::triggered(ESTIMATED_OUTPUT_RATE)
+            .dep_remote(
+                "in_rate",
+                MetadataKey::new(upstream[0], ESTIMATED_OUTPUT_RATE),
+            )
+            .doc("windows forward every element: estimated output rate = input's")
+            .compute(|ctx| match ctx.dep_f64("in_rate") {
+                Some(r) => MetadataValue::F64(r),
+                None => MetadataValue::Unavailable,
+            })
+            .build(),
+    );
+}
+
+/// Walks upstream (first input each hop) to the feeding source.
+fn find_source(graph: &QueryGraph, mut node: NodeId) -> Option<NodeId> {
+    loop {
+        if graph.kind(node) == NodeKind::Source {
+            return Some(node);
+        }
+        node = *graph.upstream(node).first()?;
+    }
+}
+
+/// Reads a source's static `key_cardinality` item (0 = unknown).
+pub(crate) fn source_key_cardinality(graph: &QueryGraph, node: NodeId) -> u64 {
+    let Some(source) = find_source(graph, node) else {
+        return 0;
+    };
+    let key = MetadataKey::new(source, "key_cardinality");
+    match graph.manager().subscribe(key) {
+        Ok(sub) => sub.get().as_u64().unwrap_or(0),
+        Err(_) => 0,
+    }
+}
+
+/// Installs the join estimates (`estimated_output_rate`,
+/// `estimated_cpu_usage`, `estimated_memory_usage`). Both inputs must be
+/// window operators carrying validity and rate estimates.
+///
+/// The CPU estimate is implementation-aware (the paper's point that cost
+/// depends on the *implementation type* metadata): a hash-based join
+/// probes only the matching bucket, so its candidate term is divided by
+/// the inputs' key cardinality — data-distribution metadata published by
+/// the sources.
+pub fn install_join_estimates(graph: &QueryGraph, join: NodeId) {
+    let slot = graph.get(join).expect("join exists");
+    let inputs = graph.upstream(join);
+    assert_eq!(inputs.len(), 2, "join has two inputs");
+    let (left, right) = (inputs[0], inputs[1]);
+    // Nominal element sizes of the join's inputs (static metadata).
+    let left_size = graph.output_schema(left).element_size() as f64;
+    let right_size = graph.output_schema(right).element_size() as f64;
+    // Hash-based (and ordered, for equi-predicates) joins probe one
+    // bucket: expected bucket fraction is 1/cardinality under uniform
+    // keys (1.0 when unknown or list-based). Band predicates over ordered
+    // state prune too; their fraction depends on the band width, which
+    // the estimate conservatively ignores.
+    let hash_based = matches!(graph.implementation(join), "hash-based" | "ordered");
+    let (left_bucket, right_bucket) = if hash_based {
+        let cl = source_key_cardinality(graph, left).max(1) as f64;
+        let cr = source_key_cardinality(graph, right).max(1) as f64;
+        (1.0 / cl, 1.0 / cr)
+    } else {
+        (1.0, 1.0)
+    };
+
+    let rate_deps = |b: streammeta_core::ItemDefBuilder| {
+        b.dep_remote("left_rate", MetadataKey::new(left, ESTIMATED_OUTPUT_RATE))
+            .dep_remote("right_rate", MetadataKey::new(right, ESTIMATED_OUTPUT_RATE))
+            .dep_remote(
+                "left_validity",
+                MetadataKey::new(left, ESTIMATED_ELEMENT_VALIDITY),
+            )
+            .dep_remote(
+                "right_validity",
+                MetadataKey::new(right, ESTIMATED_ELEMENT_VALIDITY),
+            )
+    };
+    let read_inputs = |ctx: &streammeta_core::EvalCtx<'_>| -> Option<(f64, f64, f64, f64)> {
+        Some((
+            ctx.dep_f64("left_rate")?,
+            ctx.dep_f64("right_rate")?,
+            ctx.dep_f64("left_validity")?,
+            ctx.dep_f64("right_validity")?,
+        ))
+    };
+
+    slot.registry().define(
+        rate_deps(ItemDef::triggered(ESTIMATED_OUTPUT_RATE))
+            .dep_local("selectivity")
+            .doc("σ · λl·λr·(bl·wl + br·wr): results per candidate times candidate rate")
+            .compute(move |ctx| {
+                let Some((ll, lr, wl, wr)) = read_inputs(ctx) else {
+                    return MetadataValue::Unavailable;
+                };
+                let Some(sel) = ctx.dep_f64("selectivity") else {
+                    return MetadataValue::Unavailable;
+                };
+                let candidates = ll * (lr * wr * right_bucket) + lr * (ll * wl * left_bucket);
+                MetadataValue::F64(sel * candidates)
+            })
+            .build(),
+    );
+    slot.registry().define(
+        rate_deps(ItemDef::triggered(ESTIMATED_CPU_USAGE))
+            .dep_local("predicate_cost")
+            .doc("(λl + λr)·(1 + ops) + c_pred · λl·λr·(bl·wl + br·wr), b = bucket fraction")
+            .compute(move |ctx| {
+                let Some((ll, lr, wl, wr)) = read_inputs(ctx) else {
+                    return MetadataValue::Unavailable;
+                };
+                let c = ctx.dep_f64("predicate_cost").unwrap_or(1.0);
+                // Probing left state happens per right arrival (bucket
+                // fraction of the LEFT keys) and vice versa. Hash states
+                // add a per-operation overhead (probe + insert).
+                let candidates = ll * (lr * wr * right_bucket) + lr * (ll * wl * left_bucket);
+                let ops = if hash_based {
+                    (ll + lr) * 2.0 * streammeta_graph::HASH_OP_OVERHEAD as f64
+                } else {
+                    0.0
+                };
+                MetadataValue::F64((ll + lr) + ops + c * candidates)
+            })
+            .build(),
+    );
+    slot.registry().define(
+        rate_deps(ItemDef::triggered(ESTIMATED_MEMORY_USAGE))
+            .doc("λl·wl·size_l + λr·wr·size_r bytes of window state")
+            .compute(move |ctx| {
+                let Some((ll, lr, wl, wr)) = read_inputs(ctx) else {
+                    return MetadataValue::Unavailable;
+                };
+                MetadataValue::F64(ll * wl * left_size + lr * wr * right_size)
+            })
+            .build(),
+    );
+}
+
+/// The comparison a selectivity estimate is derived for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PredicateBound {
+    /// `column < bound`.
+    Lt(i64),
+    /// `column == value`.
+    Eq(i64),
+}
+
+/// Installs `estimated_selectivity` on a filter, derived from a
+/// value-distribution histogram item (typically published by the feeding
+/// source via [`QueryGraph::add_value_histogram`]) — static-optimizer
+/// style selectivity estimation from data-distribution metadata, kept
+/// current by the periodic histogram updates.
+pub fn install_filter_selectivity_estimate(
+    graph: &QueryGraph,
+    filter: NodeId,
+    histogram_item: MetadataKey,
+    bound: PredicateBound,
+) {
+    let slot = graph.get(filter).expect("filter exists");
+    slot.registry().define(
+        ItemDef::triggered("estimated_selectivity")
+            .dep_remote("dist", histogram_item)
+            .doc("selectivity estimated from the upstream value distribution")
+            .compute(move |ctx| {
+                let dist = ctx.dep("dist");
+                let Some(hist) = dist.as_histogram() else {
+                    return MetadataValue::Unavailable;
+                };
+                let sel = match bound {
+                    PredicateBound::Lt(b) => hist.selectivity_lt(b),
+                    PredicateBound::Eq(v) => hist.selectivity_eq(v),
+                };
+                match sel {
+                    Some(s) => MetadataValue::F64(s),
+                    None => MetadataValue::Unavailable,
+                }
+            })
+            .build(),
+    );
+}
+
+/// Walks the graph and installs the cost model on every source, window
+/// and join (by implementation label). Call after the query is wired.
+pub fn install_cost_model(graph: &QueryGraph) {
+    for node in graph.nodes() {
+        match graph.kind(node) {
+            NodeKind::Source => install_source_estimates(graph, node),
+            NodeKind::Operator => match graph.implementation(node) {
+                "time-window" => install_window_estimates(graph, node),
+                "nested-loops" | "hash-based" => install_join_estimates(graph, node),
+                _ => {}
+            },
+            NodeKind::Sink => {}
+        }
+    }
+}

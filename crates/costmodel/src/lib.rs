@@ -1,0 +1,19 @@
+//! # streammeta-costmodel — the Figure 3 estimation network
+//!
+//! Cost-model metadata items for sliding-window queries (estimated
+//! validities, output rates, CPU and memory usage) and the adaptive
+//! [`ResourceManager`] that resizes windows at runtime (Section 3.3 of the
+//! paper), firing `window_size_changed` events that re-trigger the
+//! estimates through the metadata dependency graph.
+
+mod estimates;
+mod optimizer;
+mod resource;
+
+pub use estimates::{
+    install_cost_model, install_filter_selectivity_estimate, install_join_estimates,
+    install_source_estimates, install_window_estimates, PredicateBound, ESTIMATED_CPU_USAGE,
+    ESTIMATED_ELEMENT_VALIDITY, ESTIMATED_MEMORY_USAGE, ESTIMATED_OUTPUT_RATE,
+};
+pub use optimizer::JoinImplOptimizer;
+pub use resource::{Adjustment, ResourceManager};

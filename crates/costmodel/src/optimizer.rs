@@ -1,0 +1,162 @@
+//! Runtime plan adaptation — the paper's third motivating application
+//! ("Query Optimization: changes in stream characteristics, such as
+//! stream rates or value distributions, may necessitate re-optimizations
+//! at runtime").
+//!
+//! The [`JoinImplOptimizer`] chooses between the join's exchangeable state
+//! modules (Section 4.5) — nested-loops lists vs. hash tables — from
+//! metadata alone: estimated input rates and validities (inter-node),
+//! predicate cost (intra-node), and the sources' key cardinality
+//! (data-distribution metadata). When the cheaper implementation changes
+//! (with hysteresis), it swaps the modules in place, migrating the stored
+//! elements, and refreshes the cost-model definitions.
+//!
+//! Cost model (work units per time unit, matching the engine's probes):
+//!
+//! ```text
+//! cpu(list) = (λl + λr) + c · λl·λr·(wl + wr)
+//! cpu(hash) = (λl + λr)·(1 + 2·OVH) + c · λl·λr·(wl/cl + wr/cr)
+//! ```
+//!
+//! Low rates or tiny windows favour the overhead-free list; high rates
+//! over selective keys favour hashing.
+
+use std::sync::Arc;
+
+use streammeta_core::{MetadataKey, NodeId, Result, Subscription};
+use streammeta_graph::{QueryGraph, StateImpl, HASH_OP_OVERHEAD};
+
+use crate::estimates::{
+    install_join_estimates, source_key_cardinality, ESTIMATED_ELEMENT_VALIDITY,
+    ESTIMATED_OUTPUT_RATE,
+};
+
+/// Metadata-driven chooser of the join state implementation.
+pub struct JoinImplOptimizer {
+    graph: Arc<QueryGraph>,
+    join: NodeId,
+    current: StateImpl,
+    left_rate: Subscription,
+    right_rate: Subscription,
+    left_validity: Subscription,
+    right_validity: Subscription,
+    predicate_cost: Subscription,
+    cardinalities: (f64, f64),
+    equi_join: bool,
+    /// Relative advantage required before switching (hysteresis).
+    margin: f64,
+    switches: u64,
+}
+
+impl JoinImplOptimizer {
+    /// Attaches to `join` (currently running `current`). Subscribes to
+    /// the decision inputs; the cost model must be installed.
+    pub fn new(graph: Arc<QueryGraph>, join: NodeId, current: StateImpl) -> Result<Self> {
+        let inputs = graph.upstream(join);
+        assert_eq!(inputs.len(), 2, "join has two inputs");
+        let (left, right) = (inputs[0], inputs[1]);
+        let mgr = graph.manager().clone();
+        let left_rate = mgr.subscribe(MetadataKey::new(left, ESTIMATED_OUTPUT_RATE))?;
+        let right_rate = mgr.subscribe(MetadataKey::new(right, ESTIMATED_OUTPUT_RATE))?;
+        let left_validity = mgr.subscribe(MetadataKey::new(left, ESTIMATED_ELEMENT_VALIDITY))?;
+        let right_validity = mgr.subscribe(MetadataKey::new(right, ESTIMATED_ELEMENT_VALIDITY))?;
+        let predicate_cost = mgr.subscribe(MetadataKey::new(join, "predicate_cost"))?;
+        let equi_join = {
+            let p = mgr.subscribe(MetadataKey::new(join, "predicate"))?;
+            p.get().as_text() == Some("eq")
+        };
+        let cl = source_key_cardinality(&graph, left).max(1) as f64;
+        let cr = source_key_cardinality(&graph, right).max(1) as f64;
+        Ok(JoinImplOptimizer {
+            graph,
+            join,
+            current,
+            left_rate,
+            right_rate,
+            left_validity,
+            right_validity,
+            predicate_cost,
+            cardinalities: (cl, cr),
+            equi_join,
+            margin: 0.1,
+            switches: 0,
+        })
+    }
+
+    /// The currently running implementation.
+    pub fn current(&self) -> StateImpl {
+        self.current
+    }
+
+    /// Number of swaps performed so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    fn decision_inputs(&self) -> Option<(f64, f64, f64, f64, f64)> {
+        Some((
+            self.left_rate.get_f64()?,
+            self.right_rate.get_f64()?,
+            self.left_validity.get_f64()?,
+            self.right_validity.get_f64()?,
+            self.predicate_cost.get_f64().unwrap_or(1.0),
+        ))
+    }
+
+    /// Estimated CPU usage of running the join with `which`, from current
+    /// metadata. `None` while the measurements are warming up, or for an
+    /// unsupported combination (hash without an equi-predicate).
+    pub fn estimated_cpu(&self, which: StateImpl) -> Option<f64> {
+        let (ll, lr, wl, wr, c) = self.decision_inputs()?;
+        match which {
+            StateImpl::List => Some((ll + lr) + c * ll * lr * (wl + wr)),
+            // Hash and ordered states both prune by key (the ordered tree
+            // also serves band probes) and pay the same per-op overhead.
+            StateImpl::Hash | StateImpl::Ordered => {
+                if !self.equi_join {
+                    return None;
+                }
+                let (cl, cr) = self.cardinalities;
+                let ops = (ll + lr) * 2.0 * HASH_OP_OVERHEAD as f64;
+                Some((ll + lr) + ops + c * ll * lr * (wl / cl + wr / cr))
+            }
+        }
+    }
+
+    /// The implementation the current metadata favours (with hysteresis
+    /// relative to the running one). `None` while warming up.
+    pub fn preferred(&self) -> Option<StateImpl> {
+        let current_cost = self.estimated_cpu(self.current)?;
+        let alternative = match self.current {
+            StateImpl::List => StateImpl::Hash,
+            StateImpl::Hash | StateImpl::Ordered => StateImpl::List,
+        };
+        let Some(alt_cost) = self.estimated_cpu(alternative) else {
+            return Some(self.current);
+        };
+        if alt_cost < current_cost * (1.0 - self.margin) {
+            Some(alternative)
+        } else {
+            Some(self.current)
+        }
+    }
+
+    /// One adaptation step: swaps the state modules if the metadata
+    /// favours the other implementation. Returns the new implementation
+    /// if a swap happened.
+    pub fn adapt(&mut self) -> Option<StateImpl> {
+        let preferred = self.preferred()?;
+        if preferred == self.current {
+            return None;
+        }
+        if !self.graph.swap_join_state(self.join, preferred) {
+            return None;
+        }
+        self.current = preferred;
+        self.switches += 1;
+        // Refresh the cost-model definitions so *future* inclusions of
+        // the join estimates use the new implementation's formulas.
+        install_join_estimates(&self.graph, self.join);
+        Some(preferred)
+    }
+}

@@ -1,0 +1,133 @@
+//! Adaptive resource management through window resizing (Section 3.3).
+//!
+//! "In [9] we proposed an approach to adaptive resource management for
+//! sliding window queries that relies on adjustments to window sizes at
+//! runtime. Whenever the window size is changed by the resource manager,
+//! the cost estimations for the operator resource usage have to be updated
+//! according to our cost model."
+//!
+//! The manager subscribes to the joins' `estimated_memory_usage`; when the
+//! estimated total exceeds the budget it scales all managed windows down
+//! proportionally (never below a floor), and it grows them back towards
+//! their preferred sizes when there is headroom. Every resize fires the
+//! window's `window_size_changed` event, which re-triggers the estimation
+//! network — the full adaptation loop of the paper.
+
+use std::sync::Arc;
+
+use streammeta_core::{MetadataKey, NodeId, Subscription};
+use streammeta_graph::{QueryGraph, WindowHandle};
+use streammeta_time::TimeSpan;
+
+use crate::estimates::ESTIMATED_MEMORY_USAGE;
+
+/// One managed window.
+struct ManagedWindow {
+    node: NodeId,
+    handle: WindowHandle,
+    preferred: TimeSpan,
+}
+
+/// Outcome of one adaptation step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adjustment {
+    /// Estimated total memory before the step.
+    pub estimated_bytes: f64,
+    /// Scale factor applied to preferred window sizes (1.0 = unscaled).
+    pub scale: f64,
+    /// Whether any window size actually changed.
+    pub resized: bool,
+}
+
+/// The window-resizing resource manager.
+pub struct ResourceManager {
+    graph: Arc<QueryGraph>,
+    budget_bytes: f64,
+    windows: Vec<ManagedWindow>,
+    estimates: Vec<Subscription>,
+    scale: f64,
+    /// Smallest allowed fraction of the preferred window size.
+    min_scale: f64,
+}
+
+impl ResourceManager {
+    /// A manager with a memory budget in bytes.
+    pub fn new(graph: Arc<QueryGraph>, budget_bytes: u64) -> Self {
+        ResourceManager {
+            graph,
+            budget_bytes: budget_bytes as f64,
+            windows: Vec::new(),
+            estimates: Vec::new(),
+            scale: 1.0,
+            min_scale: 0.05,
+        }
+    }
+
+    /// Puts a window under management; its current size becomes the
+    /// preferred size.
+    pub fn manage_window(&mut self, node: NodeId, handle: WindowHandle) {
+        let preferred = handle.get();
+        self.windows.push(ManagedWindow {
+            node,
+            handle,
+            preferred,
+        });
+    }
+
+    /// Watches a join's estimated memory usage (subscribing includes the
+    /// whole Figure 3 estimation network automatically).
+    pub fn watch_join(&mut self, join: NodeId) -> streammeta_core::Result<()> {
+        let sub = self
+            .graph
+            .manager()
+            .subscribe(MetadataKey::new(join, ESTIMATED_MEMORY_USAGE))?;
+        self.estimates.push(sub);
+        Ok(())
+    }
+
+    /// The current estimated total memory usage of the watched joins.
+    pub fn estimated_bytes(&self) -> f64 {
+        self.estimates.iter().filter_map(|s| s.get_f64()).sum()
+    }
+
+    /// The current scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// One adaptation step: compare the estimate against the budget and
+    /// rescale the managed windows if needed. Estimated memory is linear
+    /// in the window sizes, so the target scale is simply
+    /// `budget / unscaled_estimate`.
+    pub fn adjust(&mut self) -> Adjustment {
+        let estimated = self.estimated_bytes();
+        if estimated <= 0.0 {
+            return Adjustment {
+                estimated_bytes: estimated,
+                scale: self.scale,
+                resized: false,
+            };
+        }
+        // Memory at scale 1.0 (estimates reflect the current scale).
+        let unscaled = estimated / self.scale;
+        let target = (self.budget_bytes / unscaled).clamp(self.min_scale, 1.0);
+        // 2% dead band against oscillation.
+        if (target - self.scale).abs() / self.scale < 0.02 {
+            return Adjustment {
+                estimated_bytes: estimated,
+                scale: self.scale,
+                resized: false,
+            };
+        }
+        self.scale = target;
+        for w in &self.windows {
+            let units = (w.preferred.units() as f64 * target).round().max(1.0) as u64;
+            self.graph.resize_window(w.node, &w.handle, TimeSpan(units));
+        }
+        Adjustment {
+            estimated_bytes: estimated,
+            scale: target,
+            resized: true,
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Abstract syntax of the CQL subset.
+//!
+//! ```text
+//! query        := SELECT select_list FROM stream_clause
+//!                 (JOIN stream_clause ON qualified = qualified)?
+//!                 (WHERE predicate (AND predicate)*)?
+//! predicate    := qualified op int
+//! select_list  := '*' | aggregate | qualified (',' qualified)*
+//! aggregate    := COUNT '(' '*' ')' | (SUM|AVG|MIN|MAX) '(' qualified ')'
+//! stream_clause:= ident ('[' RANGE int ']')? (AS ident)?
+//! op           := '<' | '='
+//! ```
+
+/// A possibly stream-qualified column reference (`price` or `t.price`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Optional stream name or alias qualifier.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// A bare column.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: None,
+            column: column.into(),
+        }
+    }
+
+    /// A qualified column.
+    pub fn qualified(q: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: Some(q.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+/// The SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectList {
+    /// `SELECT *`.
+    Star,
+    /// `SELECT a, b.c, ...`.
+    Columns(Vec<ColumnRef>),
+    /// `SELECT COUNT(*)` / `SELECT AVG(x)`.
+    Aggregate {
+        /// The function.
+        func: AggFn,
+        /// Its argument (`None` for `COUNT(*)`).
+        arg: Option<ColumnRef>,
+    },
+}
+
+/// One stream reference in FROM/JOIN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamClause {
+    /// Registered stream name.
+    pub stream: String,
+    /// Sliding-window length (`[RANGE n]`), if any.
+    pub range: Option<u64>,
+    /// Alias (`AS t`), if any.
+    pub alias: Option<String>,
+}
+
+impl StreamClause {
+    /// The name the stream is addressed by downstream (alias wins).
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.stream)
+    }
+}
+
+/// WHERE comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`.
+    Lt,
+    /// `=`.
+    Eq,
+}
+
+/// The WHERE clause: `column op literal`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    /// Compared column.
+    pub column: ColumnRef,
+    /// Operator.
+    pub op: CmpOp,
+    /// Integer literal.
+    pub value: i64,
+}
+
+/// The JOIN clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinClause {
+    /// Right input.
+    pub stream: StreamClause,
+    /// Equality columns: `left = right` (sides resolved at compile time).
+    pub on: (ColumnRef, ColumnRef),
+}
+
+/// A parsed continuous query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The SELECT list.
+    pub select: SelectList,
+    /// The primary input.
+    pub from: StreamClause,
+    /// Optional join.
+    pub join: Option<JoinClause>,
+    /// Conjunctive WHERE predicates (empty = no filter).
+    pub predicates: Vec<Predicate>,
+}

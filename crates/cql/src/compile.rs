@@ -1,0 +1,268 @@
+//! Compilation of parsed queries onto the query graph.
+//!
+//! The compiler resolves stream names through a [`Catalog`] of registered
+//! sources (enabling subquery sharing: two queries over the same stream
+//! share the source node), resolves column references against the
+//! schemas, and materialises window, join, filter, projection and
+//! aggregation operators plus a collecting sink.
+
+use std::collections::HashMap;
+
+use streammeta_core::NodeId;
+use streammeta_graph::{
+    AggKind, CollectHandle, FilterPredicate, JoinPredicate, QueryGraph, StateImpl, WindowHandle,
+};
+use streammeta_streams::Schema;
+use streammeta_time::TimeSpan;
+
+use crate::ast::{AggFn, CmpOp, ColumnRef, Query, SelectList, StreamClause};
+use crate::error::CqlError;
+
+/// Maps stream names to registered source nodes.
+#[derive(Default)]
+pub struct Catalog {
+    streams: HashMap<String, NodeId>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a stream name for a source node.
+    pub fn register(&mut self, name: impl Into<String>, source: NodeId) {
+        self.streams.insert(name.into(), source);
+    }
+
+    /// Looks a stream up.
+    pub fn get(&self, name: &str) -> Option<NodeId> {
+        self.streams.get(name).copied()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.streams.keys().map(String::as_str).collect();
+        v.sort();
+        v
+    }
+}
+
+/// The materialised plan of one compiled query.
+pub struct CompiledQuery {
+    /// The sink node.
+    pub sink: NodeId,
+    /// Read handle on the query results.
+    pub results: CollectHandle,
+    /// Window operators created for `[RANGE n]` clauses, with their
+    /// adjustable size handles (for the resource manager).
+    pub windows: Vec<(NodeId, WindowHandle)>,
+    /// The join node, if the query has one.
+    pub join: Option<NodeId>,
+    /// The last filter node, if the query has a WHERE clause.
+    pub filter: Option<NodeId>,
+    /// Schema of the result stream.
+    pub output_schema: Schema,
+}
+
+impl std::fmt::Debug for CompiledQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledQuery")
+            .field("sink", &self.sink)
+            .field("windows", &self.windows.len())
+            .field("join", &self.join)
+            .field("filter", &self.filter)
+            .field("output_schema", &self.output_schema.to_string())
+            .finish()
+    }
+}
+
+/// Name-resolution scope: one binding per input stream with its column
+/// offset in the (possibly concatenated) schema.
+struct Scope {
+    bindings: Vec<(String, Schema, usize)>,
+}
+
+impl Scope {
+    fn single(binding: &str, schema: Schema) -> Self {
+        Scope {
+            bindings: vec![(binding.to_owned(), schema, 0)],
+        }
+    }
+
+    fn joined(left: &Scope, right: &Scope, left_width: usize) -> Result<Scope, CqlError> {
+        let mut bindings = left.bindings.clone();
+        for (name, schema, off) in &right.bindings {
+            if bindings.iter().any(|(n, _, _)| n == name) {
+                return Err(CqlError::compile(format!(
+                    "duplicate stream binding {name}; use AS aliases"
+                )));
+            }
+            bindings.push((name.clone(), schema.clone(), off + left_width));
+        }
+        Ok(Scope { bindings })
+    }
+
+    fn resolve(&self, col: &ColumnRef) -> Result<usize, CqlError> {
+        let mut matches = Vec::new();
+        for (binding, schema, offset) in &self.bindings {
+            if let Some(q) = &col.qualifier {
+                if q != binding {
+                    continue;
+                }
+            }
+            if let Some(idx) = schema.index_of(&col.column) {
+                matches.push(offset + idx);
+            }
+        }
+        match matches.len() {
+            0 => Err(CqlError::compile(format!("unknown column {col}"))),
+            1 => Ok(matches[0]),
+            _ => Err(CqlError::compile(format!("ambiguous column {col}"))),
+        }
+    }
+}
+
+fn window_if_ranged(
+    graph: &QueryGraph,
+    input: NodeId,
+    clause: &StreamClause,
+    windows: &mut Vec<(NodeId, WindowHandle)>,
+) -> NodeId {
+    match clause.range {
+        Some(n) => {
+            let (w, h) =
+                graph.time_window(&format!("{}-window", clause.binding()), input, TimeSpan(n));
+            windows.push((w, h));
+            w
+        }
+        None => input,
+    }
+}
+
+/// Compiles `query` onto `graph`, resolving streams through `catalog`.
+pub fn compile(
+    graph: &QueryGraph,
+    catalog: &Catalog,
+    query: &Query,
+) -> Result<CompiledQuery, CqlError> {
+    let resolve_stream = |clause: &StreamClause| -> Result<NodeId, CqlError> {
+        catalog
+            .get(&clause.stream)
+            .ok_or_else(|| CqlError::compile(format!("unknown stream {}", clause.stream)))
+    };
+
+    // FROM.
+    let left_src = resolve_stream(&query.from)?;
+    let left_schema = graph.output_schema(left_src);
+    let mut windows = Vec::new();
+    let mut head = window_if_ranged(graph, left_src, &query.from, &mut windows);
+    let mut scope = Scope::single(query.from.binding(), left_schema.clone());
+    let mut join_node = None;
+
+    // JOIN.
+    if let Some(join) = &query.join {
+        if query.from.range.is_none() || join.stream.range.is_none() {
+            return Err(CqlError::compile(
+                "stream joins require [RANGE n] windows on both inputs",
+            ));
+        }
+        let right_src = resolve_stream(&join.stream)?;
+        let right_schema = graph.output_schema(right_src);
+        let right_head = window_if_ranged(graph, right_src, &join.stream, &mut windows);
+        let right_scope = Scope::single(join.stream.binding(), right_schema.clone());
+
+        // The ON columns may be written in either order.
+        let (a, b) = &join.on;
+        let (left_col, right_col) = match (scope.resolve(a), right_scope.resolve(b)) {
+            (Ok(l), Ok(r)) => (l, r),
+            _ => match (scope.resolve(b), right_scope.resolve(a)) {
+                (Ok(l), Ok(r)) => (l, r),
+                _ => {
+                    return Err(CqlError::compile(format!(
+                        "cannot resolve join condition {a} = {b}"
+                    )))
+                }
+            },
+        };
+        let left_width = left_schema.arity();
+        head = graph.join(
+            &format!("{}-join-{}", query.from.binding(), join.stream.binding()),
+            head,
+            right_head,
+            JoinPredicate::EqAttr {
+                left: left_col,
+                right: right_col,
+            },
+            StateImpl::Hash,
+        );
+        join_node = Some(head);
+        scope = Scope::joined(&scope, &right_scope, left_width)?;
+    }
+
+    // WHERE: a conjunction compiles to stacked filters, each carrying
+    // its own measurable selectivity.
+    let mut filter_node = None;
+    for pred in &query.predicates {
+        let col = scope.resolve(&pred.column)?;
+        let predicate = match pred.op {
+            CmpOp::Lt => FilterPredicate::AttrLt {
+                col,
+                bound: pred.value,
+            },
+            CmpOp::Eq => FilterPredicate::AttrEq {
+                col,
+                value: pred.value,
+            },
+        };
+        head = graph.filter(&format!("where-{}", pred.column), head, predicate, 0);
+        filter_node = Some(head);
+    }
+
+    // SELECT.
+    match &query.select {
+        SelectList::Star => {}
+        SelectList::Columns(cols) => {
+            let indices = cols
+                .iter()
+                .map(|c| scope.resolve(c))
+                .collect::<Result<Vec<_>, _>>()?;
+            head = graph.project("select", head, indices);
+        }
+        SelectList::Aggregate { func, arg } => {
+            if query.from.range.is_none() && query.join.is_none() {
+                return Err(CqlError::compile("aggregates require a [RANGE n] window"));
+            }
+            let (kind, col) = match (func, arg) {
+                (AggFn::Count, None) => (AggKind::Count, 0),
+                (AggFn::Sum, Some(c)) => (AggKind::Sum, scope.resolve(c)?),
+                (AggFn::Avg, Some(c)) => (AggKind::Avg, scope.resolve(c)?),
+                (AggFn::Min, Some(c)) => (AggKind::Min, scope.resolve(c)?),
+                (AggFn::Max, Some(c)) => (AggKind::Max, scope.resolve(c)?),
+                _ => return Err(CqlError::compile("malformed aggregate")),
+            };
+            head = graph.aggregate("aggregate", head, kind, col);
+        }
+    }
+
+    let output_schema = graph.output_schema(head);
+    let (sink, results) = graph.sink_collect("query-sink", head);
+    Ok(CompiledQuery {
+        sink,
+        results,
+        windows,
+        join: join_node,
+        filter: filter_node,
+        output_schema,
+    })
+}
+
+/// Parses and compiles in one step.
+pub fn install(
+    graph: &QueryGraph,
+    catalog: &Catalog,
+    query_text: &str,
+) -> Result<CompiledQuery, CqlError> {
+    let query = crate::parser::parse(query_text)?;
+    compile(graph, catalog, &query)
+}

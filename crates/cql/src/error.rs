@@ -1,0 +1,52 @@
+//! CQL errors.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing or compiling a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CqlError {
+    /// Tokenizer error.
+    Lex(String),
+    /// Parser error.
+    Parse(String),
+    /// Compilation error (unknown stream/column, type mismatch, …).
+    Compile(String),
+}
+
+impl CqlError {
+    pub(crate) fn lex(msg: impl Into<String>) -> Self {
+        CqlError::Lex(msg.into())
+    }
+    pub(crate) fn parse(msg: impl Into<String>) -> Self {
+        CqlError::Parse(msg.into())
+    }
+    pub(crate) fn compile(msg: impl Into<String>) -> Self {
+        CqlError::Compile(msg.into())
+    }
+}
+
+impl fmt::Display for CqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqlError::Lex(m) => write!(f, "lex error: {m}"),
+            CqlError::Parse(m) => write!(f, "parse error: {m}"),
+            CqlError::Compile(m) => write!(f, "compile error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_stage() {
+        assert!(CqlError::lex("x").to_string().starts_with("lex error"));
+        assert!(CqlError::parse("x").to_string().starts_with("parse error"));
+        assert!(CqlError::compile("x")
+            .to_string()
+            .starts_with("compile error"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Tokenizer for the CQL subset.
+
+use std::fmt;
+
+use crate::error::CqlError;
+
+/// One token of a query string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Case-insensitive keyword (stored uppercase).
+    Keyword(&'static str),
+    /// Identifier (stream, column or alias name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Punctuation or operator.
+    Symbol(char),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Symbol(c) => write!(f, "{c}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "JOIN", "ON", "AS", "RANGE", "AND", "COUNT", "SUM", "AVG", "MIN",
+    "MAX",
+];
+
+/// Splits a query string into tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, CqlError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        word.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let upper = word.to_ascii_uppercase();
+                match KEYWORDS.iter().find(|k| **k == upper) {
+                    Some(k) => tokens.push(Token::Keyword(k)),
+                    None => tokens.push(Token::Ident(word)),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(&c) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(d as i64))
+                            .ok_or_else(|| CqlError::lex("integer literal overflows i64"))?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Int(n));
+            }
+            '*' | ',' | '.' | '(' | ')' | '[' | ']' | '<' | '>' | '=' => {
+                tokens.push(Token::Symbol(c));
+                chars.next();
+            }
+            other => {
+                return Err(CqlError::lex(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_query() {
+        let t = tokenize("SELECT * FROM trades[RANGE 100] WHERE price < 42").unwrap();
+        assert_eq!(t[0], Token::Keyword("SELECT"));
+        assert_eq!(t[1], Token::Symbol('*'));
+        assert_eq!(t[3], Token::Ident("trades".into()));
+        assert!(t.contains(&Token::Keyword("RANGE")));
+        assert!(t.contains(&Token::Int(100)));
+        assert!(t.contains(&Token::Symbol('<')));
+        assert_eq!(*t.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let t = tokenize("select from").unwrap();
+        assert_eq!(t[0], Token::Keyword("SELECT"));
+        assert_eq!(t[1], Token::Keyword("FROM"));
+    }
+
+    #[test]
+    fn identifiers_keep_their_case() {
+        let t = tokenize("Trades").unwrap();
+        assert_eq!(t[0], Token::Ident("Trades".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT %").is_err());
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        assert!(tokenize("SELECT 99999999999999999999999").is_err());
+    }
+}

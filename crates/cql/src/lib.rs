@@ -1,0 +1,49 @@
+//! # streammeta-cql — a small continuous-query language
+//!
+//! PIPES-style systems let users formulate continuous queries that are
+//! compiled onto the shared operator graph. This crate provides a compact
+//! CQL subset for the reproduction:
+//!
+//! ```text
+//! SELECT t.price, q.bid
+//! FROM   trades[RANGE 100] AS t
+//! JOIN   quotes[RANGE 50]  AS q ON t.sym = q.sym
+//! WHERE  t.price < 500
+//! ```
+//!
+//! plus windowed aggregates (`SELECT COUNT(*) | SUM/AVG/MIN/MAX(col) FROM
+//! s[RANGE n]`). Queries compile through a [`Catalog`] of registered
+//! sources onto a [`streammeta_graph::QueryGraph`]; the compiled plan's
+//! window handles plug straight into the adaptive resource manager, and
+//! every operator carries the standard metadata items.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use streammeta_core::MetadataManager;
+//! use streammeta_cql::{install, Catalog};
+//! use streammeta_graph::QueryGraph;
+//! use streammeta_streams::{ConstantRate, TupleGen};
+//! use streammeta_time::{TimeSpan, Timestamp, VirtualClock};
+//!
+//! let clock = VirtualClock::shared();
+//! let manager = MetadataManager::new(clock.clone());
+//! let graph = Arc::new(QueryGraph::new(manager));
+//! let src = graph.source("s", Box::new(ConstantRate::new(
+//!     Timestamp(0), TimeSpan(10), TupleGen::Sequence, 1)));
+//! let mut catalog = Catalog::new();
+//! catalog.register("s", src);
+//! let plan = install(&graph, &catalog, "SELECT COUNT(*) FROM s[RANGE 50]").unwrap();
+//! assert_eq!(plan.windows.len(), 1);
+//! ```
+
+mod ast;
+mod compile;
+mod error;
+mod lexer;
+mod parser;
+
+pub use ast::{AggFn, CmpOp, ColumnRef, JoinClause, Predicate, Query, SelectList, StreamClause};
+pub use compile::{compile, install, Catalog, CompiledQuery};
+pub use error::CqlError;
+pub use lexer::{tokenize, Token};
+pub use parser::parse;

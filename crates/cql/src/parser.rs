@@ -1,0 +1,306 @@
+//! Recursive-descent parser for the CQL subset.
+
+use crate::ast::{AggFn, CmpOp, ColumnRef, JoinClause, Predicate, Query, SelectList, StreamClause};
+use crate::error::CqlError;
+use crate::lexer::{tokenize, Token};
+
+/// Parses one query.
+pub fn parse(input: &str) -> Result<Query, CqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.peek().clone();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Keyword(k) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), CqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(CqlError::parse(format!(
+                "expected {kw}, found {}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Token::Symbol(s) if *s == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, c: char) -> Result<(), CqlError> {
+        if self.eat_symbol(c) {
+            Ok(())
+        } else {
+            Err(CqlError::parse(format!(
+                "expected '{c}', found {}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CqlError> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(CqlError::parse(format!(
+                "expected identifier, found {other}"
+            ))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, CqlError> {
+        match self.next() {
+            Token::Int(v) => Ok(v),
+            other => Err(CqlError::parse(format!("expected integer, found {other}"))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), CqlError> {
+        match self.peek() {
+            Token::Eof => Ok(()),
+            other => Err(CqlError::parse(format!("trailing input at {other}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, CqlError> {
+        self.expect_keyword("SELECT")?;
+        let select = self.select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.stream_clause()?;
+        let join = if self.eat_keyword("JOIN") {
+            let stream = self.stream_clause()?;
+            self.expect_keyword("ON")?;
+            let left = self.column_ref()?;
+            self.expect_symbol('=')?;
+            let right = self.column_ref()?;
+            Some(JoinClause {
+                stream,
+                on: (left, right),
+            })
+        } else {
+            None
+        };
+        let mut predicates = Vec::new();
+        if self.eat_keyword("WHERE") {
+            loop {
+                predicates.push(self.predicate()?);
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+        }
+        Ok(Query {
+            select,
+            from,
+            join,
+            predicates,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<SelectList, CqlError> {
+        if self.eat_symbol('*') {
+            return Ok(SelectList::Star);
+        }
+        // Aggregate?
+        for (kw, func) in [
+            ("COUNT", AggFn::Count),
+            ("SUM", AggFn::Sum),
+            ("AVG", AggFn::Avg),
+            ("MIN", AggFn::Min),
+            ("MAX", AggFn::Max),
+        ] {
+            if self.eat_keyword(kw) {
+                self.expect_symbol('(')?;
+                let arg = if func == AggFn::Count {
+                    self.expect_symbol('*')?;
+                    None
+                } else {
+                    Some(self.column_ref()?)
+                };
+                self.expect_symbol(')')?;
+                return Ok(SelectList::Aggregate { func, arg });
+            }
+        }
+        let mut cols = vec![self.column_ref()?];
+        while self.eat_symbol(',') {
+            cols.push(self.column_ref()?);
+        }
+        Ok(SelectList::Columns(cols))
+    }
+
+    fn stream_clause(&mut self) -> Result<StreamClause, CqlError> {
+        let stream = self.ident()?;
+        let range = if self.eat_symbol('[') {
+            self.expect_keyword("RANGE")?;
+            let n = self.int()?;
+            if n <= 0 {
+                return Err(CqlError::parse("RANGE must be positive"));
+            }
+            self.expect_symbol(']')?;
+            Some(n as u64)
+        } else {
+            None
+        };
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(StreamClause {
+            stream,
+            range,
+            alias,
+        })
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, CqlError> {
+        let column = self.column_ref()?;
+        let op = match self.next() {
+            Token::Symbol('<') => CmpOp::Lt,
+            Token::Symbol('=') => CmpOp::Eq,
+            other => {
+                return Err(CqlError::parse(format!(
+                    "expected '<' or '=', found {other}"
+                )))
+            }
+        };
+        let value = self.int()?;
+        Ok(Predicate { column, op, value })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, CqlError> {
+        let first = self.ident()?;
+        if self.eat_symbol('.') {
+            let column = self.ident()?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                column: first,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_select_star() {
+        let q = parse("SELECT * FROM trades").unwrap();
+        assert_eq!(q.select, SelectList::Star);
+        assert_eq!(q.from.stream, "trades");
+        assert!(q.from.range.is_none());
+        assert!(q.join.is_none());
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn parses_range_alias_and_where() {
+        let q = parse("SELECT price FROM trades[RANGE 500] AS t WHERE t.price < 100").unwrap();
+        assert_eq!(q.from.range, Some(500));
+        assert_eq!(q.from.alias.as_deref(), Some("t"));
+        assert_eq!(q.from.binding(), "t");
+        let p = &q.predicates[0];
+        assert_eq!(p.column, ColumnRef::qualified("t", "price"));
+        assert_eq!(p.op, CmpOp::Lt);
+        assert_eq!(p.value, 100);
+    }
+
+    #[test]
+    fn parses_conjunctive_where() {
+        let q = parse("SELECT * FROM t WHERE a < 5 AND b = 3 AND c < 9").unwrap();
+        assert_eq!(q.predicates.len(), 3);
+        assert_eq!(q.predicates[1].column, ColumnRef::bare("b"));
+        assert_eq!(q.predicates[1].op, CmpOp::Eq);
+        assert!(parse("SELECT * FROM t WHERE a < 5 AND").is_err());
+    }
+
+    #[test]
+    fn parses_join() {
+        let q = parse(
+            "SELECT t.price, q.bid FROM trades[RANGE 100] AS t \
+             JOIN quotes[RANGE 50] AS q ON t.sym = q.sym",
+        )
+        .unwrap();
+        let j = q.join.unwrap();
+        assert_eq!(j.stream.stream, "quotes");
+        assert_eq!(j.stream.range, Some(50));
+        assert_eq!(j.on.0, ColumnRef::qualified("t", "sym"));
+        assert_eq!(j.on.1, ColumnRef::qualified("q", "sym"));
+        match q.select {
+            SelectList::Columns(cols) => assert_eq!(cols.len(), 2),
+            other => panic!("unexpected select {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aggregates() {
+        let q = parse("SELECT COUNT(*) FROM s[RANGE 10]").unwrap();
+        assert_eq!(
+            q.select,
+            SelectList::Aggregate {
+                func: AggFn::Count,
+                arg: None
+            }
+        );
+        let q = parse("SELECT AVG(price) FROM s[RANGE 10]").unwrap();
+        assert_eq!(
+            q.select,
+            SelectList::Aggregate {
+                func: AggFn::Avg,
+                arg: Some(ColumnRef::bare("price"))
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "FROM s",
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT * FROM s WHERE x > 1", // '>' unsupported
+            "SELECT * FROM s[RANGE 0]",
+            "SELECT * FROM s JOIN t ON a = ",
+            "SELECT COUNT(price) FROM s",
+            "SELECT * FROM s extra",
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

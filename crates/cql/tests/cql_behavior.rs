@@ -1,0 +1,256 @@
+//! End-to-end CQL tests: parse, compile, execute on virtual time, verify
+//! results and metadata integration.
+
+use std::sync::Arc;
+
+use streammeta_core::{MetadataKey, MetadataManager};
+use streammeta_cql::{install, Catalog, CqlError};
+use streammeta_engine::VirtualEngine;
+use streammeta_graph::{MetadataConfig, QueryGraph};
+use streammeta_streams::{
+    tuple, ConstantRate, Element, Replay, Schema, TupleGen, Value, ValueType,
+};
+use streammeta_time::{TimeSpan, Timestamp, VirtualClock};
+
+struct Env {
+    clock: Arc<VirtualClock>,
+    manager: Arc<MetadataManager>,
+    graph: Arc<QueryGraph>,
+    catalog: Catalog,
+}
+
+fn env() -> Env {
+    let clock = VirtualClock::shared();
+    let manager = MetadataManager::new(clock.clone());
+    let graph = Arc::new(QueryGraph::with_config(
+        manager.clone(),
+        MetadataConfig {
+            rate_window: TimeSpan(50),
+        },
+    ));
+    Env {
+        clock,
+        manager,
+        graph,
+        catalog: Catalog::new(),
+    }
+}
+
+/// A replayed two-column stream `(sym, price)`.
+fn trades(env: &mut Env, name: &str, rows: &[(i64, i64, u64)]) {
+    let schema = Schema::of(&[("sym", ValueType::Int), ("price", ValueType::Int)]);
+    let elements = rows
+        .iter()
+        .map(|&(sym, price, ts)| {
+            Element::new(tuple([Value::Int(sym), Value::Int(price)]), Timestamp(ts))
+        })
+        .collect();
+    let src = env
+        .graph
+        .source(name, Box::new(Replay::new(schema, elements)));
+    env.catalog.register(name, src);
+}
+
+fn run(env: &Env, until: u64) {
+    let mut engine = VirtualEngine::new(env.graph.clone(), env.clock.clone());
+    engine.run_until(Timestamp(until));
+}
+
+#[test]
+fn select_star_passes_everything() {
+    let mut e = env();
+    trades(&mut e, "t", &[(1, 10, 1), (2, 20, 2), (3, 30, 3)]);
+    let plan = install(&e.graph, &e.catalog, "SELECT * FROM t").unwrap();
+    run(&e, 10);
+    assert_eq!(plan.results.len(), 3);
+    assert_eq!(plan.output_schema.to_string(), "sym:int,price:int");
+}
+
+#[test]
+fn where_filters_rows() {
+    let mut e = env();
+    trades(&mut e, "t", &[(1, 10, 1), (2, 20, 2), (3, 30, 3)]);
+    let plan = install(&e.graph, &e.catalog, "SELECT * FROM t WHERE price < 25").unwrap();
+    run(&e, 10);
+    assert_eq!(plan.results.len(), 2);
+    assert!(plan.filter.is_some());
+    // The WHERE filter is a graph node with measurable selectivity.
+    let sel = e
+        .manager
+        .subscribe(MetadataKey::new(plan.filter.unwrap(), "selectivity"))
+        .unwrap();
+    drop(sel);
+}
+
+#[test]
+fn projection_selects_columns() {
+    let mut e = env();
+    trades(&mut e, "t", &[(7, 10, 1)]);
+    let plan = install(&e.graph, &e.catalog, "SELECT price FROM t").unwrap();
+    run(&e, 10);
+    let rows = plan.results.snapshot();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(&*rows[0].payload, &[Value::Int(10)]);
+    assert_eq!(plan.output_schema.to_string(), "price:int");
+}
+
+#[test]
+fn windowed_join_on_key() {
+    let mut e = env();
+    trades(&mut e, "t", &[(1, 100, 10), (2, 200, 20)]);
+    trades(&mut e, "q", &[(1, 101, 12), (3, 300, 22)]);
+    let plan = install(
+        &e.graph,
+        &e.catalog,
+        "SELECT t.price, q.price FROM t[RANGE 50] AS t JOIN q[RANGE 50] AS q ON t.sym = q.sym",
+    )
+    .unwrap();
+    run(&e, 100);
+    let rows = plan.results.snapshot();
+    assert_eq!(rows.len(), 1, "only sym=1 matches in-window");
+    assert_eq!(&*rows[0].payload, &[Value::Int(100), Value::Int(101)]);
+    assert_eq!(plan.windows.len(), 2);
+    assert!(plan.join.is_some());
+}
+
+#[test]
+fn join_window_expiry_applies() {
+    let mut e = env();
+    // Matching keys but 100 time units apart with 50-unit windows.
+    trades(&mut e, "t", &[(1, 1, 10)]);
+    trades(&mut e, "q", &[(1, 2, 110)]);
+    let plan = install(
+        &e.graph,
+        &e.catalog,
+        "SELECT * FROM t[RANGE 50] AS t JOIN q[RANGE 50] AS q ON t.sym = q.sym",
+    )
+    .unwrap();
+    run(&e, 200);
+    assert_eq!(plan.results.len(), 0);
+}
+
+#[test]
+fn windowed_count_aggregate() {
+    let mut e = env();
+    let src = e.graph.source(
+        "s",
+        Box::new(ConstantRate::new(
+            Timestamp(0),
+            TimeSpan(10),
+            TupleGen::Sequence,
+            1,
+        )),
+    );
+    e.catalog.register("s", src);
+    let plan = install(&e.graph, &e.catalog, "SELECT COUNT(*) FROM s[RANGE 30]").unwrap();
+    run(&e, 100);
+    let rows = plan.results.snapshot();
+    // Steady state: 3 elements per 30-unit window.
+    let last = rows.last().unwrap().payload[0].as_float().unwrap();
+    assert_eq!(last, 3.0);
+    assert_eq!(plan.output_schema.to_string(), "count:float");
+}
+
+#[test]
+fn avg_aggregate_over_join_free_stream() {
+    let mut e = env();
+    trades(&mut e, "t", &[(1, 10, 1), (1, 20, 2), (1, 30, 3)]);
+    let plan = install(&e.graph, &e.catalog, "SELECT AVG(price) FROM t[RANGE 1000]").unwrap();
+    run(&e, 10);
+    let rows = plan.results.snapshot();
+    assert_eq!(rows.last().unwrap().payload[0].as_float().unwrap(), 20.0);
+}
+
+#[test]
+fn compiled_windows_are_resizable() {
+    let mut e = env();
+    trades(&mut e, "t", &[(1, 10, 1)]);
+    let plan = install(&e.graph, &e.catalog, "SELECT COUNT(*) FROM t[RANGE 100]").unwrap();
+    let (node, handle) = &plan.windows[0];
+    assert_eq!(handle.get(), TimeSpan(100));
+    e.graph.resize_window(*node, handle, TimeSpan(10));
+    assert_eq!(handle.get(), TimeSpan(10));
+}
+
+#[test]
+fn subquery_sharing_through_the_catalog() {
+    let mut e = env();
+    trades(&mut e, "t", &[(1, 10, 1), (2, 20, 2)]);
+    let p1 = install(&e.graph, &e.catalog, "SELECT * FROM t").unwrap();
+    let p2 = install(&e.graph, &e.catalog, "SELECT * FROM t WHERE price < 15").unwrap();
+    // One source node, two queries: the source's reuse_count is 2.
+    let src = e.catalog.get("t").unwrap();
+    let reuse = e
+        .manager
+        .subscribe(MetadataKey::new(src, "reuse_count"))
+        .unwrap();
+    assert_eq!(reuse.get().as_u64(), Some(2));
+    run(&e, 10);
+    assert_eq!(p1.results.len(), 2);
+    assert_eq!(p2.results.len(), 1);
+}
+
+#[test]
+fn compile_errors_are_descriptive() {
+    let mut e = env();
+    trades(&mut e, "t", &[(1, 10, 1)]);
+    trades(&mut e, "q", &[(1, 10, 1)]);
+    let cases = [
+        ("SELECT * FROM nope", "unknown stream"),
+        ("SELECT missing FROM t", "unknown column"),
+        ("SELECT * FROM t JOIN q ON t.sym = q.sym", "require [RANGE"),
+        ("SELECT COUNT(*) FROM t", "aggregates require"),
+        (
+            "SELECT * FROM t[RANGE 10] AS x JOIN q[RANGE 10] AS x ON x.sym = x.sym",
+            "duplicate stream binding",
+        ),
+        (
+            "SELECT sym FROM t[RANGE 10] AS a JOIN t[RANGE 10] AS b ON a.sym = b.sym",
+            "ambiguous column",
+        ),
+    ];
+    for (query, needle) in cases {
+        let err = install(&e.graph, &e.catalog, query).unwrap_err();
+        match &err {
+            CqlError::Compile(m) => assert!(
+                m.contains(needle),
+                "query {query:?}: expected {needle:?} in {m:?}"
+            ),
+            other => panic!("query {query:?}: unexpected error {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn conjunctive_where_stacks_filters() {
+    let mut e = env();
+    trades(
+        &mut e,
+        "t",
+        &[(1, 10, 1), (1, 30, 2), (2, 10, 3), (2, 30, 4)],
+    );
+    let plan = install(
+        &e.graph,
+        &e.catalog,
+        "SELECT * FROM t WHERE sym = 1 AND price < 20",
+    )
+    .unwrap();
+    run(&e, 10);
+    let rows = plan.results.snapshot();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].payload[1], Value::Int(10));
+    // Two filter nodes, each with its own selectivity item.
+    let filter = plan.filter.unwrap();
+    let upstream_filter = e.graph.upstream(filter)[0];
+    assert_eq!(e.graph.implementation(filter), "filter");
+    assert_eq!(e.graph.implementation(upstream_filter), "filter");
+}
+
+#[test]
+fn where_eq_predicate() {
+    let mut e = env();
+    trades(&mut e, "t", &[(1, 10, 1), (2, 10, 2), (1, 30, 3)]);
+    let plan = install(&e.graph, &e.catalog, "SELECT * FROM t WHERE sym = 1").unwrap();
+    run(&e, 10);
+    assert_eq!(plan.results.len(), 2);
+}

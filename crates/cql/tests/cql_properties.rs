@@ -1,0 +1,178 @@
+//! Property tests of the CQL front-end: every syntactically valid query
+//! built from the grammar parses back to the constructed AST, and the
+//! parser never panics on arbitrary input.
+
+use proptest::prelude::*;
+use streammeta_cql::{parse, AggFn, CmpOp, ColumnRef, Query, SelectList, StreamClause};
+
+fn ident() -> impl Strategy<Value = String> {
+    // Avoid keywords: prefix with a letter not starting any keyword.
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("x{s}"))
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(ident()), ident()).prop_map(|(q, c)| ColumnRef {
+        qualifier: q,
+        column: c,
+    })
+}
+
+fn stream_clause() -> impl Strategy<Value = StreamClause> {
+    (
+        ident(),
+        proptest::option::of(1u64..100_000),
+        proptest::option::of(ident()),
+    )
+        .prop_map(|(stream, range, alias)| StreamClause {
+            stream,
+            range,
+            alias,
+        })
+}
+
+fn select_list() -> impl Strategy<Value = SelectList> {
+    prop_oneof![
+        Just(SelectList::Star),
+        proptest::collection::vec(column_ref(), 1..4).prop_map(SelectList::Columns),
+        Just(SelectList::Aggregate {
+            func: AggFn::Count,
+            arg: None
+        }),
+        column_ref().prop_map(|c| SelectList::Aggregate {
+            func: AggFn::Avg,
+            arg: Some(c)
+        }),
+        column_ref().prop_map(|c| SelectList::Aggregate {
+            func: AggFn::Sum,
+            arg: Some(c)
+        }),
+    ]
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        select_list(),
+        stream_clause(),
+        proptest::option::of((stream_clause(), column_ref(), column_ref())),
+        proptest::collection::vec(
+            (
+                column_ref(),
+                prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Eq)],
+                0i64..1000,
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(select, from, join, preds)| Query {
+            select,
+            from,
+            join: join.map(|(stream, l, r)| streammeta_cql::JoinClause { stream, on: (l, r) }),
+            predicates: preds
+                .into_iter()
+                .map(|(column, op, value)| streammeta_cql::Predicate { column, op, value })
+                .collect(),
+        })
+}
+
+/// Renders an AST back to query text (the inverse of parsing).
+fn render(q: &Query) -> String {
+    let mut out = String::from("SELECT ");
+    match &q.select {
+        SelectList::Star => out.push('*'),
+        SelectList::Columns(cols) => {
+            out.push_str(
+                &cols
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+        }
+        SelectList::Aggregate { func, arg } => {
+            let name = match func {
+                AggFn::Count => "COUNT",
+                AggFn::Sum => "SUM",
+                AggFn::Avg => "AVG",
+                AggFn::Min => "MIN",
+                AggFn::Max => "MAX",
+            };
+            match arg {
+                Some(c) => out.push_str(&format!("{name}({c})")),
+                None => out.push_str(&format!("{name}(*)")),
+            }
+        }
+    }
+    let clause = |s: &StreamClause| {
+        let mut t = s.stream.clone();
+        if let Some(r) = s.range {
+            t.push_str(&format!("[RANGE {r}]"));
+        }
+        if let Some(a) = &s.alias {
+            t.push_str(&format!(" AS {a}"));
+        }
+        t
+    };
+    out.push_str(&format!(" FROM {}", clause(&q.from)));
+    if let Some(j) = &q.join {
+        out.push_str(&format!(
+            " JOIN {} ON {} = {}",
+            clause(&j.stream),
+            j.on.0,
+            j.on.1
+        ));
+    }
+    for (i, p) in q.predicates.iter().enumerate() {
+        let op = match p.op {
+            CmpOp::Lt => "<",
+            CmpOp::Eq => "=",
+        };
+        let kw = if i == 0 { "WHERE" } else { "AND" };
+        out.push_str(&format!(" {kw} {} {op} {}", p.column, p.value));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// render -> parse is the identity on ASTs.
+    #[test]
+    fn render_parse_roundtrip(q in query()) {
+        let text = render(&q);
+        let parsed = parse(&text);
+        prop_assert_eq!(parsed.as_ref().ok(), Some(&q), "text: {}", text);
+    }
+
+    /// The parser returns errors, never panics, on arbitrary input.
+    #[test]
+    fn parser_never_panics(s in ".{0,80}") {
+        let _ = parse(&s);
+    }
+
+    /// Arbitrary token soup from the query alphabet never panics either.
+    #[test]
+    fn token_soup_never_panics(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()),
+                Just("FROM".to_string()),
+                Just("WHERE".to_string()),
+                Just("JOIN".to_string()),
+                Just("RANGE".to_string()),
+                Just("*".to_string()),
+                Just(",".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("<".to_string()),
+                Just("=".to_string()),
+                Just("5".to_string()),
+                ident(),
+            ],
+            0..20,
+        )
+    ) {
+        let _ = parse(&words.join(" "));
+    }
+}

@@ -1,0 +1,234 @@
+//! Deterministic virtual-time executor.
+//!
+//! Steps a [`VirtualClock`] in fixed ticks. Each tick releases the due
+//! source elements into the inter-operator queues (optionally through a
+//! load shedder), drains the queues under the configured scheduling
+//! strategy (optionally rate-limited to simulate overload), and then fires
+//! the due periodic metadata updates. Everything is deterministic, so the
+//! paper's anomaly tables reproduce exactly.
+
+use std::sync::Arc;
+
+use streammeta_core::NodeId;
+use streammeta_graph::{NodeKind, QueryGraph};
+use streammeta_streams::Element;
+use streammeta_time::{Clock, TimeSpan, Timestamp, VirtualClock};
+
+use crate::queues::QueueSet;
+use crate::scheduler::{FifoScheduler, Scheduler};
+use crate::shedder::LoadShedder;
+
+/// Aggregate execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Elements processed by operators and sinks.
+    pub processed: u64,
+    /// Elements released by sources.
+    pub source_elements: u64,
+    /// Elements dropped by the load shedder.
+    pub dropped: u64,
+    /// High-water mark of queued elements.
+    pub max_queue_elements: usize,
+    /// High-water mark of queued bytes.
+    pub max_queue_bytes: usize,
+    /// Sum over ticks of the end-of-tick queued element count; divide by
+    /// `ticks` for the time-averaged queue occupancy (the quantity Chain
+    /// scheduling minimises).
+    pub queue_integral_elements: u64,
+}
+
+impl EngineStats {
+    /// Time-averaged queued elements.
+    pub fn avg_queue_elements(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.queue_integral_elements as f64 / self.ticks as f64
+        }
+    }
+}
+
+/// The single-threaded virtual-time engine.
+pub struct VirtualEngine {
+    graph: Arc<QueryGraph>,
+    clock: Arc<VirtualClock>,
+    scheduler: Box<dyn Scheduler>,
+    queues: QueueSet,
+    shedder: Option<LoadShedder>,
+    ops_per_tick: Option<usize>,
+    tick: TimeSpan,
+    stats: EngineStats,
+    scratch: Vec<Element>,
+    /// Cached source list, refreshed when the graph's node count changes
+    /// (queries installed or removed at runtime).
+    source_cache: (usize, Vec<NodeId>),
+}
+
+impl VirtualEngine {
+    /// An engine over `graph` driven by `clock`, with FIFO scheduling and
+    /// a tick of one time unit.
+    pub fn new(graph: Arc<QueryGraph>, clock: Arc<VirtualClock>) -> Self {
+        VirtualEngine {
+            graph,
+            clock,
+            scheduler: Box::new(FifoScheduler),
+            queues: QueueSet::new(),
+            shedder: None,
+            ops_per_tick: None,
+            tick: TimeSpan(1),
+            stats: EngineStats::default(),
+            scratch: Vec::new(),
+            source_cache: (usize::MAX, Vec::new()),
+        }
+    }
+
+    /// Replaces the scheduling strategy.
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn Scheduler>) {
+        self.scheduler = scheduler;
+    }
+
+    /// Sets the clock step per tick.
+    pub fn set_tick(&mut self, tick: TimeSpan) {
+        assert!(!tick.is_zero(), "zero tick");
+        self.tick = tick;
+    }
+
+    /// Limits how many elements operators process per tick (`None` =
+    /// drain fully). A limit below the arrival volume simulates CPU
+    /// overload: queues build up, which the Chain scheduler and the load
+    /// shedder then manage.
+    pub fn set_ops_per_tick(&mut self, limit: Option<usize>) {
+        self.ops_per_tick = limit;
+    }
+
+    /// Installs a load shedder in front of the sources.
+    pub fn set_shedder(&mut self, shedder: LoadShedder) {
+        self.shedder = Some(shedder);
+    }
+
+    /// The installed shedder, if any.
+    pub fn shedder(&self) -> Option<&LoadShedder> {
+        self.shedder.as_ref()
+    }
+
+    /// The current queues (for inspection by experiments).
+    pub fn queues(&self) -> &QueueSet {
+        &self.queues
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The engine's graph.
+    pub fn graph(&self) -> &Arc<QueryGraph> {
+        &self.graph
+    }
+
+    /// The engine's clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    fn fan_out(
+        queues: &mut QueueSet,
+        graph: &QueryGraph,
+        from: NodeId,
+        elements: &mut Vec<Element>,
+    ) {
+        if elements.is_empty() {
+            return;
+        }
+        let downstream = graph.downstream(from);
+        for e in elements.drain(..) {
+            for (node, port) in &downstream {
+                queues.push((*node, *port), e.clone());
+            }
+        }
+    }
+
+    /// Runs one tick; returns the new time.
+    pub fn tick_once(&mut self) -> Timestamp {
+        let now = self.clock.advance(self.tick);
+        self.stats.ticks += 1;
+
+        // 1. Release due source elements (through the shedder, if any).
+        if self.source_cache.0 != self.graph.len() {
+            let sources = self
+                .graph
+                .nodes()
+                .into_iter()
+                .filter(|n| self.graph.kind(*n) == NodeKind::Source)
+                .collect();
+            self.source_cache = (self.graph.len(), sources);
+        }
+        let sources = self.source_cache.1.clone();
+        for src in sources {
+            self.scratch.clear();
+            self.graph.pull_source(src, now, &mut self.scratch);
+            self.stats.source_elements += self.scratch.len() as u64;
+            if let Some(shedder) = &mut self.shedder {
+                let monitors = self.graph.monitors(src);
+                self.scratch.retain(|_| {
+                    if shedder.should_drop() {
+                        monitors.dropped.record();
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            let mut elements = std::mem::take(&mut self.scratch);
+            Self::fan_out(&mut self.queues, &self.graph, src, &mut elements);
+            self.scratch = elements;
+        }
+
+        // 2. Drain queues under the scheduling strategy.
+        let mut budget = self.ops_per_tick.unwrap_or(usize::MAX);
+        while budget > 0 {
+            let Some(key) = self.scheduler.next(&self.queues) else {
+                break;
+            };
+            let item = self.queues.pop(key).expect("scheduler picked non-empty");
+            self.scratch.clear();
+            self.graph
+                .process(key.0, key.1, &item.element, now, &mut self.scratch);
+            self.stats.processed += 1;
+            let mut outputs = std::mem::take(&mut self.scratch);
+            Self::fan_out(&mut self.queues, &self.graph, key.0, &mut outputs);
+            self.scratch = outputs;
+            budget -= 1;
+        }
+
+        // 3. Shedder control loop + periodic metadata updates.
+        if let Some(shedder) = &mut self.shedder {
+            shedder.on_tick(&self.queues);
+            self.stats.dropped = shedder.counts().1;
+        }
+        self.graph.manager().periodic().advance_to(now);
+
+        self.stats.max_queue_elements = self
+            .stats
+            .max_queue_elements
+            .max(self.queues.total_elements());
+        self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.queues.total_bytes());
+        self.stats.queue_integral_elements += self.queues.total_elements() as u64;
+        now
+    }
+
+    /// Runs whole ticks until the clock reaches (at least) `t_end`.
+    pub fn run_until(&mut self, t_end: Timestamp) {
+        while self.clock.now() < t_end {
+            self.tick_once();
+        }
+    }
+
+    /// Runs for `span` time units from the current instant.
+    pub fn run_for(&mut self, span: TimeSpan) {
+        let end = self.clock.now() + span;
+        self.run_until(end);
+    }
+}

@@ -1,0 +1,24 @@
+//! # streammeta-engine — query execution
+//!
+//! Two executors over the [`streammeta_graph::QueryGraph`]:
+//!
+//! * [`VirtualEngine`] — single-threaded, deterministic, on virtual time.
+//!   All correctness experiments run here. Supports pluggable scheduling
+//!   ([`FifoScheduler`], [`RoundRobinScheduler`], the metadata-driven
+//!   [`ChainScheduler`]), per-tick processing budgets (overload
+//!   simulation) and a metadata-driven [`LoadShedder`] — the paper's
+//!   motivating applications 1 and 2.
+//! * [`run_threaded`] — a multi-threaded wall-clock executor for the
+//!   synchronization experiments of Section 4.2.
+
+mod executor;
+mod queues;
+mod scheduler;
+mod shedder;
+mod threaded;
+
+pub use executor::{EngineStats, VirtualEngine};
+pub use queues::{QueueKey, QueueSet, Queued};
+pub use scheduler::{ChainScheduler, FifoScheduler, QosScheduler, RoundRobinScheduler, Scheduler};
+pub use shedder::LoadShedder;
+pub use threaded::{run_threaded, ThreadedRunStats};

@@ -1,0 +1,192 @@
+//! Inter-operator queues.
+//!
+//! Each wired edge `(consumer node, input port)` owns a FIFO queue. The
+//! queue set tracks global element and byte totals — the quantities the
+//! Chain scheduler minimises and the load shedder bounds.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use streammeta_core::NodeId;
+use streammeta_streams::Element;
+
+/// Key of one inter-operator queue.
+pub type QueueKey = (NodeId, usize);
+
+/// An element tagged with its global arrival sequence number (drives FIFO
+/// scheduling and deterministic tie-breaks).
+#[derive(Clone, Debug)]
+pub struct Queued {
+    /// Global arrival sequence number.
+    pub seq: u64,
+    /// The element.
+    pub element: Element,
+}
+
+/// All inter-operator queues of one engine.
+#[derive(Default)]
+pub struct QueueSet {
+    queues: BTreeMap<QueueKey, VecDeque<Queued>>,
+    /// Index of queue fronts by arrival sequence (oldest first), so FIFO
+    /// scheduling is O(log q) instead of scanning every queue.
+    fronts: BTreeMap<u64, QueueKey>,
+    next_seq: u64,
+    total_elements: usize,
+    total_bytes: usize,
+}
+
+impl QueueSet {
+    /// An empty queue set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a queue for an edge (idempotent).
+    pub fn ensure(&mut self, key: QueueKey) {
+        self.queues.entry(key).or_default();
+    }
+
+    /// Enqueues an element for `key`, assigning its sequence number.
+    pub fn push(&mut self, key: QueueKey, element: Element) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.total_elements += 1;
+        self.total_bytes += element.size_bytes();
+        let q = self.queues.entry(key).or_default();
+        if q.is_empty() {
+            self.fronts.insert(seq, key);
+        }
+        q.push_back(Queued { seq, element });
+    }
+
+    /// Dequeues the oldest element of `key`.
+    pub fn pop(&mut self, key: QueueKey) -> Option<Queued> {
+        let q = self.queues.get_mut(&key)?;
+        let item = q.pop_front()?;
+        self.fronts.remove(&item.seq);
+        if let Some(next) = q.front() {
+            self.fronts.insert(next.seq, key);
+        }
+        self.total_elements -= 1;
+        self.total_bytes -= item.element.size_bytes();
+        Some(item)
+    }
+
+    /// The queue holding the globally oldest element, if any — the FIFO
+    /// scheduling decision in O(log q).
+    pub fn oldest(&self) -> Option<QueueKey> {
+        self.fronts.values().next().copied()
+    }
+
+    /// Length of one queue.
+    pub fn len(&self, key: QueueKey) -> usize {
+        self.queues.get(&key).map_or(0, |q| q.len())
+    }
+
+    /// Whether all queues are empty.
+    pub fn is_empty(&self) -> bool {
+        self.total_elements == 0
+    }
+
+    /// Total queued elements.
+    pub fn total_elements(&self) -> usize {
+        self.total_elements
+    }
+
+    /// Total queued bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// The arrival sequence number at the front of `key`'s queue.
+    pub fn front_seq(&self, key: QueueKey) -> Option<u64> {
+        self.queues.get(&key)?.front().map(|q| q.seq)
+    }
+
+    /// Iterates over the keys of all non-empty queues (deterministic
+    /// order).
+    pub fn non_empty(&self) -> impl Iterator<Item = QueueKey> + '_ {
+        self.queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(k, _)| *k)
+    }
+
+    /// All registered keys (deterministic order).
+    pub fn keys(&self) -> impl Iterator<Item = QueueKey> + '_ {
+        self.queues.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammeta_streams::{tuple, Value};
+    use streammeta_time::Timestamp;
+
+    fn elem(v: i64) -> Element {
+        Element::new(tuple([Value::Int(v)]), Timestamp(0))
+    }
+
+    #[test]
+    fn fifo_per_queue() {
+        let mut qs = QueueSet::new();
+        let k = (NodeId(1), 0);
+        qs.push(k, elem(1));
+        qs.push(k, elem(2));
+        assert_eq!(qs.len(k), 2);
+        assert_eq!(qs.pop(k).unwrap().element.payload[0], Value::Int(1));
+        assert_eq!(qs.pop(k).unwrap().element.payload[0], Value::Int(2));
+        assert!(qs.pop(k).is_none());
+        assert!(qs.is_empty());
+    }
+
+    #[test]
+    fn totals_track_pushes_and_pops() {
+        let mut qs = QueueSet::new();
+        qs.push((NodeId(1), 0), elem(1));
+        qs.push((NodeId(2), 1), elem(2));
+        assert_eq!(qs.total_elements(), 2);
+        assert_eq!(qs.total_bytes(), 16);
+        qs.pop((NodeId(1), 0));
+        assert_eq!(qs.total_elements(), 1);
+        assert_eq!(qs.total_bytes(), 8);
+    }
+
+    #[test]
+    fn sequence_numbers_are_global() {
+        let mut qs = QueueSet::new();
+        qs.push((NodeId(1), 0), elem(1));
+        qs.push((NodeId(2), 0), elem(2));
+        qs.push((NodeId(1), 0), elem(3));
+        assert_eq!(qs.front_seq((NodeId(1), 0)), Some(0));
+        assert_eq!(qs.front_seq((NodeId(2), 0)), Some(1));
+        let non_empty: Vec<_> = qs.non_empty().collect();
+        assert_eq!(non_empty, vec![(NodeId(1), 0), (NodeId(2), 0)]);
+    }
+
+    #[test]
+    fn oldest_tracks_fronts_across_pushes_and_pops() {
+        let mut qs = QueueSet::new();
+        assert_eq!(qs.oldest(), None);
+        qs.push((NodeId(2), 0), elem(0)); // seq 0
+        qs.push((NodeId(1), 0), elem(1)); // seq 1
+        qs.push((NodeId(2), 0), elem(2)); // seq 2
+        assert_eq!(qs.oldest(), Some((NodeId(2), 0)));
+        qs.pop((NodeId(2), 0));
+        // Queue 2's new front is seq 2; queue 1's front seq 1 is older.
+        assert_eq!(qs.oldest(), Some((NodeId(1), 0)));
+        qs.pop((NodeId(1), 0));
+        assert_eq!(qs.oldest(), Some((NodeId(2), 0)));
+        qs.pop((NodeId(2), 0));
+        assert_eq!(qs.oldest(), None);
+    }
+
+    #[test]
+    fn ensure_registers_empty_queue() {
+        let mut qs = QueueSet::new();
+        qs.ensure((NodeId(5), 0));
+        assert_eq!(qs.len((NodeId(5), 0)), 0);
+        assert_eq!(qs.keys().count(), 1);
+        assert_eq!(qs.non_empty().count(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Load shedding driven by resource-usage metadata.
+//!
+//! The paper's second motivating application (Section 1): "Metadata on
+//! resource allocation is necessary to apply load shedding techniques with
+//! the aim to keep overall resource usage in bounds" (Tatbul et al.,
+//! VLDB 2003).
+//!
+//! The shedder *subscribes* to the `memory_usage` items of the operators
+//! it protects; its measured total (operator state + inter-operator
+//! queues) drives a random-drop probability adjusted by a simple
+//! proportional controller.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use streammeta_core::{MetadataKey, MetadataManager, NodeId, Subscription};
+
+use crate::queues::QueueSet;
+
+/// A random-drop load shedder with a byte budget.
+pub struct LoadShedder {
+    budget_bytes: usize,
+    drop_prob: f64,
+    /// Integral term: accumulates residual overload so the controller
+    /// converges to the budget exactly (the proportional target alone
+    /// leaves a steady-state error).
+    integral: f64,
+    rng: SmallRng,
+    memory_subs: Vec<Subscription>,
+    dropped: u64,
+    admitted: u64,
+}
+
+impl LoadShedder {
+    /// A shedder with the given total byte budget (operator state plus
+    /// queues).
+    pub fn new(budget_bytes: usize, seed: u64) -> Self {
+        LoadShedder {
+            budget_bytes,
+            drop_prob: 0.0,
+            integral: 0.0,
+            rng: SmallRng::seed_from_u64(seed),
+            memory_subs: Vec::new(),
+            dropped: 0,
+            admitted: 0,
+        }
+    }
+
+    /// Subscribes to the `memory_usage` of `nodes` so shedding decisions
+    /// see operator state sizes, not only queue lengths.
+    pub fn watch_memory(
+        &mut self,
+        manager: &Arc<MetadataManager>,
+        nodes: &[NodeId],
+    ) -> streammeta_core::Result<()> {
+        for &n in nodes {
+            self.memory_subs
+                .push(manager.subscribe(MetadataKey::new(n, "memory_usage"))?);
+        }
+        Ok(())
+    }
+
+    /// The measured total usage: watched operator state plus queue bytes.
+    pub fn measured_bytes(&self, queues: &QueueSet) -> usize {
+        let state: f64 = self.memory_subs.iter().filter_map(|s| s.get_f64()).sum();
+        state as usize + queues.total_bytes()
+    }
+
+    /// Adjusts the drop probability once per engine tick. The state of a
+    /// sliding-window operator is proportional to its admitted rate, so
+    /// the stationary drop fraction that meets the budget is
+    /// `1 - budget/usage`; the controller moves towards it smoothly and
+    /// decays when under budget.
+    pub fn on_tick(&mut self, queues: &QueueSet) {
+        let used = self.measured_bytes(queues) as f64;
+        let budget = self.budget_bytes as f64;
+        let target = if used > budget {
+            (1.0 - budget / used).min(0.95)
+        } else {
+            0.0
+        };
+        self.integral = (self.integral + 0.002 * (used - budget) / budget).clamp(0.0, 0.95);
+        // Low-pass towards proportional target + integral correction.
+        let goal = (target + self.integral).clamp(0.0, 0.95);
+        self.drop_prob += 0.2 * (goal - self.drop_prob);
+        if self.drop_prob < 1e-3 {
+            self.drop_prob = 0.0;
+        }
+    }
+
+    /// Decides the fate of one incoming element.
+    pub fn should_drop(&mut self) -> bool {
+        let drop = self.drop_prob > 0.0 && self.rng.gen::<f64>() < self.drop_prob;
+        if drop {
+            self.dropped += 1;
+        } else {
+            self.admitted += 1;
+        }
+        drop
+    }
+
+    /// Current drop probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// `(admitted, dropped)` element counts.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.admitted, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammeta_streams::{tuple, Element, Value};
+    use streammeta_time::Timestamp;
+
+    #[test]
+    fn drop_probability_rises_under_overload_and_decays() {
+        let mut shedder = LoadShedder::new(100, 1);
+        let mut queues = QueueSet::new();
+        // Overfill: 32 bytes each, budget 100.
+        for i in 0..10 {
+            queues.push(
+                (NodeId(0), 0),
+                Element::new(
+                    tuple([Value::Int(i), Value::Int(i), Value::Int(i), Value::Int(i)]),
+                    Timestamp(0),
+                ),
+            );
+        }
+        for _ in 0..30 {
+            shedder.on_tick(&queues);
+        }
+        assert!(shedder.drop_prob() > 0.5, "prob {}", shedder.drop_prob());
+        // Empty queues: probability decays towards zero.
+        let empty = QueueSet::new();
+        for _ in 0..200 {
+            shedder.on_tick(&empty);
+        }
+        assert_eq!(shedder.drop_prob(), 0.0);
+    }
+
+    #[test]
+    fn integral_action_pushes_towards_the_cap_under_persistent_overload() {
+        let mut shedder = LoadShedder::new(1, 3);
+        let mut queues = QueueSet::new();
+        queues.push(
+            (NodeId(0), 0),
+            Element::new(tuple([Value::Int(1)]), Timestamp(0)),
+        );
+        for _ in 0..2_000 {
+            shedder.on_tick(&queues);
+        }
+        assert!(shedder.drop_prob() > 0.9, "prob {}", shedder.drop_prob());
+    }
+
+    #[test]
+    fn should_drop_matches_probability_roughly() {
+        let mut shedder = LoadShedder::new(1, 42);
+        let mut queues = QueueSet::new();
+        queues.push(
+            (NodeId(0), 0),
+            Element::new(tuple([Value::Int(1)]), Timestamp(0)),
+        );
+        for _ in 0..2_000 {
+            shedder.on_tick(&queues); // heavy persistent overload -> ~0.95
+        }
+        let p = shedder.drop_prob();
+        let n = 10_000;
+        let dropped = (0..n).filter(|_| shedder.should_drop()).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - p).abs() < 0.02, "rate {rate} vs prob {p}");
+        let (admitted, dropped) = shedder.counts();
+        assert_eq!(admitted + dropped, n as u64);
+    }
+}

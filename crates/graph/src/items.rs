@@ -1,0 +1,390 @@
+//! Standard metadata item definitions installed on every node.
+//!
+//! These are the "inherited" items of Section 4.4.2: every node class gets
+//! the same base set (rates, counts, resource usage, naive probes), and
+//! specialised operators add to or override them (the join redefines
+//! `memory_usage` in terms of its state modules, filters and joins define
+//! `selectivity`).
+
+use std::sync::Arc;
+
+use streammeta_core::{
+    Counter, IntervalRate, ItemDef, MetadataValue, NodeRegistry, OnlineAverage, WindowDelta,
+};
+use streammeta_streams::Schema;
+use streammeta_time::{TimeSpan, Timestamp};
+
+use crate::monitors::NodeMonitors;
+use crate::node::NodeKind;
+
+/// Name of the event fired when a window operator is resized.
+pub const WINDOW_SIZE_CHANGED: &str = "window_size_changed";
+
+/// Per-graph metadata configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MetadataConfig {
+    /// Window length of periodic measurements (the freshness/overhead
+    /// knob of Section 3.1).
+    pub rate_window: TimeSpan,
+}
+
+impl Default for MetadataConfig {
+    fn default() -> Self {
+        MetadataConfig {
+            rate_window: TimeSpan(100),
+        }
+    }
+}
+
+/// Defines a periodic rate item measuring `counter` per time unit.
+pub fn define_rate_item(
+    reg: &Arc<NodeRegistry>,
+    name: &str,
+    counter: &Arc<Counter>,
+    window: TimeSpan,
+    doc: &str,
+) {
+    let delta = Arc::new(WindowDelta::new(counter.clone()));
+    reg.define(
+        ItemDef::periodic(name, window)
+            .counter(counter)
+            .doc(doc)
+            .compute(move |ctx| match delta.rate_over(ctx.window().unwrap()) {
+                Some(r) => MetadataValue::F64(r),
+                None => MetadataValue::Unavailable,
+            })
+            .build(),
+    );
+}
+
+/// Defines a triggered online average over another (numeric) local item.
+pub fn define_average_item(reg: &Arc<NodeRegistry>, name: &str, over: &str, doc: &str) {
+    let avg = Arc::new(OnlineAverage::new());
+    let over_owned = over.to_owned();
+    reg.define(
+        ItemDef::triggered(name)
+            .dep_local(over)
+            .doc(doc)
+            .compute(move |ctx| match ctx.dep_f64(&over_owned) {
+                Some(v) => {
+                    avg.observe(v);
+                    MetadataValue::F64(avg.mean().expect("just observed"))
+                }
+                None => MetadataValue::Unavailable,
+            })
+            .build(),
+    );
+}
+
+/// Defines a periodic ratio of two counters over the measurement window
+/// (used for selectivities: passed/input for filters, output/pairs for
+/// joins).
+pub fn define_ratio_item(
+    reg: &Arc<NodeRegistry>,
+    name: &str,
+    numerator: &Arc<Counter>,
+    denominator: &Arc<Counter>,
+    window: TimeSpan,
+    doc: &str,
+) {
+    let num = Arc::new(WindowDelta::new(numerator.clone()));
+    let den = Arc::new(WindowDelta::new(denominator.clone()));
+    reg.define(
+        ItemDef::periodic(name, window)
+            .counter(numerator)
+            .counter(denominator)
+            .doc(doc)
+            .compute(move |ctx| {
+                if ctx.window().unwrap_or(TimeSpan::ZERO).is_zero() {
+                    // Initial evaluation: prime both deltas.
+                    num.take_delta();
+                    den.take_delta();
+                    return MetadataValue::Unavailable;
+                }
+                let n = num.take_delta() as f64;
+                let d = den.take_delta() as f64;
+                if d == 0.0 {
+                    MetadataValue::Unavailable
+                } else {
+                    MetadataValue::F64(n / d)
+                }
+            })
+            .build(),
+    );
+}
+
+/// Installs the base item set shared by all node kinds.
+pub fn install_standard_items(
+    reg: &Arc<NodeRegistry>,
+    monitors: &Arc<NodeMonitors>,
+    kind: NodeKind,
+    name: &str,
+    implementation: &'static str,
+    out_schema: &Schema,
+    cfg: &MetadataConfig,
+) {
+    // --- static metadata (Figure 2 left branch) ---
+    reg.define(ItemDef::static_value("name", name));
+    reg.define(ItemDef::static_value("kind", kind.label()));
+    reg.define(ItemDef::static_value("implementation", implementation));
+    reg.define(ItemDef::static_value(
+        "schema",
+        out_schema.to_string().as_str(),
+    ));
+    reg.define(ItemDef::static_value(
+        "element_size",
+        out_schema.element_size() as u64,
+    ));
+
+    // --- on-demand counts ---
+    let c = monitors.input_total.clone();
+    reg.define(
+        ItemDef::on_demand("input_count")
+            .counter(&monitors.input_total)
+            .doc("elements received while monitored")
+            .compute(move |_| MetadataValue::U64(c.value()))
+            .build(),
+    );
+    let c = monitors.output.clone();
+    reg.define(
+        ItemDef::on_demand("output_count")
+            .counter(&monitors.output)
+            .doc("elements emitted while monitored")
+            .compute(move |_| MetadataValue::U64(c.value()))
+            .build(),
+    );
+    let c = monitors.dropped.clone();
+    reg.define(
+        ItemDef::on_demand("dropped_count")
+            .counter(&monitors.dropped)
+            .doc("elements dropped by load shedding")
+            .compute(move |_| MetadataValue::U64(c.value()))
+            .build(),
+    );
+
+    // --- periodic rates ---
+    define_rate_item(
+        reg,
+        "input_rate",
+        &monitors.input_total,
+        cfg.rate_window,
+        "measured input rate (elements per time unit, periodic)",
+    );
+    define_rate_item(
+        reg,
+        "output_rate",
+        &monitors.output,
+        cfg.rate_window,
+        "measured output rate (elements per time unit, periodic)",
+    );
+    for (port, counter) in monitors.inputs.iter().enumerate() {
+        define_rate_item(
+            reg,
+            &format!("input_rate.{port}"),
+            counter,
+            cfg.rate_window,
+            "per-port measured input rate",
+        );
+    }
+    define_rate_item(
+        reg,
+        "measured_cpu_usage",
+        &monitors.work,
+        cfg.rate_window,
+        "measured work units per time unit",
+    );
+
+    // --- triggered aggregates over the rates (intra-node deps) ---
+    define_average_item(
+        reg,
+        "avg_input_rate",
+        "input_rate",
+        "running average of the measured input rate",
+    );
+    define_average_item(
+        reg,
+        "avg_output_rate",
+        "output_rate",
+        "running average of the measured output rate",
+    );
+    reg.define(
+        ItemDef::triggered("io_ratio")
+            .dep_local("input_rate")
+            .dep_local("output_rate")
+            .doc("input rate divided by output rate")
+            .compute(
+                |ctx| match (ctx.dep_f64("input_rate"), ctx.dep_f64("output_rate")) {
+                    (Some(i), Some(o)) if o != 0.0 => MetadataValue::F64(i / o),
+                    _ => MetadataValue::Unavailable,
+                },
+            )
+            .build(),
+    );
+
+    // --- the naive on-demand rate probe (reproduces Figure 4) ---
+    let naive = Arc::new(IntervalRate::new(
+        monitors.input_total.clone(),
+        Timestamp::ZERO,
+    ));
+    reg.define(
+        ItemDef::on_demand("input_rate_naive")
+            .counter(&monitors.input_total)
+            .doc("NAIVE reset-on-access rate measurement; interferes under concurrent consumers (Figure 4)")
+            .compute(move |ctx| MetadataValue::F64(naive.sample(ctx.now())))
+            .build(),
+    );
+
+    // --- sink QoS observation ---
+    if kind == NodeKind::Sink {
+        define_ratio_item(
+            reg,
+            "avg_latency",
+            &monitors.latency_units,
+            &monitors.input_total,
+            cfg.rate_window,
+            "average end-to-end latency of delivered results (time units, periodic)",
+        );
+    }
+
+    // --- state-derived resource usage (overridable, Section 4.4.2) ---
+    let g = monitors.state_len.clone();
+    reg.define(
+        ItemDef::on_demand("state_size")
+            .monitor(monitors.state_len.clone())
+            .doc("current operator state size in elements")
+            .compute(move |_| MetadataValue::U64(g.value() as u64))
+            .build(),
+    );
+    let g = monitors.state_bytes.clone();
+    reg.define(
+        ItemDef::on_demand("memory_usage")
+            .monitor(monitors.state_bytes.clone())
+            .doc("measured memory usage of the operator state in bytes")
+            .compute(move |_| MetadataValue::U64(g.value() as u64))
+            .build(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammeta_core::{MetadataKey, MetadataManager, NodeId};
+    use streammeta_time::{Clock, VirtualClock};
+
+    #[test]
+    fn standard_items_cover_the_taxonomy() {
+        let reg = NodeRegistry::new(NodeId(0));
+        let monitors = NodeMonitors::new(2);
+        install_standard_items(
+            &reg,
+            &monitors,
+            NodeKind::Operator,
+            "probe",
+            "test-op",
+            &Schema::default(),
+            &MetadataConfig::default(),
+        );
+        for item in [
+            "name",
+            "kind",
+            "implementation",
+            "schema",
+            "element_size",
+            "input_count",
+            "output_count",
+            "dropped_count",
+            "input_rate",
+            "output_rate",
+            "input_rate.0",
+            "input_rate.1",
+            "measured_cpu_usage",
+            "avg_input_rate",
+            "avg_output_rate",
+            "io_ratio",
+            "input_rate_naive",
+            "state_size",
+            "memory_usage",
+        ] {
+            assert!(
+                reg.contains(&streammeta_core::ItemPath::new(item)),
+                "missing {item}"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_and_ratio_items_measure() {
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock.clone());
+        let reg = NodeRegistry::new(NodeId(0));
+        let monitors = NodeMonitors::new(1);
+        install_standard_items(
+            &reg,
+            &monitors,
+            NodeKind::Operator,
+            "op",
+            "op",
+            &Schema::default(),
+            &MetadataConfig {
+                rate_window: TimeSpan(10),
+            },
+        );
+        define_ratio_item(
+            &reg,
+            "selectivity",
+            &monitors.output,
+            &monitors.input_total,
+            TimeSpan(10),
+            "passed per input",
+        );
+        mgr.attach_node(reg);
+        let rate = mgr
+            .subscribe(MetadataKey::new(NodeId(0), "input_rate"))
+            .unwrap();
+        let sel = mgr
+            .subscribe(MetadataKey::new(NodeId(0), "selectivity"))
+            .unwrap();
+        // 10 inputs, 5 outputs over one window of 10 units.
+        for i in 0..10 {
+            monitors.record_input(0);
+            if i % 2 == 0 {
+                monitors.record_output(1);
+            }
+        }
+        clock.advance(TimeSpan(10));
+        mgr.periodic().advance_to(clock.now());
+        assert_eq!(rate.get_f64(), Some(1.0));
+        assert_eq!(sel.get_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn io_ratio_combines_rates() {
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock.clone());
+        let reg = NodeRegistry::new(NodeId(0));
+        let monitors = NodeMonitors::new(1);
+        install_standard_items(
+            &reg,
+            &monitors,
+            NodeKind::Operator,
+            "op",
+            "op",
+            &Schema::default(),
+            &MetadataConfig {
+                rate_window: TimeSpan(10),
+            },
+        );
+        mgr.attach_node(reg);
+        let ratio = mgr
+            .subscribe(MetadataKey::new(NodeId(0), "io_ratio"))
+            .unwrap();
+        for _ in 0..10 {
+            monitors.record_input(0);
+        }
+        monitors.record_output(5);
+        clock.advance(TimeSpan(10));
+        mgr.periodic().advance_to(clock.now());
+        // in 1.0 / out 0.5.
+        assert_eq!(ratio.get_f64(), Some(2.0));
+    }
+}

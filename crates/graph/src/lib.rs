@@ -1,0 +1,38 @@
+//! # streammeta-graph — the query graph substrate
+//!
+//! A PIPES-like query graph: sources at the bottom provide raw data
+//! streams, operators process them, sinks connect results to applications
+//! (Figure 1 of the paper). Every node carries
+//!
+//! * a [`NodeMonitors`] set of activatable probes on its processing path,
+//! * a [`streammeta_core::NodeRegistry`] with the standard metadata item
+//!   definitions (rates, counts, selectivities, resource usage, the naive
+//!   Figure 4 probe), plus operator-specific items — the join installs its
+//!   exchangeable state modules' metadata under `state.left` /
+//!   `state.right` scopes and overrides `memory_usage` in terms of them.
+//!
+//! Operators: filter, projection/map, union, time-based sliding window
+//! (runtime-resizable), symmetric sliding-window join with list- or
+//! hash-based state, sliding-window aggregates, and several sinks.
+//! Subquery sharing falls out of the DAG wiring; queries can be removed at
+//! runtime without disturbing shared prefixes.
+
+mod graph;
+mod items;
+mod monitors;
+mod node;
+pub mod ops;
+
+pub use graph::{NodeSlot, QueryGraph};
+pub use items::{
+    define_average_item, define_rate_item, define_ratio_item, install_standard_items,
+    MetadataConfig, WINDOW_SIZE_CHANGED,
+};
+pub use monitors::NodeMonitors;
+pub use node::{NodeBehavior, NodeKind};
+pub use ops::{
+    AggKind, CollectHandle, CollectSink, CountHandle, CountSink, CountWindowApprox, DiscardSink,
+    Filter, FilterPredicate, HashState, JoinPredicate, JoinState, ListState, MapFn, Project,
+    SelectivityHandle, SharedJoinState, SlidingWindowJoin, StateImpl, TimeWindow, Union,
+    WindowAggregate, WindowHandle, HASH_OP_OVERHEAD,
+};

@@ -1,0 +1,92 @@
+//! Standard per-node monitors.
+//!
+//! Every query-graph node carries the same set of cheap, activatable
+//! probes on its processing path. Metadata item definitions reference them
+//! and the inclusion hooks switch them on and off (Section 4.4.1 of the
+//! paper: "the developer has to add specific monitoring code ... which
+//! needs to be activated by the addMetadata method").
+
+use std::sync::Arc;
+
+use streammeta_core::{Counter, Gauge};
+
+/// The monitor set of one node.
+#[derive(Clone)]
+pub struct NodeMonitors {
+    /// Per-input-port element counters.
+    pub inputs: Vec<Arc<Counter>>,
+    /// Elements received over all ports.
+    pub input_total: Arc<Counter>,
+    /// Elements emitted.
+    pub output: Arc<Counter>,
+    /// Candidate pairs considered by a join (predicate evaluations).
+    pub pairs: Arc<Counter>,
+    /// Elements dropped (by load shedding).
+    pub dropped: Arc<Counter>,
+    /// Abstract work units spent processing (the "measured CPU" probe).
+    pub work: Arc<Counter>,
+    /// Current operator state size in bytes.
+    pub state_bytes: Arc<Gauge>,
+    /// Current operator state size in elements.
+    pub state_len: Arc<Gauge>,
+    /// Accumulated end-to-end latency (time units) of elements consumed
+    /// by a sink.
+    pub latency_units: Arc<Counter>,
+}
+
+impl NodeMonitors {
+    /// Monitors for a node with `ports` input ports.
+    pub fn new(ports: usize) -> Arc<Self> {
+        Arc::new(NodeMonitors {
+            inputs: (0..ports).map(|_| Counter::new()).collect(),
+            input_total: Counter::new(),
+            output: Counter::new(),
+            pairs: Counter::new(),
+            dropped: Counter::new(),
+            work: Counter::new(),
+            state_bytes: Gauge::new(),
+            state_len: Gauge::new(),
+            latency_units: Counter::new(),
+        })
+    }
+
+    /// Records the arrival of one element on `port`.
+    #[inline]
+    pub fn record_input(&self, port: usize) {
+        if let Some(c) = self.inputs.get(port) {
+            c.record();
+        }
+        self.input_total.record();
+    }
+
+    /// Records `n` emitted elements.
+    #[inline]
+    pub fn record_output(&self, n: u64) {
+        self.output.record_n(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_input_hits_port_and_total() {
+        let m = NodeMonitors::new(2);
+        m.inputs[1].activate();
+        m.input_total.activate();
+        m.record_input(1);
+        m.record_input(0);
+        assert_eq!(m.inputs[1].value(), 1);
+        assert_eq!(m.inputs[0].value(), 0, "port 0 counter inactive");
+        assert_eq!(m.input_total.value(), 2);
+    }
+
+    #[test]
+    fn out_of_range_port_only_counts_total() {
+        let m = NodeMonitors::new(1);
+        m.input_total.activate();
+        m.record_input(7);
+        assert_eq!(m.input_total.value(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Node abstractions.
+
+use std::fmt;
+
+use streammeta_streams::{Element, Schema};
+use streammeta_time::Timestamp;
+
+/// Position of a node in the query graph (Figure 1 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// Provides raw data streams at the bottom of the graph.
+    Source,
+    /// Processes data streams.
+    Operator,
+    /// Connects query results to an application at the top.
+    Sink,
+}
+
+impl NodeKind {
+    /// Lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeKind::Source => "source",
+            NodeKind::Operator => "operator",
+            NodeKind::Sink => "sink",
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The processing logic of an operator or sink node.
+///
+/// Behaviors are pure stream transformers; metadata monitors around them
+/// are maintained by the graph (inputs/outputs) or by the behavior itself
+/// (join candidate pairs, state sizes).
+pub trait NodeBehavior: Send {
+    /// Number of input ports.
+    fn ports(&self) -> usize {
+        1
+    }
+
+    /// Processes one element arriving on `port` at time `now`, appending
+    /// any produced elements to `out`.
+    fn process(&mut self, port: usize, element: &Element, now: Timestamp, out: &mut Vec<Element>);
+
+    /// Schema of the produced stream (empty for sinks).
+    fn output_schema(&self) -> Schema;
+
+    /// A short implementation label (static metadata).
+    fn implementation(&self) -> &'static str;
+
+    /// Downcast support for behaviors that offer runtime reconfiguration
+    /// (e.g. exchangeable join state modules). Default: not supported.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}

@@ -1,0 +1,109 @@
+//! Approximate count-based sliding window — an *operator as metadata
+//! consumer* (Section 2: "Metadata consumers can be system components,
+//! operators, users, etc.").
+//!
+//! A count-based window keeps the most recent `n` elements. In a
+//! validity-stamping architecture the expiry must be fixed when an
+//! element is emitted, so the operator derives it from runtime metadata:
+//! it subscribes to its own node's measured `input_rate` and stamps
+//! `validity ≈ n / rate`. As the rate drifts, the periodic measurement
+//! updates and the emitted validities follow — turning a count window
+//! into an adaptive time window, driven entirely by the metadata
+//! framework.
+
+use parking_lot::Mutex;
+use streammeta_core::Subscription;
+use streammeta_streams::{Element, Schema};
+use streammeta_time::{TimeSpan, Timestamp};
+
+use crate::node::NodeBehavior;
+
+/// The approximate count-window behavior.
+pub struct CountWindowApprox {
+    n: u64,
+    schema: Schema,
+    /// Subscription to this node's own measured input rate; installed by
+    /// the graph right after the node is wired (the operator cannot
+    /// subscribe before its node id exists).
+    rate: Mutex<Option<Subscription>>,
+    /// Fallback validity until the first rate measurement arrives.
+    fallback: TimeSpan,
+}
+
+impl CountWindowApprox {
+    /// A window over the last `n` elements (approximately). `fallback`
+    /// bounds validity before the first rate measurement.
+    pub fn new(n: u64, schema: Schema, fallback: TimeSpan) -> Self {
+        assert!(n > 0, "empty count window");
+        CountWindowApprox {
+            n,
+            schema,
+            rate: Mutex::new(None),
+            fallback,
+        }
+    }
+
+    /// Wires the operator's metadata subscription (done by
+    /// `QueryGraph::count_window` after node creation).
+    pub fn attach_rate(&self, sub: Subscription) {
+        *self.rate.lock() = Some(sub);
+    }
+
+    /// The validity the next element will receive.
+    pub fn current_validity(&self) -> TimeSpan {
+        let rate = self.rate.lock().as_ref().and_then(|s| s.get_f64());
+        match rate {
+            Some(r) if r > 0.0 => TimeSpan((self.n as f64 / r).round().max(1.0) as u64),
+            _ => self.fallback,
+        }
+    }
+}
+
+impl NodeBehavior for CountWindowApprox {
+    fn process(
+        &mut self,
+        _port: usize,
+        element: &Element,
+        _now: Timestamp,
+        out: &mut Vec<Element>,
+    ) {
+        out.push(element.with_window(self.current_validity()));
+    }
+
+    fn output_schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn implementation(&self) -> &'static str {
+        "count-window-approx"
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammeta_streams::{tuple, Value};
+
+    #[test]
+    fn uses_fallback_before_first_measurement() {
+        let mut w = CountWindowApprox::new(10, Schema::default(), TimeSpan(500));
+        let mut out = Vec::new();
+        w.process(
+            0,
+            &Element::new(tuple([Value::Int(1)]), Timestamp(100)),
+            Timestamp(100),
+            &mut out,
+        );
+        assert_eq!(out[0].expiry, Timestamp(600));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty count window")]
+    fn zero_count_rejected() {
+        CountWindowApprox::new(0, Schema::default(), TimeSpan(1));
+    }
+}

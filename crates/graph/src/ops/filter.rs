@@ -1,0 +1,184 @@
+//! Filter operator with measurable, adjustable selectivity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use streammeta_streams::{Element, Schema, Tuple};
+use streammeta_time::Timestamp;
+
+use crate::node::NodeBehavior;
+
+/// A shared, runtime-adjustable pass probability — used by experiments
+/// that drift operator selectivities (e.g. the Chain scheduling study).
+#[derive(Clone, Debug)]
+pub struct SelectivityHandle {
+    bits: Arc<AtomicU64>,
+}
+
+impl SelectivityHandle {
+    /// A handle with initial pass probability `p` in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        SelectivityHandle {
+            bits: Arc::new(AtomicU64::new(p.to_bits())),
+        }
+    }
+
+    /// Current pass probability.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Sets the pass probability.
+    pub fn set(&self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.bits.store(p.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Filter predicates.
+#[derive(Clone)]
+pub enum FilterPredicate {
+    /// `payload[col] < bound` over integers.
+    AttrLt {
+        /// Column index.
+        col: usize,
+        /// Exclusive upper bound.
+        bound: i64,
+    },
+    /// `payload[col] == value` over integers.
+    AttrEq {
+        /// Column index.
+        col: usize,
+        /// Value to match.
+        value: i64,
+    },
+    /// Passes with the handle's probability (seeded, reproducible).
+    Prob(SelectivityHandle),
+    /// Arbitrary predicate over the payload.
+    Custom(Arc<dyn Fn(&Tuple) -> bool + Send + Sync>),
+}
+
+/// The filter behavior.
+pub struct Filter {
+    predicate: FilterPredicate,
+    rng: SmallRng,
+    schema: Schema,
+}
+
+impl Filter {
+    /// A filter over `schema`; `seed` drives probabilistic predicates.
+    pub fn new(predicate: FilterPredicate, schema: Schema, seed: u64) -> Self {
+        Filter {
+            predicate,
+            rng: SmallRng::seed_from_u64(seed),
+            schema,
+        }
+    }
+
+    fn passes(&mut self, payload: &Tuple) -> bool {
+        match &self.predicate {
+            FilterPredicate::AttrLt { col, bound } => payload
+                .get(*col)
+                .and_then(|v| v.as_int())
+                .is_some_and(|v| v < *bound),
+            FilterPredicate::AttrEq { col, value } => payload
+                .get(*col)
+                .and_then(|v| v.as_int())
+                .is_some_and(|v| v == *value),
+            FilterPredicate::Prob(h) => self.rng.gen::<f64>() < h.get(),
+            FilterPredicate::Custom(f) => f(payload),
+        }
+    }
+}
+
+impl NodeBehavior for Filter {
+    fn process(
+        &mut self,
+        _port: usize,
+        element: &Element,
+        _now: Timestamp,
+        out: &mut Vec<Element>,
+    ) {
+        if self.passes(&element.payload) {
+            out.push(element.clone());
+        }
+    }
+
+    fn output_schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn implementation(&self) -> &'static str {
+        "filter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammeta_streams::{tuple, Value};
+
+    fn run(f: &mut Filter, key: i64) -> bool {
+        let mut out = Vec::new();
+        f.process(
+            0,
+            &Element::new(tuple([Value::Int(key)]), Timestamp(0)),
+            Timestamp(0),
+            &mut out,
+        );
+        !out.is_empty()
+    }
+
+    #[test]
+    fn attr_predicates() {
+        let mut lt = Filter::new(
+            FilterPredicate::AttrLt { col: 0, bound: 5 },
+            Schema::default(),
+            0,
+        );
+        assert!(run(&mut lt, 4));
+        assert!(!run(&mut lt, 5));
+        let mut eq = Filter::new(
+            FilterPredicate::AttrEq { col: 0, value: 3 },
+            Schema::default(),
+            0,
+        );
+        assert!(run(&mut eq, 3));
+        assert!(!run(&mut eq, 4));
+    }
+
+    #[test]
+    fn prob_filter_matches_handle() {
+        let h = SelectivityHandle::new(0.3);
+        let mut f = Filter::new(FilterPredicate::Prob(h.clone()), Schema::default(), 42);
+        let n = 20_000;
+        let passed = (0..n).filter(|_| run(&mut f, 0)).count();
+        let rate = passed as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        // Drift the selectivity at runtime.
+        h.set(0.9);
+        let passed = (0..n).filter(|_| run(&mut f, 0)).count();
+        let rate = passed as f64 / n as f64;
+        assert!((rate - 0.9).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn custom_predicate() {
+        let mut f = Filter::new(
+            FilterPredicate::Custom(Arc::new(|p: &Tuple| p[0] == Value::Int(1))),
+            Schema::default(),
+            0,
+        );
+        assert!(run(&mut f, 1));
+        assert!(!run(&mut f, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_probability_rejected() {
+        SelectivityHandle::new(1.5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Map / projection operators.
+
+use std::sync::Arc;
+
+use streammeta_streams::{Element, Schema, Tuple};
+use streammeta_time::Timestamp;
+
+use crate::node::NodeBehavior;
+
+/// Projects the payload onto a subset of columns.
+pub struct Project {
+    cols: Vec<usize>,
+    schema: Schema,
+}
+
+impl Project {
+    /// Projection onto `cols` of an input with schema `input`.
+    pub fn new(cols: Vec<usize>, input: &Schema) -> Self {
+        let fields = input.fields();
+        for &c in &cols {
+            assert!(c < fields.len(), "projection column {c} out of range");
+        }
+        let schema = Schema::new(cols.iter().map(|&c| fields[c].clone()));
+        Project { cols, schema }
+    }
+}
+
+impl NodeBehavior for Project {
+    fn process(
+        &mut self,
+        _port: usize,
+        element: &Element,
+        _now: Timestamp,
+        out: &mut Vec<Element>,
+    ) {
+        let payload: Tuple = self
+            .cols
+            .iter()
+            .map(|&c| element.payload[c].clone())
+            .collect();
+        out.push(Element {
+            payload,
+            timestamp: element.timestamp,
+            expiry: element.expiry,
+        });
+    }
+
+    fn output_schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn implementation(&self) -> &'static str {
+        "project"
+    }
+}
+
+/// Applies a user function to every payload.
+pub struct MapFn {
+    f: Arc<dyn Fn(&Tuple) -> Tuple + Send + Sync>,
+    schema: Schema,
+}
+
+impl MapFn {
+    /// A map with output schema `schema`.
+    pub fn new(f: Arc<dyn Fn(&Tuple) -> Tuple + Send + Sync>, schema: Schema) -> Self {
+        MapFn { f, schema }
+    }
+}
+
+impl NodeBehavior for MapFn {
+    fn process(
+        &mut self,
+        _port: usize,
+        element: &Element,
+        _now: Timestamp,
+        out: &mut Vec<Element>,
+    ) {
+        out.push(Element {
+            payload: (self.f)(&element.payload),
+            timestamp: element.timestamp,
+            expiry: element.expiry,
+        });
+    }
+
+    fn output_schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn implementation(&self) -> &'static str {
+        "map"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammeta_streams::{tuple, Value, ValueType};
+
+    #[test]
+    fn project_keeps_selected_columns() {
+        let input = Schema::of(&[("a", ValueType::Int), ("b", ValueType::Int)]);
+        let mut p = Project::new(vec![1], &input);
+        let mut out = Vec::new();
+        p.process(
+            0,
+            &Element::new(tuple([Value::Int(1), Value::Int(2)]), Timestamp(3)),
+            Timestamp(3),
+            &mut out,
+        );
+        assert_eq!(&*out[0].payload, &[Value::Int(2)]);
+        assert_eq!(p.output_schema().to_string(), "b:int");
+        assert_eq!(out[0].timestamp, Timestamp(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn project_validates_columns() {
+        Project::new(vec![2], &Schema::of(&[("a", ValueType::Int)]));
+    }
+
+    #[test]
+    fn map_fn_applies() {
+        let mut m = MapFn::new(
+            Arc::new(|t: &Tuple| {
+                [Value::Int(t[0].as_int().unwrap() * 10)]
+                    .into_iter()
+                    .collect()
+            }),
+            Schema::of(&[("x10", ValueType::Int)]),
+        );
+        let mut out = Vec::new();
+        m.process(
+            0,
+            &Element::new(tuple([Value::Int(4)]), Timestamp(0)),
+            Timestamp(0),
+            &mut out,
+        );
+        assert_eq!(out[0].payload[0], Value::Int(40));
+    }
+}

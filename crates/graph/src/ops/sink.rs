@@ -1,0 +1,185 @@
+//! Sinks: connect query results to applications.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use streammeta_streams::{Element, Schema};
+use streammeta_time::Timestamp;
+
+use crate::node::NodeBehavior;
+
+/// A sink that collects all results (inspectable through its handle).
+pub struct CollectSink {
+    buf: Arc<Mutex<Vec<Element>>>,
+}
+
+/// Read handle of a [`CollectSink`].
+#[derive(Clone)]
+pub struct CollectHandle {
+    buf: Arc<Mutex<Vec<Element>>>,
+}
+
+impl CollectHandle {
+    /// Number of collected elements.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether nothing arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the collected elements.
+    pub fn snapshot(&self) -> Vec<Element> {
+        self.buf.lock().clone()
+    }
+
+    /// Removes and returns everything collected so far.
+    pub fn drain(&self) -> Vec<Element> {
+        std::mem::take(&mut self.buf.lock())
+    }
+}
+
+impl CollectSink {
+    /// A sink plus its read handle.
+    pub fn new() -> (Self, CollectHandle) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (CollectSink { buf: buf.clone() }, CollectHandle { buf })
+    }
+}
+
+impl NodeBehavior for CollectSink {
+    fn process(
+        &mut self,
+        _port: usize,
+        element: &Element,
+        _now: Timestamp,
+        _out: &mut Vec<Element>,
+    ) {
+        self.buf.lock().push(element.clone());
+    }
+
+    fn output_schema(&self) -> Schema {
+        Schema::default()
+    }
+
+    fn implementation(&self) -> &'static str {
+        "collect-sink"
+    }
+}
+
+/// A sink that only counts results.
+pub struct CountSink {
+    count: Arc<AtomicU64>,
+}
+
+/// Read handle of a [`CountSink`].
+#[derive(Clone)]
+pub struct CountHandle {
+    count: Arc<AtomicU64>,
+}
+
+impl CountHandle {
+    /// Number of consumed elements.
+    pub fn get(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl CountSink {
+    /// A sink plus its read handle.
+    pub fn new() -> (Self, CountHandle) {
+        let count = Arc::new(AtomicU64::new(0));
+        (
+            CountSink {
+                count: count.clone(),
+            },
+            CountHandle { count },
+        )
+    }
+}
+
+impl NodeBehavior for CountSink {
+    fn process(
+        &mut self,
+        _port: usize,
+        _element: &Element,
+        _now: Timestamp,
+        _out: &mut Vec<Element>,
+    ) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn output_schema(&self) -> Schema {
+        Schema::default()
+    }
+
+    fn implementation(&self) -> &'static str {
+        "count-sink"
+    }
+}
+
+/// A sink that discards everything (pure load).
+#[derive(Default)]
+pub struct DiscardSink;
+
+impl NodeBehavior for DiscardSink {
+    fn process(
+        &mut self,
+        _port: usize,
+        _element: &Element,
+        _now: Timestamp,
+        _out: &mut Vec<Element>,
+    ) {
+    }
+
+    fn output_schema(&self) -> Schema {
+        Schema::default()
+    }
+
+    fn implementation(&self) -> &'static str {
+        "discard-sink"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammeta_streams::{tuple, Value};
+
+    fn elem(v: i64) -> Element {
+        Element::new(tuple([Value::Int(v)]), Timestamp(0))
+    }
+
+    #[test]
+    fn collect_sink_gathers() {
+        let (mut sink, handle) = CollectSink::new();
+        let mut out = Vec::new();
+        sink.process(0, &elem(1), Timestamp(0), &mut out);
+        sink.process(0, &elem(2), Timestamp(0), &mut out);
+        assert!(out.is_empty(), "sinks emit nothing");
+        assert_eq!(handle.len(), 2);
+        assert_eq!(handle.drain().len(), 2);
+        assert!(handle.is_empty());
+    }
+
+    #[test]
+    fn count_sink_counts() {
+        let (mut sink, handle) = CountSink::new();
+        let mut out = Vec::new();
+        for i in 0..5 {
+            sink.process(0, &elem(i), Timestamp(0), &mut out);
+        }
+        assert_eq!(handle.get(), 5);
+    }
+
+    #[test]
+    fn discard_sink_accepts_everything() {
+        let mut sink = DiscardSink;
+        let mut out = Vec::new();
+        sink.process(0, &elem(0), Timestamp(0), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Union operator: merges several schema-compatible input streams.
+
+use streammeta_streams::{Element, Schema};
+use streammeta_time::Timestamp;
+
+use crate::node::NodeBehavior;
+
+/// Pass-through merge of `ports` inputs.
+pub struct Union {
+    ports: usize,
+    schema: Schema,
+}
+
+impl Union {
+    /// A union of `ports` inputs sharing `schema`.
+    pub fn new(ports: usize, schema: Schema) -> Self {
+        assert!(ports >= 2, "union needs at least two inputs");
+        Union { ports, schema }
+    }
+}
+
+impl NodeBehavior for Union {
+    fn ports(&self) -> usize {
+        self.ports
+    }
+
+    fn process(
+        &mut self,
+        _port: usize,
+        element: &Element,
+        _now: Timestamp,
+        out: &mut Vec<Element>,
+    ) {
+        out.push(element.clone());
+    }
+
+    fn output_schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn implementation(&self) -> &'static str {
+        "union"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammeta_streams::{tuple, Value};
+
+    #[test]
+    fn forwards_from_any_port() {
+        let mut u = Union::new(3, Schema::default());
+        let mut out = Vec::new();
+        for port in 0..3 {
+            u.process(
+                port,
+                &Element::new(tuple([Value::Int(port as i64)]), Timestamp(0)),
+                Timestamp(0),
+                &mut out,
+            );
+        }
+        assert_eq!(out.len(), 3);
+        assert_eq!(u.ports(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "two inputs")]
+    fn single_input_rejected() {
+        Union::new(1, Schema::default());
+    }
+}

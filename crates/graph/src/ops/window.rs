@@ -1,0 +1,128 @@
+//! Time-based sliding window operator.
+//!
+//! "Windowing constructs are usually implemented by a separate operator in
+//! SSPS, namely the window operator. In the case of a time-based sliding
+//! window, this operator assigns a validity to each incoming stream
+//! element according to the window size." (Section 2.5)
+//!
+//! The window size is *runtime-adjustable* through a [`WindowHandle`]: the
+//! adaptive resource manager of Section 3.3 shrinks or grows windows and
+//! fires a `window_size_changed` event so dependent cost estimates update.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use streammeta_streams::{Element, Schema};
+use streammeta_time::{TimeSpan, Timestamp};
+
+use crate::node::NodeBehavior;
+
+/// Shared, adjustable window size.
+#[derive(Clone, Debug)]
+pub struct WindowHandle {
+    units: Arc<AtomicU64>,
+}
+
+impl WindowHandle {
+    /// A handle starting at `size`.
+    pub fn new(size: TimeSpan) -> Self {
+        assert!(!size.is_zero(), "zero window size");
+        WindowHandle {
+            units: Arc::new(AtomicU64::new(size.units())),
+        }
+    }
+
+    /// The current window size.
+    pub fn get(&self) -> TimeSpan {
+        TimeSpan(self.units.load(Ordering::SeqCst))
+    }
+
+    /// Sets the window size. The caller is responsible for firing the
+    /// node's `window_size_changed` event afterwards (the metadata
+    /// framework cannot observe the atomic store itself).
+    pub fn set(&self, size: TimeSpan) {
+        assert!(!size.is_zero(), "zero window size");
+        self.units.store(size.units(), Ordering::SeqCst);
+    }
+}
+
+/// The time-window behavior: stamps `expiry = timestamp + window` on every
+/// element.
+pub struct TimeWindow {
+    handle: WindowHandle,
+    schema: Schema,
+}
+
+impl TimeWindow {
+    /// A window operator over `schema` with adjustable size.
+    pub fn new(handle: WindowHandle, schema: Schema) -> Self {
+        TimeWindow { handle, schema }
+    }
+
+    /// The shared size handle.
+    pub fn handle(&self) -> &WindowHandle {
+        &self.handle
+    }
+}
+
+impl NodeBehavior for TimeWindow {
+    fn process(
+        &mut self,
+        _port: usize,
+        element: &Element,
+        _now: Timestamp,
+        out: &mut Vec<Element>,
+    ) {
+        out.push(element.with_window(self.handle.get()));
+    }
+
+    fn output_schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn implementation(&self) -> &'static str {
+        "time-window"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammeta_streams::{tuple, Value};
+
+    #[test]
+    fn stamps_validity() {
+        let h = WindowHandle::new(TimeSpan(20));
+        let mut w = TimeWindow::new(h.clone(), Schema::default());
+        let mut out = Vec::new();
+        w.process(
+            0,
+            &Element::new(tuple([Value::Int(1)]), Timestamp(100)),
+            Timestamp(100),
+            &mut out,
+        );
+        assert_eq!(out[0].expiry, Timestamp(120));
+    }
+
+    #[test]
+    fn resizing_applies_to_subsequent_elements() {
+        let h = WindowHandle::new(TimeSpan(20));
+        let mut w = TimeWindow::new(h.clone(), Schema::default());
+        let mut out = Vec::new();
+        h.set(TimeSpan(5));
+        w.process(
+            0,
+            &Element::new(tuple([Value::Int(1)]), Timestamp(10)),
+            Timestamp(10),
+            &mut out,
+        );
+        assert_eq!(out[0].expiry, Timestamp(15));
+        assert_eq!(h.get(), TimeSpan(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero window")]
+    fn zero_size_rejected() {
+        WindowHandle::new(TimeSpan::ZERO);
+    }
+}

@@ -1,0 +1,234 @@
+//! # streammeta-profiler — system profiling over metadata
+//!
+//! The paper's fourth motivating application (Section 1): "Researchers and
+//! administrators may also benefit from runtime metadata because its
+//! analysis gives insight into system behavior."
+//!
+//! The [`Recorder`] subscribes to metadata items and samples them into
+//! time series; experiments use it to plot figure data and compute
+//! summaries, and it exports plain CSV.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use streammeta_core::{MetadataKey, MetadataManager, MetadataValue, Result, Subscription};
+use streammeta_time::Timestamp;
+
+/// One tracked time series.
+struct Series {
+    label: String,
+    sub: Subscription,
+    samples: Vec<(Timestamp, Option<f64>)>,
+}
+
+/// Summary statistics of a series (over available samples).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesSummary {
+    /// Number of samples with an available numeric value.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile, nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+}
+
+/// Records subscribed metadata values over time.
+pub struct Recorder {
+    manager: Arc<MetadataManager>,
+    series: Vec<Series>,
+}
+
+impl Recorder {
+    /// A recorder bound to `manager`.
+    pub fn new(manager: Arc<MetadataManager>) -> Self {
+        Recorder {
+            manager,
+            series: Vec::new(),
+        }
+    }
+
+    /// Subscribes to `key` and tracks it under `label`. Returns the
+    /// series index.
+    pub fn track(&mut self, label: impl Into<String>, key: MetadataKey) -> Result<usize> {
+        let sub = self.manager.subscribe(key)?;
+        self.series.push(Series {
+            label: label.into(),
+            sub,
+            samples: Vec::new(),
+        });
+        Ok(self.series.len() - 1)
+    }
+
+    /// Samples every tracked item at the current clock instant.
+    pub fn sample(&mut self) {
+        let now = self.manager.clock().now();
+        for s in &mut self.series {
+            let v = match s.sub.get() {
+                MetadataValue::Unavailable => None,
+                v => v.as_f64(),
+            };
+            s.samples.push((now, v));
+        }
+    }
+
+    /// Number of tracked series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// The label of series `idx`.
+    pub fn label(&self, idx: usize) -> &str {
+        &self.series[idx].label
+    }
+
+    /// The samples of series `idx` (time, value-if-available).
+    pub fn series(&self, idx: usize) -> &[(Timestamp, Option<f64>)] {
+        &self.series[idx].samples
+    }
+
+    /// Summary statistics of series `idx`, if any value was available.
+    pub fn summary(&self, idx: usize) -> Option<SeriesSummary> {
+        let vals: Vec<f64> = self.series[idx]
+            .samples
+            .iter()
+            .filter_map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            return None;
+        }
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for v in &vals {
+            min = min.min(*v);
+            max = max.max(*v);
+            sum += v;
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let pct = |p: f64| {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[rank.min(sorted.len() - 1)]
+        };
+        Some(SeriesSummary {
+            count: vals.len(),
+            min,
+            max,
+            mean: sum / vals.len() as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+        })
+    }
+
+    /// All series as CSV: `time,<label1>,<label2>,...` rows aligned on
+    /// sample round.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time");
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.label);
+        }
+        out.push('\n');
+        let rounds = self
+            .series
+            .iter()
+            .map(|s| s.samples.len())
+            .max()
+            .unwrap_or(0);
+        for i in 0..rounds {
+            let t = self
+                .series
+                .iter()
+                .find_map(|s| s.samples.get(i).map(|(t, _)| *t))
+                .unwrap_or(Timestamp::ZERO);
+            let _ = write!(out, "{t}");
+            for s in &self.series {
+                out.push(',');
+                match s.samples.get(i).and_then(|(_, v)| *v) {
+                    Some(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    None => out.push_str("NA"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammeta_core::{ItemDef, NodeId, NodeRegistry};
+    use streammeta_time::{TimeSpan, VirtualClock};
+
+    fn setup() -> (Arc<VirtualClock>, Arc<MetadataManager>) {
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock.clone());
+        let reg = NodeRegistry::new(NodeId(0));
+        reg.define(
+            ItemDef::on_demand("t")
+                .compute(|ctx| MetadataValue::U64(ctx.now().units()))
+                .build(),
+        );
+        reg.define(ItemDef::static_value("label", "x"));
+        mgr.attach_node(reg);
+        (clock, mgr)
+    }
+
+    #[test]
+    fn records_and_summarises() {
+        let (clock, mgr) = setup();
+        let mut rec = Recorder::new(mgr);
+        let idx = rec.track("time", MetadataKey::new(NodeId(0), "t")).unwrap();
+        for _ in 0..5 {
+            clock.advance(TimeSpan(10));
+            rec.sample();
+        }
+        let s = rec.summary(idx).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 50.0);
+        assert_eq!(s.mean, 30.0);
+        assert_eq!(s.p50, 30.0);
+        assert_eq!(s.p95, 50.0);
+        assert_eq!(rec.series(idx).len(), 5);
+        assert_eq!(rec.label(idx), "time");
+    }
+
+    #[test]
+    fn csv_export_includes_na_for_unavailable() {
+        let (clock, mgr) = setup();
+        let mut rec = Recorder::new(mgr);
+        rec.track("time", MetadataKey::new(NodeId(0), "t")).unwrap();
+        // Text values are not numeric: sampled as NA.
+        rec.track("label", MetadataKey::new(NodeId(0), "label"))
+            .unwrap();
+        clock.advance(TimeSpan(1));
+        rec.sample();
+        let csv = rec.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("time,time,label"));
+        assert_eq!(lines.next(), Some("1,1,NA"));
+    }
+
+    #[test]
+    fn empty_summary_is_none() {
+        let (_clock, mgr) = setup();
+        let mut rec = Recorder::new(mgr);
+        let idx = rec.track("t", MetadataKey::new(NodeId(0), "t")).unwrap();
+        assert!(rec.summary(idx).is_none());
+        assert!(!rec.is_empty());
+        assert_eq!(rec.len(), 1);
+    }
+}

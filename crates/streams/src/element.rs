@@ -1,0 +1,97 @@
+//! Stream elements.
+
+use std::fmt;
+
+use streammeta_time::{TimeSpan, Timestamp};
+
+use crate::value::Tuple;
+
+/// One element of a data stream.
+///
+/// `timestamp` is the application time of the element; `expiry` bounds its
+/// validity. Raw source elements are valid forever; a time-based window
+/// operator "assigns a validity to each incoming stream element according
+/// to the window size" (Section 2.5 of the paper), i.e. sets
+/// `expiry = timestamp + window`.
+#[derive(Clone, PartialEq)]
+pub struct Element {
+    /// Tuple payload (cheaply cloneable).
+    pub payload: Tuple,
+    /// Application timestamp.
+    pub timestamp: Timestamp,
+    /// End of validity; [`Timestamp::MAX`] means unbounded.
+    pub expiry: Timestamp,
+}
+
+impl Element {
+    /// A raw element with unbounded validity.
+    pub fn new(payload: Tuple, timestamp: Timestamp) -> Self {
+        Element {
+            payload,
+            timestamp,
+            expiry: Timestamp::MAX,
+        }
+    }
+
+    /// A copy with validity `timestamp + window` (window operator).
+    pub fn with_window(&self, window: TimeSpan) -> Element {
+        Element {
+            payload: self.payload.clone(),
+            timestamp: self.timestamp,
+            expiry: self.timestamp.saturating_add(window),
+        }
+    }
+
+    /// Whether the element is still valid at `now` (exclusive expiry).
+    pub fn is_valid_at(&self, now: Timestamp) -> bool {
+        now < self.expiry
+    }
+
+    /// The element's validity span, if bounded.
+    pub fn validity(&self) -> Option<TimeSpan> {
+        (self.expiry != Timestamp::MAX).then(|| self.expiry - self.timestamp)
+    }
+
+    /// Approximate payload size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.payload.iter().map(|v| v.size_bytes()).sum()
+    }
+}
+
+impl fmt::Debug for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Element@{:?}{:?}", self.timestamp, self.payload)?;
+        if self.expiry != Timestamp::MAX {
+            write!(f, " exp={:?}", self.expiry)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{tuple, Value};
+
+    #[test]
+    fn raw_elements_never_expire() {
+        let e = Element::new(tuple([Value::Int(1)]), Timestamp(10));
+        assert!(e.is_valid_at(Timestamp(1_000_000)));
+        assert_eq!(e.validity(), None);
+    }
+
+    #[test]
+    fn windowed_elements_expire() {
+        let e = Element::new(tuple([Value::Int(1)]), Timestamp(10)).with_window(TimeSpan(5));
+        assert_eq!(e.expiry, Timestamp(15));
+        assert!(e.is_valid_at(Timestamp(14)));
+        assert!(!e.is_valid_at(Timestamp(15)));
+        assert_eq!(e.validity(), Some(TimeSpan(5)));
+    }
+
+    #[test]
+    fn size_sums_payload() {
+        let e = Element::new(tuple([Value::Int(1), Value::Bool(true)]), Timestamp(0));
+        assert_eq!(e.size_bytes(), 9);
+    }
+}

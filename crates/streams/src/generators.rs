@@ -1,0 +1,525 @@
+//! Deterministic synthetic workload generators.
+//!
+//! Each generator produces a stream of [`Element`]s with non-decreasing
+//! timestamps; the execution engine releases them as virtual time passes.
+//! All randomness is seeded, so every experiment is reproducible.
+//!
+//! * [`ConstantRate`] — one element every fixed interval (the constant
+//!   arrival stream of Figure 4, rate 0.1 = one element per 10 units).
+//! * [`Bursty`] — alternating high/low phases (the bursty arrival pattern
+//!   of Figure 5 whose peaks fool the on-demand average).
+//! * [`PoissonArrivals`] — exponential interarrival times.
+//! * [`Replay`] — a recorded element sequence.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use streammeta_time::{TimeSpan, Timestamp};
+
+use crate::element::Element;
+use crate::schema::{Schema, ValueType};
+use crate::value::{Tuple, Value};
+use crate::zipf::Zipf;
+
+/// A source of stream elements with non-decreasing timestamps.
+pub trait Generator: Send {
+    /// The payload schema.
+    fn schema(&self) -> &Schema;
+    /// The next element, or `None` when the stream ends.
+    fn next_element(&mut self) -> Option<Element>;
+    /// Number of distinct values of the first (key) column, if the
+    /// generator knows it — data-distribution metadata for the sources.
+    fn key_cardinality(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Payload generation strategies.
+pub enum TupleGen {
+    /// A single `Int` column carrying the element sequence number.
+    Sequence,
+    /// A constant tuple.
+    Const(Tuple),
+    /// `cols` integer columns drawn uniformly from `lo..=hi`.
+    UniformInt {
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// One integer column drawn from a Zipf distribution (skewed keys).
+    ZipfInt(Zipf),
+}
+
+impl TupleGen {
+    /// The schema implied by the strategy.
+    pub fn schema(&self) -> Schema {
+        match self {
+            TupleGen::Sequence => Schema::of(&[("seq", ValueType::Int)]),
+            TupleGen::Const(t) => Schema::new(t.iter().enumerate().map(|(i, v)| {
+                let ty = match v {
+                    Value::Int(_) => ValueType::Int,
+                    Value::Float(_) => ValueType::Float,
+                    Value::Str(_) => ValueType::Str,
+                    Value::Bool(_) | Value::Null => ValueType::Bool,
+                };
+                crate::schema::Field::new(format!("c{i}"), ty)
+            })),
+            TupleGen::UniformInt { cols, .. } => Schema::new(
+                (0..*cols).map(|i| crate::schema::Field::new(format!("k{i}"), ValueType::Int)),
+            ),
+            TupleGen::ZipfInt(_) => Schema::of(&[("k", ValueType::Int)]),
+        }
+    }
+
+    /// Number of distinct values of the first column, if bounded.
+    pub fn key_cardinality(&self) -> Option<u64> {
+        match self {
+            TupleGen::Sequence => None,
+            TupleGen::Const(_) => Some(1),
+            TupleGen::UniformInt { lo, hi, .. } => Some((hi - lo + 1).max(1) as u64),
+            TupleGen::ZipfInt(z) => Some(z.domain() as u64),
+        }
+    }
+
+    /// Generates the payload for the `seq`-th element.
+    pub fn generate(&self, rng: &mut SmallRng, seq: u64) -> Tuple {
+        match self {
+            TupleGen::Sequence => [Value::Int(seq as i64)].into_iter().collect(),
+            TupleGen::Const(t) => t.clone(),
+            TupleGen::UniformInt { lo, hi, cols } => (0..*cols)
+                .map(|_| Value::Int(rng.gen_range(*lo..=*hi)))
+                .collect(),
+            TupleGen::ZipfInt(z) => [Value::Int(z.sample(rng) as i64)].into_iter().collect(),
+        }
+    }
+}
+
+/// One element every `interarrival` time units, starting at
+/// `start + interarrival`.
+pub struct ConstantRate {
+    schema: Schema,
+    tuples: TupleGen,
+    rng: SmallRng,
+    interarrival: TimeSpan,
+    next_at: Timestamp,
+    seq: u64,
+}
+
+impl ConstantRate {
+    /// A constant-rate stream (rate = 1 / `interarrival`).
+    pub fn new(start: Timestamp, interarrival: TimeSpan, tuples: TupleGen, seed: u64) -> Self {
+        assert!(!interarrival.is_zero(), "zero interarrival");
+        ConstantRate {
+            schema: tuples.schema(),
+            tuples,
+            rng: SmallRng::seed_from_u64(seed),
+            interarrival,
+            next_at: start + interarrival,
+            seq: 0,
+        }
+    }
+}
+
+impl Generator for ConstantRate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn key_cardinality(&self) -> Option<u64> {
+        self.tuples.key_cardinality()
+    }
+
+    fn next_element(&mut self) -> Option<Element> {
+        let payload = self.tuples.generate(&mut self.rng, self.seq);
+        let e = Element::new(payload, self.next_at);
+        self.next_at += self.interarrival;
+        self.seq += 1;
+        Some(e)
+    }
+}
+
+/// Exponentially distributed interarrival times with the given mean
+/// (rounded up to at least one time unit).
+pub struct PoissonArrivals {
+    schema: Schema,
+    tuples: TupleGen,
+    rng: SmallRng,
+    mean_interarrival: f64,
+    now: Timestamp,
+    seq: u64,
+}
+
+impl PoissonArrivals {
+    /// A Poisson stream with mean interarrival `mean` time units.
+    pub fn new(start: Timestamp, mean: f64, tuples: TupleGen, seed: u64) -> Self {
+        assert!(mean > 0.0, "non-positive mean interarrival");
+        PoissonArrivals {
+            schema: tuples.schema(),
+            tuples,
+            rng: SmallRng::seed_from_u64(seed),
+            mean_interarrival: mean,
+            now: start,
+            seq: 0,
+        }
+    }
+}
+
+impl Generator for PoissonArrivals {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn key_cardinality(&self) -> Option<u64> {
+        self.tuples.key_cardinality()
+    }
+
+    fn next_element(&mut self) -> Option<Element> {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap = (-u.ln() * self.mean_interarrival).ceil().max(1.0) as u64;
+        self.now += TimeSpan(gap);
+        let payload = self.tuples.generate(&mut self.rng, self.seq);
+        self.seq += 1;
+        Some(Element::new(payload, self.now))
+    }
+}
+
+/// Alternating high/low phases: during a high phase one element every
+/// `inter_high`; during a low phase one every `inter_low`, or silence if
+/// `inter_low` is `None`. This is the bursty stream of Figure 5.
+pub struct Bursty {
+    schema: Schema,
+    tuples: TupleGen,
+    rng: SmallRng,
+    phase_high: TimeSpan,
+    phase_low: TimeSpan,
+    inter_high: TimeSpan,
+    inter_low: Option<TimeSpan>,
+    /// Whether the current phase is the high phase.
+    in_high: bool,
+    /// End of the current phase (inclusive for emissions).
+    phase_end: Timestamp,
+    /// Next emission candidate.
+    next_at: Timestamp,
+    seq: u64,
+}
+
+impl Bursty {
+    /// A bursty stream starting with a high phase at `start`.
+    pub fn new(
+        start: Timestamp,
+        phase_high: TimeSpan,
+        phase_low: TimeSpan,
+        inter_high: TimeSpan,
+        inter_low: Option<TimeSpan>,
+        tuples: TupleGen,
+        seed: u64,
+    ) -> Self {
+        assert!(!phase_high.is_zero() && !inter_high.is_zero());
+        if let Some(il) = inter_low {
+            assert!(!il.is_zero());
+        }
+        Bursty {
+            schema: tuples.schema(),
+            tuples,
+            rng: SmallRng::seed_from_u64(seed),
+            phase_high,
+            phase_low,
+            inter_high,
+            inter_low,
+            in_high: true,
+            phase_end: start + phase_high,
+            next_at: start + inter_high,
+            seq: 0,
+        }
+    }
+
+    /// The long-run average rate of the stream.
+    pub fn average_rate(&self) -> f64 {
+        let cycle = self.phase_high + self.phase_low;
+        let high_count = self.phase_high.units() / self.inter_high.units();
+        let low_count = self
+            .inter_low
+            .map_or(0, |il| self.phase_low.units() / il.units());
+        (high_count + low_count) as f64 / cycle.as_f64()
+    }
+
+    /// Advances phases until `next_at` falls inside the current one.
+    fn roll_phases(&mut self) {
+        while self.next_at > self.phase_end {
+            if self.in_high {
+                self.in_high = false;
+                let low_start = self.phase_end;
+                self.phase_end = low_start + self.phase_low;
+                self.next_at = match self.inter_low {
+                    Some(il) => low_start + il,
+                    // Silent low phase: force another roll into the next
+                    // high phase.
+                    None => self.phase_end + TimeSpan(1),
+                };
+            } else {
+                self.in_high = true;
+                let high_start = self.phase_end;
+                self.phase_end = high_start + self.phase_high;
+                self.next_at = high_start + self.inter_high;
+            }
+        }
+    }
+}
+
+impl Generator for Bursty {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn key_cardinality(&self) -> Option<u64> {
+        self.tuples.key_cardinality()
+    }
+
+    fn next_element(&mut self) -> Option<Element> {
+        self.roll_phases();
+        let at = self.next_at;
+        let payload = self.tuples.generate(&mut self.rng, self.seq);
+        self.seq += 1;
+        let step = if self.in_high {
+            self.inter_high
+        } else {
+            self.inter_low.expect("low emissions imply inter_low")
+        };
+        self.next_at = at + step;
+        Some(Element::new(payload, at))
+    }
+}
+
+/// Replays a recorded sequence of elements.
+pub struct Replay {
+    schema: Schema,
+    elements: std::vec::IntoIter<Element>,
+}
+
+impl Replay {
+    /// A replay stream; `elements` must have non-decreasing timestamps.
+    pub fn new(schema: Schema, elements: Vec<Element>) -> Self {
+        debug_assert!(elements
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
+        Replay {
+            schema,
+            elements: elements.into_iter(),
+        }
+    }
+
+    /// Parses a recorded trace in a simple CSV format: one element per
+    /// line, first column the timestamp (time units), remaining columns
+    /// the payload parsed against `schema` (int/float/bool/str). Empty
+    /// lines and `#` comments are skipped. Rows must be ordered by
+    /// timestamp.
+    pub fn from_csv(schema: Schema, text: &str) -> Result<Self, String> {
+        use crate::value::Value;
+        let mut elements = Vec::new();
+        let mut last = 0u64;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut cols = line.split(',').map(str::trim);
+            let ts: u64 = cols
+                .next()
+                .ok_or_else(|| format!("line {}: missing timestamp", lineno + 1))?
+                .parse()
+                .map_err(|e| format!("line {}: bad timestamp: {e}", lineno + 1))?;
+            if ts < last {
+                return Err(format!("line {}: timestamps must not decrease", lineno + 1));
+            }
+            last = ts;
+            let mut payload = Vec::with_capacity(schema.arity());
+            for (field, cell) in schema.fields().iter().zip(&mut cols) {
+                let v = match field.ty {
+                    crate::schema::ValueType::Int => Value::Int(
+                        cell.parse()
+                            .map_err(|e| format!("line {}: {}: {e}", lineno + 1, field.name))?,
+                    ),
+                    crate::schema::ValueType::Float => Value::Float(
+                        cell.parse()
+                            .map_err(|e| format!("line {}: {}: {e}", lineno + 1, field.name))?,
+                    ),
+                    crate::schema::ValueType::Bool => Value::Bool(
+                        cell.parse()
+                            .map_err(|e| format!("line {}: {}: {e}", lineno + 1, field.name))?,
+                    ),
+                    crate::schema::ValueType::Str => Value::str(cell),
+                };
+                payload.push(v);
+            }
+            if payload.len() != schema.arity() {
+                return Err(format!(
+                    "line {}: expected {} payload columns, found {}",
+                    lineno + 1,
+                    schema.arity(),
+                    payload.len()
+                ));
+            }
+            elements.push(Element::new(payload.into_iter().collect(), Timestamp(ts)));
+        }
+        Ok(Replay::new(schema, elements))
+    }
+}
+
+impl Generator for Replay {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_element(&mut self) -> Option<Element> {
+        self.elements.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(g: &mut dyn Generator, n: usize) -> Vec<Element> {
+        (0..n).filter_map(|_| g.next_element()).collect()
+    }
+
+    #[test]
+    fn constant_rate_spacing() {
+        let mut g = ConstantRate::new(Timestamp(0), TimeSpan(10), TupleGen::Sequence, 1);
+        let es = drain(&mut g, 5);
+        let ts: Vec<u64> = es.iter().map(|e| e.timestamp.units()).collect();
+        assert_eq!(ts, vec![10, 20, 30, 40, 50]);
+        assert_eq!(es[3].payload[0], Value::Int(3));
+    }
+
+    #[test]
+    fn poisson_is_monotone_and_seeded() {
+        let mut a = PoissonArrivals::new(Timestamp(0), 5.0, TupleGen::Sequence, 42);
+        let mut b = PoissonArrivals::new(Timestamp(0), 5.0, TupleGen::Sequence, 42);
+        let ea = drain(&mut a, 100);
+        let eb = drain(&mut b, 100);
+        assert_eq!(ea, eb, "same seed, same stream");
+        assert!(ea.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        // Mean interarrival should be roughly 5.
+        let total = ea.last().unwrap().timestamp.units();
+        let mean = total as f64 / 100.0;
+        assert!((2.0..12.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn bursty_with_silent_low_phase() {
+        // High: 10 units with gap 2 (5 elements), low: 10 units silent.
+        let mut g = Bursty::new(
+            Timestamp(0),
+            TimeSpan(10),
+            TimeSpan(10),
+            TimeSpan(2),
+            None,
+            TupleGen::Sequence,
+            1,
+        );
+        let es = drain(&mut g, 10);
+        let ts: Vec<u64> = es.iter().map(|e| e.timestamp.units()).collect();
+        assert_eq!(ts, vec![2, 4, 6, 8, 10, 22, 24, 26, 28, 30]);
+        assert!((g.average_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_with_slow_low_phase() {
+        // High: gap 1 for 4 units; low: gap 4 for 8 units.
+        let mut g = Bursty::new(
+            Timestamp(0),
+            TimeSpan(4),
+            TimeSpan(8),
+            TimeSpan(1),
+            Some(TimeSpan(4)),
+            TupleGen::Sequence,
+            1,
+        );
+        let es = drain(&mut g, 9);
+        let ts: Vec<u64> = es.iter().map(|e| e.timestamp.units()).collect();
+        assert_eq!(ts, vec![1, 2, 3, 4, 8, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn replay_returns_recorded_sequence() {
+        let schema = Schema::of(&[("seq", ValueType::Int)]);
+        let es = vec![
+            Element::new([Value::Int(0)].into_iter().collect(), Timestamp(3)),
+            Element::new([Value::Int(1)].into_iter().collect(), Timestamp(9)),
+        ];
+        let mut g = Replay::new(schema, es.clone());
+        assert_eq!(g.next_element(), Some(es[0].clone()));
+        assert_eq!(g.next_element(), Some(es[1].clone()));
+        assert_eq!(g.next_element(), None);
+    }
+
+    #[test]
+    fn replay_from_csv_parses_trace() {
+        let schema = Schema::of(&[("sym", ValueType::Int), ("price", ValueType::Float)]);
+        let text = "# recorded trade trace\n10, 3, 99.5\n\n25, 4, 100.25\n";
+        let mut g = Replay::from_csv(schema, text).unwrap();
+        let e1 = g.next_element().unwrap();
+        assert_eq!(e1.timestamp, Timestamp(10));
+        assert_eq!(e1.payload[0], Value::Int(3));
+        assert_eq!(e1.payload[1], Value::Float(99.5));
+        let e2 = g.next_element().unwrap();
+        assert_eq!(e2.timestamp, Timestamp(25));
+        assert!(g.next_element().is_none());
+    }
+
+    #[test]
+    fn replay_from_csv_rejects_bad_rows() {
+        let schema = Schema::of(&[("k", ValueType::Int)]);
+        assert!(Replay::from_csv(schema.clone(), "x, 1").is_err(), "bad ts");
+        assert!(
+            Replay::from_csv(schema.clone(), "1, nope").is_err(),
+            "bad int"
+        );
+        assert!(
+            Replay::from_csv(schema.clone(), "5, 1\n3, 2").is_err(),
+            "order"
+        );
+        assert!(Replay::from_csv(schema, "5").is_err(), "missing column");
+    }
+
+    #[test]
+    fn uniform_tuples_in_range() {
+        let mut g = ConstantRate::new(
+            Timestamp(0),
+            TimeSpan(1),
+            TupleGen::UniformInt {
+                lo: 5,
+                hi: 9,
+                cols: 2,
+            },
+            3,
+        );
+        for e in drain(&mut g, 200) {
+            assert_eq!(e.payload.len(), 2);
+            for v in e.payload.iter() {
+                let x = v.as_int().unwrap();
+                assert!((5..=9).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_tuples_skew() {
+        let mut g = ConstantRate::new(
+            Timestamp(0),
+            TimeSpan(1),
+            TupleGen::ZipfInt(Zipf::new(50, 1.1)),
+            3,
+        );
+        let mut zero = 0;
+        for e in drain(&mut g, 2000) {
+            if e.payload[0] == Value::Int(0) {
+                zero += 1;
+            }
+        }
+        assert!(zero > 200, "zipf zero count {zero}");
+    }
+}

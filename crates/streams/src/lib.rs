@@ -1,0 +1,24 @@
+//! # streammeta-streams — elements, schemas and workloads
+//!
+//! The raw-data-stream substrate of the reproduction. A data stream is a
+//! (conceptually unbounded) sequence of [`Element`]s carrying a tuple
+//! payload, an application timestamp and a validity interval (time-based
+//! sliding windows, as in PIPES, are realised by a window operator that
+//! assigns each element an expiry = timestamp + window size).
+//!
+//! Workload [`generators`] are fully deterministic given a seed and run on
+//! virtual time, which makes the paper's illustrations exactly
+//! reproducible: Figure 4 needs a constant-rate stream, Figure 5 a bursty
+//! one.
+
+mod element;
+pub mod generators;
+mod schema;
+mod value;
+mod zipf;
+
+pub use element::Element;
+pub use generators::{Bursty, ConstantRate, Generator, PoissonArrivals, Replay, TupleGen};
+pub use schema::{Field, Schema, ValueType};
+pub use value::{tuple, Tuple, Value};
+pub use zipf::Zipf;

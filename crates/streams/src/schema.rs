@@ -1,0 +1,150 @@
+//! Schemas — the paper's canonical example of *static* metadata.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Type of one attribute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Variable-length string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl ValueType {
+    /// Nominal attribute size in bytes (strings use a nominal 24).
+    pub fn nominal_size(self) -> usize {
+        match self {
+            ValueType::Int | ValueType::Float => 8,
+            ValueType::Str => 24,
+            ValueType::Bool => 1,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+            ValueType::Bool => "bool",
+        }
+    }
+}
+
+/// One named, typed attribute.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Field {
+    /// Attribute name.
+    pub name: Arc<str>,
+    /// Attribute type.
+    pub ty: ValueType,
+}
+
+impl Field {
+    /// Builds a field.
+    pub fn new(name: impl AsRef<str>, ty: ValueType) -> Self {
+        Field {
+            name: Arc::from(name.as_ref()),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of fields describing a stream's tuples.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// Builds a schema from fields.
+    pub fn new(fields: impl IntoIterator<Item = Field>) -> Self {
+        Schema {
+            fields: fields.into_iter().collect(),
+        }
+    }
+
+    /// Shorthand: `Schema::of(&[("id", ValueType::Int), ...])`.
+    pub fn of(fields: &[(&str, ValueType)]) -> Self {
+        Schema::new(fields.iter().map(|(n, t)| Field::new(n, *t)))
+    }
+
+    /// The fields.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Position of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| &*f.name == name)
+    }
+
+    /// Nominal element size in bytes — the static `element_size` metadata
+    /// item.
+    pub fn element_size(&self) -> usize {
+        self.fields.iter().map(|f| f.ty.nominal_size()).sum()
+    }
+
+    /// Schema of the concatenation of two schemas (join output).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        Schema::new(
+            self.fields
+                .iter()
+                .cloned()
+                .chain(other.fields.iter().cloned()),
+        )
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}:{}", field.name, field.ty.name())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_basics() {
+        let s = Schema::of(&[("id", ValueType::Int), ("name", ValueType::Str)]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.element_size(), 32);
+        assert_eq!(s.to_string(), "id:int,name:str");
+    }
+
+    #[test]
+    fn concat_joins_fields() {
+        let a = Schema::of(&[("x", ValueType::Int)]);
+        let b = Schema::of(&[("y", ValueType::Float)]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 2);
+        assert_eq!(c.to_string(), "x:int,y:float");
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::default();
+        assert_eq!(s.arity(), 0);
+        assert_eq!(s.element_size(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Payload values.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// One attribute value of a stream element.
+#[derive(Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+    /// Missing value.
+    Null,
+}
+
+impl Value {
+    /// String value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Integer accessor.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float accessor (integers coerce).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory size in bytes, used by memory-usage metadata.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Bool(_) | Value::Null => 1,
+            Value::Str(s) => s.len() + 16,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+/// A tuple payload. `Arc`-shared: operators forward elements without
+/// copying attribute data.
+pub type Tuple = Arc<[Value]>;
+
+/// Builds a tuple from values.
+pub fn tuple(values: impl IntoIterator<Item = Value>) -> Tuple {
+    values.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Null.as_int(), None);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Value::Int(0).size_bytes(), 8);
+        assert_eq!(Value::Bool(true).size_bytes(), 1);
+        assert_eq!(Value::str("abc").size_bytes(), 19);
+    }
+
+    #[test]
+    fn tuple_builder() {
+        let t = tuple([Value::Int(1), Value::str("a")]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0], Value::Int(1));
+        let t2 = t.clone(); // cheap Arc clone
+        assert_eq!(t2[1], Value::str("a"));
+    }
+}

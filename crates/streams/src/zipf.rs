@@ -1,0 +1,98 @@
+//! Zipf-distributed value sampling (skewed join/filter attributes).
+
+use rand::Rng;
+
+/// Zipf distribution over `{0, ..., n-1}` with exponent `s`, sampled by
+/// inverse transform over a precomputed CDF table.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `n` values with skew `s >= 0`
+    /// (`s = 0` is uniform; typical skew is around 1).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of distinct values.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples a value in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index whose CDF is >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn skew_prefers_small_values() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut zero = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        // With s=1.2 over 100 values, value 0 has probability ~0.25.
+        assert!(zero > n / 10, "zero sampled only {zero} times");
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 10_000).abs() < 1_000, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn empty_domain_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests of the workload generators: monotone timestamps, seed
+//! determinism, and rate consistency.
+
+use proptest::prelude::*;
+use streammeta_streams::{Bursty, ConstantRate, Generator, PoissonArrivals, TupleGen, Zipf};
+use streammeta_time::{TimeSpan, Timestamp};
+
+fn drain(g: &mut dyn Generator, n: usize) -> Vec<streammeta_streams::Element> {
+    (0..n).filter_map(|_| g.next_element()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All generators produce non-decreasing timestamps and identical
+    /// streams under identical seeds.
+    #[test]
+    fn generators_are_monotone_and_seed_deterministic(
+        seed in 0u64..1000,
+        which in 0u8..3,
+        a in 1u64..20,
+        b in 1u64..20,
+    ) {
+        let build = || -> Box<dyn Generator> {
+            match which {
+                0 => Box::new(ConstantRate::new(
+                    Timestamp(0), TimeSpan(a), TupleGen::Sequence, seed)),
+                1 => Box::new(PoissonArrivals::new(
+                    Timestamp(0), a as f64, TupleGen::Sequence, seed)),
+                _ => Box::new(Bursty::new(
+                    Timestamp(0), TimeSpan(a * 4), TimeSpan(b * 4),
+                    TimeSpan(a), Some(TimeSpan(b)), TupleGen::Sequence, seed)),
+            }
+        };
+        let (mut g1, mut g2) = (build(), build());
+        let (e1, e2) = (drain(&mut *g1, 200), drain(&mut *g2, 200));
+        prop_assert_eq!(&e1, &e2);
+        prop_assert!(e1.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    /// Constant-rate streams deliver exactly `floor(T / interarrival)`
+    /// elements within any horizon T.
+    #[test]
+    fn constant_rate_is_exact(
+        interarrival in 1u64..50,
+        horizon in 1u64..5000,
+        seed in 0u64..100,
+    ) {
+        let mut g = ConstantRate::new(
+            Timestamp(0), TimeSpan(interarrival), TupleGen::Sequence, seed);
+        let mut count = 0u64;
+        loop {
+            let e = g.next_element().expect("infinite");
+            if e.timestamp.units() > horizon {
+                break;
+            }
+            count += 1;
+        }
+        prop_assert_eq!(count, horizon / interarrival);
+    }
+
+    /// The bursty generator's advertised average rate matches the emitted
+    /// element count over whole cycles.
+    #[test]
+    fn bursty_average_rate_matches_emissions(
+        high in 2u64..30,
+        low in 2u64..30,
+        inter_high in 1u64..5,
+        cycles in 1u64..20,
+    ) {
+        prop_assume!(inter_high <= high);
+        let mut g = Bursty::new(
+            Timestamp(0), TimeSpan(high), TimeSpan(low),
+            TimeSpan(inter_high), None, TupleGen::Sequence, 1);
+        let advertised = g.average_rate();
+        let cycle = high + low;
+        let horizon = cycles * cycle;
+        let mut count = 0u64;
+        loop {
+            let e = g.next_element().expect("infinite");
+            if e.timestamp.units() > horizon {
+                break;
+            }
+            count += 1;
+        }
+        let measured = count as f64 / horizon as f64;
+        prop_assert!(
+            (measured - advertised).abs() < 1e-9,
+            "advertised {advertised}, measured {measured}"
+        );
+    }
+
+    /// Poisson mean interarrival converges to the configured mean.
+    #[test]
+    fn poisson_mean_converges(mean in 2.0f64..20.0, seed in 0u64..50) {
+        let mut g = PoissonArrivals::new(Timestamp(0), mean, TupleGen::Sequence, seed);
+        let n = 3000usize;
+        let es = drain(&mut g, n);
+        let total = es.last().unwrap().timestamp.units() as f64;
+        let measured = total / n as f64;
+        // Ceil-rounding biases the measured mean upward slightly.
+        prop_assert!(
+            measured > mean * 0.8 && measured < mean * 1.4,
+            "mean {mean}, measured {measured}"
+        );
+    }
+
+    /// Zipf sampling is properly normalised: frequencies ordered by rank.
+    #[test]
+    fn zipf_rank_frequencies_are_ordered(n in 2usize..20, skew in 0.5f64..2.0) {
+        use rand::SeedableRng;
+        let z = Zipf::new(n, skew);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let mut counts = vec![0usize; n];
+        for _ in 0..30_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate the tail rank clearly.
+        prop_assert!(counts[0] > counts[n - 1]);
+    }
+}

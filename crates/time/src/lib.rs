@@ -1,0 +1,31 @@
+//! Clocks, timestamps and periodic-update drivers.
+//!
+//! The metadata framework of the paper calibrates the freshness/overhead
+//! trade-off through *time windows* (Section 3.1) and distributes periodic
+//! update tasks over a small pool of worker threads (Section 4.3). Both
+//! require a notion of time that the rest of the workspace can share.
+//!
+//! Two clock implementations are provided:
+//!
+//! * [`VirtualClock`] — a logical clock that is advanced explicitly by the
+//!   execution engine. All correctness experiments (the Figure 4 and
+//!   Figure 5 anomalies in particular) run on virtual time so that their
+//!   tables are exactly reproducible.
+//! * [`WallClock`] — microseconds since an origin `Instant`, used by the
+//!   multi-threaded executor and the overhead benchmarks.
+//!
+//! Periodic metadata handlers are driven by a [`PeriodicRegistry`]. In
+//! virtual-time mode the engine calls [`PeriodicRegistry::advance_to`] as it
+//! steps the clock; in wall-clock mode a [`WorkerPool`] of one or more
+//! threads polls the same registry (the "small pool of worker-threads" of
+//! Section 4.3).
+
+mod clock;
+mod periodic;
+mod pool;
+mod timestamp;
+
+pub use clock::{Clock, ClockRef, VirtualClock, WallClock};
+pub use periodic::{PeriodicRegistry, PeriodicTask, TaskId};
+pub use pool::WorkerPool;
+pub use timestamp::{TimeSpan, Timestamp};

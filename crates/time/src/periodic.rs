@@ -1,0 +1,345 @@
+//! Registry of periodic tasks.
+//!
+//! Periodic metadata handlers (Section 3.2.2 of the paper) refresh their
+//! value at fixed time-window boundaries. The registry keeps all scheduled
+//! refreshes in one priority queue so that a single driver — the virtual
+//! time engine loop or a [`crate::WorkerPool`] — fires them in due order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::{TimeSpan, Timestamp};
+
+/// Work fired at time-window boundaries.
+pub trait PeriodicTask: Send + Sync {
+    /// Runs the task. `fired_at` is the *scheduled* boundary instant, which
+    /// may be slightly in the past under a wall-clock driver; periodic rate
+    /// computations use the boundary so windows have exact lengths.
+    fn run(&self, fired_at: Timestamp);
+}
+
+impl<F: Fn(Timestamp) + Send + Sync> PeriodicTask for F {
+    fn run(&self, fired_at: Timestamp) {
+        self(fired_at)
+    }
+}
+
+/// Identifier of a registered task, used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(u64);
+
+#[derive(Clone)]
+struct Entry {
+    due: Timestamp,
+    id: u64,
+    period: TimeSpan,
+    task: Arc<dyn PeriodicTask>,
+}
+
+// Ordered by due time; ties broken by registration order so virtual-time
+// runs are fully deterministic.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.id == other.id
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.id).cmp(&(other.due, other.id))
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    next_id: u64,
+    heap: BinaryHeap<Reverse<Entry>>,
+    cancelled: HashSet<u64>,
+    live: usize,
+}
+
+/// A shared priority queue of periodic tasks.
+///
+/// Tasks are fired by calling [`PeriodicRegistry::advance_to`]; the registry
+/// itself owns no thread. Tasks may register or cancel other tasks from
+/// within `run` — the registry lock is released while a task runs.
+pub struct PeriodicRegistry {
+    inner: Mutex<Inner>,
+    /// Signalled when an earlier deadline appears or the registry shuts
+    /// down, so sleeping wall-clock workers re-evaluate their timeout.
+    wakeup: Condvar,
+}
+
+impl Default for PeriodicRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PeriodicRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// A new shared registry.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Registers `task` to fire first at `first_due` and then every
+    /// `period`. `period` must be non-zero.
+    pub fn register(
+        &self,
+        first_due: Timestamp,
+        period: TimeSpan,
+        task: Arc<dyn PeriodicTask>,
+    ) -> TaskId {
+        assert!(!period.is_zero(), "periodic task with zero period");
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.live += 1;
+        inner.heap.push(Reverse(Entry {
+            due: first_due,
+            id,
+            period,
+            task,
+        }));
+        drop(inner);
+        self.wakeup.notify_all();
+        TaskId(id)
+    }
+
+    /// Cancels a task. Cancelling an already-cancelled task is a no-op.
+    pub fn cancel(&self, id: TaskId) {
+        let mut inner = self.inner.lock();
+        if inner.cancelled.insert(id.0) {
+            inner.live = inner.live.saturating_sub(1);
+        }
+    }
+
+    /// Number of live (registered, not cancelled) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.lock().live
+    }
+
+    /// The earliest pending deadline, if any.
+    pub fn next_due(&self) -> Option<Timestamp> {
+        let mut inner = self.inner.lock();
+        // Drop cancelled heads so the reported deadline is a real one.
+        while let Some(Reverse(head)) = inner.heap.peek() {
+            if inner.cancelled.contains(&head.id) {
+                let id = head.id;
+                inner.heap.pop();
+                inner.cancelled.remove(&id);
+            } else {
+                return Some(head.due);
+            }
+        }
+        None
+    }
+
+    /// Fires every task whose deadline is `<= now`, in deadline order, and
+    /// reschedules each at `due + period`. Returns the number of task
+    /// firings. A task that falls behind by several periods fires once per
+    /// missed boundary, preserving exact window lengths.
+    pub fn advance_to(&self, now: Timestamp) -> usize {
+        let mut fired = 0;
+        loop {
+            let entry = {
+                let mut inner = self.inner.lock();
+                match inner.heap.peek() {
+                    Some(Reverse(head)) if head.due <= now => {
+                        let Reverse(entry) = inner.heap.pop().expect("peeked");
+                        if inner.cancelled.remove(&entry.id) {
+                            continue;
+                        }
+                        entry
+                    }
+                    _ => break,
+                }
+            };
+            // Run outside the lock: tasks may subscribe/unsubscribe
+            // metadata, which registers or cancels periodic tasks.
+            entry.task.run(entry.due);
+            fired += 1;
+            let mut inner = self.inner.lock();
+            if inner.cancelled.remove(&entry.id) {
+                // Cancelled from within `run` (or concurrently).
+                continue;
+            }
+            let next = Entry {
+                due: entry.due + entry.period,
+                ..entry
+            };
+            inner.heap.push(Reverse(next));
+        }
+        fired
+    }
+
+    /// Blocks the calling wall-clock worker until roughly `deadline_hint`
+    /// or until an earlier deadline is registered. Used by
+    /// [`crate::WorkerPool`]; virtual-time drivers never call this.
+    pub(crate) fn wait_for_work(&self, timeout: std::time::Duration) {
+        let mut guard = self.inner.lock();
+        self.wakeup.wait_for(&mut guard, timeout);
+    }
+
+    pub(crate) fn notify_shutdown(&self) {
+        self.wakeup.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn counting_task(counter: Arc<AtomicUsize>) -> Arc<dyn PeriodicTask> {
+        Arc::new(move |_t: Timestamp| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        })
+    }
+
+    #[test]
+    fn fires_at_each_boundary() {
+        let reg = PeriodicRegistry::new();
+        let n = Arc::new(AtomicUsize::new(0));
+        reg.register(Timestamp(10), TimeSpan(10), counting_task(n.clone()));
+        assert_eq!(reg.advance_to(Timestamp(9)), 0);
+        assert_eq!(reg.advance_to(Timestamp(10)), 1);
+        assert_eq!(reg.advance_to(Timestamp(35)), 2); // t=20, t=30
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn catches_up_missed_boundaries_once_each() {
+        let reg = PeriodicRegistry::new();
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        let f = fired.clone();
+        reg.register(
+            Timestamp(5),
+            TimeSpan(5),
+            Arc::new(move |t: Timestamp| f.lock().push(t)),
+        );
+        reg.advance_to(Timestamp(22));
+        assert_eq!(
+            *fired.lock(),
+            vec![Timestamp(5), Timestamp(10), Timestamp(15), Timestamp(20)]
+        );
+    }
+
+    #[test]
+    fn cancel_prevents_future_firings() {
+        let reg = PeriodicRegistry::new();
+        let n = Arc::new(AtomicUsize::new(0));
+        let id = reg.register(Timestamp(1), TimeSpan(1), counting_task(n.clone()));
+        reg.advance_to(Timestamp(3));
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+        reg.cancel(id);
+        reg.advance_to(Timestamp(10));
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+        assert_eq!(reg.live_tasks(), 0);
+    }
+
+    #[test]
+    fn cancel_twice_is_noop() {
+        let reg = PeriodicRegistry::new();
+        let n = Arc::new(AtomicUsize::new(0));
+        let id = reg.register(Timestamp(1), TimeSpan(1), counting_task(n));
+        reg.cancel(id);
+        reg.cancel(id);
+        assert_eq!(reg.live_tasks(), 0);
+    }
+
+    #[test]
+    fn tasks_fire_in_deadline_then_registration_order() {
+        let reg = PeriodicRegistry::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for tag in 0..3u32 {
+            let o = order.clone();
+            reg.register(
+                Timestamp(10),
+                TimeSpan(100),
+                Arc::new(move |_t: Timestamp| o.lock().push(tag)),
+            );
+        }
+        reg.advance_to(Timestamp(10));
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn next_due_skips_cancelled() {
+        let reg = PeriodicRegistry::new();
+        let n = Arc::new(AtomicUsize::new(0));
+        let a = reg.register(Timestamp(5), TimeSpan(5), counting_task(n.clone()));
+        reg.register(Timestamp(8), TimeSpan(5), counting_task(n));
+        assert_eq!(reg.next_due(), Some(Timestamp(5)));
+        reg.cancel(a);
+        assert_eq!(reg.next_due(), Some(Timestamp(8)));
+    }
+
+    #[test]
+    fn task_may_cancel_itself_while_running() {
+        let reg = Arc::new(PeriodicRegistry::new());
+        let n = Arc::new(AtomicUsize::new(0));
+        let slot: Arc<Mutex<Option<TaskId>>> = Arc::new(Mutex::new(None));
+        let (r2, n2, s2) = (reg.clone(), n.clone(), slot.clone());
+        let id = reg.register(
+            Timestamp(1),
+            TimeSpan(1),
+            Arc::new(move |_t: Timestamp| {
+                n2.fetch_add(1, Ordering::SeqCst);
+                if let Some(id) = *s2.lock() {
+                    r2.cancel(id);
+                }
+            }),
+        );
+        *slot.lock() = Some(id);
+        reg.advance_to(Timestamp(10));
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn task_may_register_new_tasks_while_running() {
+        let reg = Arc::new(PeriodicRegistry::new());
+        let n = Arc::new(AtomicUsize::new(0));
+        let (r2, n2) = (reg.clone(), n.clone());
+        let once = AtomicUsize::new(0);
+        reg.register(
+            Timestamp(1),
+            TimeSpan(100),
+            Arc::new(move |t: Timestamp| {
+                if once.fetch_add(1, Ordering::SeqCst) == 0 {
+                    r2.register(t + TimeSpan(1), TimeSpan(100), counting_task(n2.clone()));
+                }
+            }),
+        );
+        reg.advance_to(Timestamp(5));
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn zero_period_rejected() {
+        let reg = PeriodicRegistry::new();
+        reg.register(
+            Timestamp(1),
+            TimeSpan::ZERO,
+            counting_task(Arc::new(AtomicUsize::new(0))),
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Wall-clock worker pool driving a [`PeriodicRegistry`].
+//!
+//! Section 4.3 of the paper: "A further optimization for scalability is to
+//! distribute the periodic update tasks over a small pool of worker-threads.
+//! For small query graphs, however, a single thread is sufficient." The pool
+//! size is a constructor parameter; one thread is the default.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::{Clock, PeriodicRegistry};
+
+/// A pool of threads that fire due periodic tasks against wall-clock time.
+pub struct WorkerPool {
+    registry: Arc<PeriodicRegistry>,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (at least one) that poll `registry` using
+    /// `clock` for the current time.
+    pub fn start(registry: Arc<PeriodicRegistry>, clock: Arc<dyn Clock>, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handles = (0..threads)
+            .map(|i| {
+                let registry = registry.clone();
+                let clock = clock.clone();
+                let shutdown = shutdown.clone();
+                std::thread::Builder::new()
+                    .name(format!("md-periodic-{i}"))
+                    .spawn(move || worker_loop(&registry, &*clock, &shutdown))
+                    .expect("spawn periodic worker")
+            })
+            .collect();
+        Self {
+            registry,
+            shutdown,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Stops all workers and waits for them to finish.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.registry.notify_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(registry: &PeriodicRegistry, clock: &dyn Clock, shutdown: &AtomicBool) {
+    // How long a worker sleeps when the registry is empty.
+    const IDLE: Duration = Duration::from_millis(5);
+    while !shutdown.load(Ordering::SeqCst) {
+        let now = clock.now();
+        registry.advance_to(now);
+        let sleep = match registry.next_due() {
+            Some(due) if due > now => {
+                // One time unit == one microsecond under a wall clock.
+                Duration::from_micros((due - now).units()).min(IDLE)
+            }
+            Some(_) => continue, // already due again
+            None => IDLE,
+        };
+        registry.wait_for_work(sleep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PeriodicTask, TimeSpan, Timestamp, WallClock};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_fires_tasks_against_wall_clock() {
+        let registry = PeriodicRegistry::shared();
+        let clock = WallClock::shared();
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        let task: Arc<dyn PeriodicTask> = Arc::new(move |_t: Timestamp| {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        // Fire every 500us starting at 1000us.
+        registry.register(Timestamp(1000), TimeSpan(500), task);
+        let pool = WorkerPool::start(registry, clock, 1);
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while n.load(Ordering::SeqCst) < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.shutdown();
+        assert!(n.load(Ordering::SeqCst) >= 3, "pool fired too few tasks");
+    }
+
+    #[test]
+    fn pool_with_multiple_threads_shuts_down_cleanly() {
+        let registry = PeriodicRegistry::shared();
+        let clock = WallClock::shared();
+        let pool = WorkerPool::start(registry, clock, 4);
+        assert_eq!(pool.threads(), 4);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn drop_stops_workers() {
+        let registry = PeriodicRegistry::shared();
+        let clock = WallClock::shared();
+        let pool = WorkerPool::start(registry.clone(), clock, 2);
+        drop(pool);
+        // After drop, advancing manually still works (no poisoned state).
+        registry.advance_to(Timestamp(1));
+    }
+}

@@ -1,0 +1,157 @@
+//! Logical time units.
+//!
+//! A [`Timestamp`] is a number of abstract *time units* since the system
+//! origin. The paper's illustrations count in plain time units (e.g. the
+//! access period of 50 time units in Figure 4); in wall-clock mode one unit
+//! is one microsecond.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in time, in time units since the origin.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+/// A span of time, in time units.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeSpan(pub u64);
+
+impl Timestamp {
+    /// The system origin.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The largest representable instant; used as "never expires".
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Raw number of time units since the origin.
+    #[inline]
+    pub fn units(self) -> u64 {
+        self.0
+    }
+
+    /// Span elapsed since `earlier`, saturating at zero.
+    #[inline]
+    pub fn since(self, earlier: Timestamp) -> TimeSpan {
+        TimeSpan(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Timestamp advanced by `span`, saturating at [`Timestamp::MAX`].
+    #[inline]
+    pub fn saturating_add(self, span: TimeSpan) -> Timestamp {
+        Timestamp(self.0.saturating_add(span.0))
+    }
+}
+
+impl TimeSpan {
+    /// The empty span.
+    pub const ZERO: TimeSpan = TimeSpan(0);
+
+    /// Raw number of time units in the span.
+    #[inline]
+    pub fn units(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the span is empty.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The span as a floating point number of time units, for rate maths.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add<TimeSpan> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: TimeSpan) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeSpan> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = TimeSpan;
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> TimeSpan {
+        TimeSpan(self.0 - rhs.0)
+    }
+}
+
+impl Add<TimeSpan> for TimeSpan {
+    type Output = TimeSpan;
+    #[inline]
+    fn add(self, rhs: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for TimeSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}u", self.0)
+    }
+}
+
+impl fmt::Display for TimeSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Timestamp(100);
+        let s = TimeSpan(50);
+        assert_eq!(t + s, Timestamp(150));
+        assert_eq!((t + s) - t, s);
+        assert_eq!(t.since(Timestamp(30)), TimeSpan(70));
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(Timestamp(10).since(Timestamp(20)), TimeSpan::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        assert_eq!(Timestamp::MAX.saturating_add(TimeSpan(1)), Timestamp::MAX);
+    }
+
+    #[test]
+    fn ordering_matches_units() {
+        assert!(Timestamp(1) < Timestamp(2));
+        assert!(TimeSpan(3) > TimeSpan(2));
+    }
+
+    #[test]
+    fn display_is_plain_units() {
+        assert_eq!(Timestamp(42).to_string(), "42");
+        assert_eq!(TimeSpan(7).to_string(), "7");
+        assert_eq!(format!("{:?}", Timestamp(42)), "t42");
+    }
+}

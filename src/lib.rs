@@ -1,0 +1,48 @@
+//! # streammeta — dynamic metadata management for stream processing
+//!
+//! A Rust reproduction of Cammert, Krämer & Seeger, *"Dynamic Metadata
+//! Management for Scalable Stream Processing Systems"* (ICDE 2007),
+//! including the PIPES-like stream-processing substrate the framework
+//! lives in.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`] — the publish-subscribe metadata framework (the paper's
+//!   contribution): items, handlers, dependency graph, update mechanisms.
+//! * [`time`] — virtual/wall clocks and periodic-update drivers.
+//! * [`streams`] — elements, schemas, synthetic workload generators.
+//! * [`graph`] — the query graph: sources, operators, sinks, standard
+//!   metadata items, exchangeable join-state modules.
+//! * [`engine`] — virtual-time and multi-threaded executors, schedulers
+//!   (FIFO / round-robin / Chain), load shedding.
+//! * [`costmodel`] — the Figure 3 estimation network and the adaptive
+//!   resource manager.
+//! * [`profiler`] — metadata time-series recording and CSV export.
+//! * [`cql`] — a small continuous-query language compiled onto the graph.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, `DESIGN.md` for
+//! the system inventory and `EXPERIMENTS.md` for the paper-reproduction
+//! results.
+
+pub use streammeta_core as core;
+pub use streammeta_costmodel as costmodel;
+pub use streammeta_cql as cql;
+pub use streammeta_engine as engine;
+pub use streammeta_graph as graph;
+pub use streammeta_profiler as profiler;
+pub use streammeta_streams as streams;
+pub use streammeta_time as time;
+
+/// Convenience prelude: the names almost every program needs.
+pub mod prelude {
+    pub use streammeta_core::{
+        ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId, NodeRegistry, Subscription,
+    };
+    pub use streammeta_costmodel::{install_cost_model, ResourceManager};
+    pub use streammeta_engine::{ChainScheduler, FifoScheduler, LoadShedder, VirtualEngine};
+    pub use streammeta_graph::{
+        AggKind, FilterPredicate, JoinPredicate, MetadataConfig, QueryGraph, StateImpl,
+    };
+    pub use streammeta_streams::{Bursty, ConstantRate, Generator, PoissonArrivals, TupleGen};
+    pub use streammeta_time::{Clock, TimeSpan, Timestamp, VirtualClock, WallClock};
+}

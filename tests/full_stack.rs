@@ -1,0 +1,251 @@
+//! Cross-crate integration tests through the `streammeta` facade: the
+//! whole pipeline from workload generation through query execution to
+//! metadata-driven adaptation.
+
+use std::sync::Arc;
+
+use streammeta::costmodel::{
+    install_cost_model, ResourceManager, ESTIMATED_CPU_USAGE, ESTIMATED_MEMORY_USAGE,
+};
+use streammeta::prelude::*;
+use streammeta::profiler::Recorder;
+
+fn stack(rate_window: u64) -> (Arc<VirtualClock>, Arc<MetadataManager>, Arc<QueryGraph>) {
+    let clock = VirtualClock::shared();
+    let manager = MetadataManager::new(clock.clone());
+    let graph = Arc::new(QueryGraph::with_config(
+        manager.clone(),
+        MetadataConfig {
+            rate_window: TimeSpan(rate_window),
+        },
+    ));
+    (clock, manager, graph)
+}
+
+#[test]
+fn figure3_pipeline_with_monitoring_and_adaptation() {
+    let (clock, manager, graph) = stack(100);
+    let s1 = graph.source(
+        "s1",
+        Box::new(ConstantRate::new(
+            Timestamp(0),
+            TimeSpan(2),
+            TupleGen::Sequence,
+            1,
+        )),
+    );
+    let s2 = graph.source(
+        "s2",
+        Box::new(ConstantRate::new(
+            Timestamp(0),
+            TimeSpan(2),
+            TupleGen::Sequence,
+            2,
+        )),
+    );
+    let (w1, h1) = graph.time_window("w1", s1, TimeSpan(300));
+    let (w2, h2) = graph.time_window("w2", s2, TimeSpan(300));
+    let join = graph.join("j", w1, w2, JoinPredicate::True, StateImpl::List);
+    let (_sink, results) = graph.sink_collect("out", join);
+    install_cost_model(&graph);
+
+    // Profiler tracks estimate and measurement.
+    let mut recorder = Recorder::new(manager.clone());
+    let est = recorder
+        .track("est_mem", MetadataKey::new(join, ESTIMATED_MEMORY_USAGE))
+        .unwrap();
+    let meas = recorder
+        .track("meas_mem", MetadataKey::new(join, "memory_usage"))
+        .unwrap();
+
+    // Resource manager holds the join under a budget.
+    let budget = 1200u64;
+    let mut rm = ResourceManager::new(graph.clone(), budget);
+    rm.manage_window(w1, h1.clone());
+    rm.manage_window(w2, h2.clone());
+    rm.watch_join(join).unwrap();
+
+    let mut engine = VirtualEngine::new(graph.clone(), clock.clone());
+    for _ in 0..10 {
+        engine.run_for(TimeSpan(300));
+        rm.adjust();
+        recorder.sample();
+    }
+    assert!(!results.is_empty(), "join produced results");
+    // Estimated memory settled under the budget.
+    let est_summary = recorder.summary(est).unwrap();
+    assert!(
+        est_summary.min <= budget as f64 * 1.1,
+        "estimate never came down: {est_summary:?}"
+    );
+    // Measurement eventually agrees with the (resized) estimate.
+    let last_est = recorder.series(est).last().unwrap().1.unwrap();
+    let last_meas = recorder.series(meas).last().unwrap().1.unwrap();
+    assert!(
+        (last_est - last_meas).abs() / last_meas < 0.3,
+        "estimate {last_est} vs measured {last_meas}"
+    );
+    // Windows physically shrank from their preferred 300.
+    assert!(h1.get() < TimeSpan(300));
+    assert!(h2.get() < TimeSpan(300));
+}
+
+#[test]
+fn query_install_and_remove_at_runtime() {
+    let (clock, manager, graph) = stack(50);
+    let src = graph.source(
+        "shared-src",
+        Box::new(ConstantRate::new(
+            Timestamp(0),
+            TimeSpan(5),
+            TupleGen::Sequence,
+            1,
+        )),
+    );
+    let f = graph.filter(
+        "shared-filter",
+        src,
+        FilterPredicate::AttrLt {
+            col: 0,
+            bound: i64::MAX,
+        },
+        3,
+    );
+    let (sink1, out1) = graph.sink_collect("q1", f);
+    let mut engine = VirtualEngine::new(graph.clone(), clock.clone());
+    engine.run_until(Timestamp(200));
+    let after_q1 = out1.len();
+    assert!(after_q1 > 0);
+
+    // Install a second query sharing the filtered prefix at runtime.
+    let (w, _h) = graph.time_window("q2-window", f, TimeSpan(100));
+    let agg = graph.aggregate("q2-count", w, AggKind::Count, 0);
+    let (sink2, out2) = graph.sink_collect("q2", agg);
+    let rate = manager
+        .subscribe(MetadataKey::new(agg, "input_rate"))
+        .unwrap();
+    engine.run_until(Timestamp(600));
+    assert!(!out2.is_empty(), "new query produces");
+    assert!(out1.len() > after_q1, "old query unaffected");
+    assert!(rate.get_f64().is_some());
+
+    // Remove query 2; shared prefix keeps running.
+    drop(rate);
+    let removed = graph.remove_query(sink2);
+    assert_eq!(removed.len(), 3, "window + aggregate + sink");
+    let before = out1.len();
+    engine.run_until(Timestamp(900));
+    assert!(out1.len() > before, "query 1 still live");
+    // And removing query 1 empties the graph.
+    graph.remove_query(sink1);
+    assert!(graph.is_empty());
+}
+
+#[test]
+fn metadata_overhead_is_tailored_to_subscriptions() {
+    // The end-to-end version of the paper's core claim, small scale:
+    // running the same workload with no subscriptions performs (almost)
+    // no metadata computes; subscribing one item adds only that item's
+    // cascade.
+    let run = |subscribe: bool| {
+        let (clock, manager, graph) = stack(50);
+        let src = graph.source(
+            "s",
+            Box::new(PoissonArrivals::new(
+                Timestamp(0),
+                5.0,
+                TupleGen::Sequence,
+                9,
+            )),
+        );
+        let f = graph.filter(
+            "f",
+            src,
+            FilterPredicate::AttrLt {
+                col: 0,
+                bound: i64::MAX,
+            },
+            1,
+        );
+        let _sink = graph.sink_discard("k", f);
+        let _sub = subscribe.then(|| {
+            manager
+                .subscribe(MetadataKey::new(f, "avg_input_rate"))
+                .unwrap()
+        });
+        let mut engine = VirtualEngine::new(graph.clone(), clock.clone());
+        engine.run_until(Timestamp(2000));
+        manager.stats()
+    };
+    let idle = run(false);
+    assert_eq!(idle.computes, 0, "no subscription, no metadata work");
+    let one = run(true);
+    assert!(one.computes > 0);
+    // avg_input_rate + input_rate: ~40 boundary computes + propagations.
+    assert!(
+        one.computes < 200,
+        "tailored provision stays small: {}",
+        one.computes
+    );
+}
+
+#[test]
+fn estimated_cpu_tracks_rate_changes_through_triggers() {
+    let (clock, manager, graph) = stack(100);
+    // A bursty left input: the estimate must follow the measured rate.
+    let s1 = graph.source(
+        "bursty",
+        Box::new(Bursty::new(
+            Timestamp(0),
+            TimeSpan(500),
+            TimeSpan(500),
+            TimeSpan(2),
+            Some(TimeSpan(20)),
+            TupleGen::Sequence,
+            5,
+        )),
+    );
+    let s2 = graph.source(
+        "steady",
+        Box::new(ConstantRate::new(
+            Timestamp(0),
+            TimeSpan(10),
+            TupleGen::Sequence,
+            6,
+        )),
+    );
+    let (w1, _h1) = graph.time_window("w1", s1, TimeSpan(50));
+    let (w2, _h2) = graph.time_window("w2", s2, TimeSpan(50));
+    let join = graph.join("j", w1, w2, JoinPredicate::True, StateImpl::List);
+    let _sink = graph.sink_discard("k", join);
+    install_cost_model(&graph);
+    let cpu = manager
+        .subscribe(MetadataKey::new(join, ESTIMATED_CPU_USAGE))
+        .unwrap();
+    let mut engine = VirtualEngine::new(graph.clone(), clock.clone());
+    // Sample the estimate at the end of high and low phases.
+    let mut highs = Vec::new();
+    let mut lows = Vec::new();
+    for cycle in 0..4u64 {
+        engine.run_until(Timestamp(cycle * 1000 + 500));
+        highs.push(cpu.get_f64().unwrap_or(0.0));
+        engine.run_until(Timestamp(cycle * 1000 + 1000));
+        lows.push(cpu.get_f64().unwrap_or(0.0));
+    }
+    let high_avg: f64 = highs[1..].iter().sum::<f64>() / (highs.len() - 1) as f64;
+    let low_avg: f64 = lows[1..].iter().sum::<f64>() / (lows.len() - 1) as f64;
+    assert!(
+        high_avg > low_avg * 2.0,
+        "estimate follows the bursts: high {high_avg} vs low {low_avg}"
+    );
+}
+
+#[test]
+fn prelude_compiles_and_exposes_the_expected_names() {
+    // Type-level smoke test of the facade.
+    let _c: Arc<VirtualClock> = VirtualClock::shared();
+    let _s: TimeSpan = TimeSpan(5);
+    fn takes_clock(_: &dyn Clock) {}
+    takes_clock(&*VirtualClock::shared());
+    let _ = WallClock::new();
+}

@@ -1,0 +1,172 @@
+//! Soak test: a realistic multi-query workload with churning metadata
+//! subscriptions and runtime query install/remove, checking global
+//! invariants the whole way.
+//!
+//! This is the "thousands of continuous queries" setting of the paper's
+//! introduction, scaled to test size: dozens of CQL queries over shared
+//! sources, consumers subscribing and unsubscribing while the engine
+//! runs, queries added and removed mid-flight.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use streammeta::cql::{install, Catalog, CompiledQuery};
+use streammeta::prelude::*;
+
+struct Soak {
+    clock: Arc<VirtualClock>,
+    manager: Arc<MetadataManager>,
+    graph: Arc<QueryGraph>,
+    catalog: Catalog,
+}
+
+fn setup() -> Soak {
+    let clock = VirtualClock::shared();
+    let manager = MetadataManager::new(clock.clone());
+    let graph = Arc::new(QueryGraph::with_config(
+        manager.clone(),
+        MetadataConfig {
+            rate_window: TimeSpan(50),
+        },
+    ));
+    let mut catalog = Catalog::new();
+    for (i, name) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        let src = graph.source(
+            name,
+            Box::new(ConstantRate::new(
+                Timestamp(0),
+                TimeSpan(3 + i as u64 * 2),
+                TupleGen::UniformInt {
+                    lo: 0,
+                    hi: 49,
+                    cols: 2,
+                },
+                i as u64,
+            )),
+        );
+        catalog.register(*name, src);
+    }
+    Soak {
+        clock,
+        manager,
+        graph,
+        catalog,
+    }
+}
+
+fn random_query(rng: &mut SmallRng) -> String {
+    let streams = ["alpha", "beta", "gamma"];
+    let s = streams[rng.gen_range(0..streams.len())];
+    match rng.gen_range(0..5) {
+        0 => format!("SELECT * FROM {s}"),
+        1 => format!("SELECT k0 FROM {s} WHERE k1 < {}", rng.gen_range(5..45)),
+        2 => format!("SELECT COUNT(*) FROM {s}[RANGE {}]", rng.gen_range(20..200)),
+        3 => format!("SELECT AVG(k1) FROM {s}[RANGE {}]", rng.gen_range(20..200)),
+        _ => {
+            let t = streams[rng.gen_range(0..streams.len())];
+            format!(
+                "SELECT a.k1, b.k1 FROM {s}[RANGE {r1}] AS a JOIN {t}[RANGE {r2}] AS b ON a.k0 = b.k0",
+                r1 = rng.gen_range(20..100),
+                r2 = rng.gen_range(20..100),
+            )
+        }
+    }
+}
+
+#[test]
+fn soak_many_queries_with_subscription_and_query_churn() {
+    let env = setup();
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let mut engine = VirtualEngine::new(env.graph.clone(), env.clock.clone());
+    let mut queries: Vec<CompiledQuery> = Vec::new();
+    let mut subs: Vec<Subscription> = Vec::new();
+
+    for round in 0..40u64 {
+        // Install a new query most rounds.
+        if queries.len() < 25 {
+            let text = random_query(&mut rng);
+            let plan = install(&env.graph, &env.catalog, &text)
+                .unwrap_or_else(|e| panic!("query {text:?} failed: {e}"));
+            queries.push(plan);
+        }
+        // Remove a random query occasionally (exercises shared prefixes).
+        if round % 5 == 4 && queries.len() > 3 {
+            let victim = queries.swap_remove(rng.gen_range(0..queries.len()));
+            // Its subscriptions may still point at removed nodes; reads on
+            // live handlers must keep working, so drop subs first is NOT
+            // required — that is part of the invariant.
+            env.graph.remove_query(victim.sink);
+        }
+        // Subscribe to random metadata of random live nodes.
+        let nodes = env.graph.nodes();
+        for _ in 0..3 {
+            let node = nodes[rng.gen_range(0..nodes.len())];
+            if let Ok(items) = env.manager.available_items(node) {
+                let item = items[rng.gen_range(0..items.len())].clone();
+                if let Ok(sub) = env.manager.subscribe(MetadataKey::new(node, item)) {
+                    subs.push(sub);
+                }
+            }
+        }
+        // Drop some subscriptions.
+        while subs.len() > 30 {
+            let i = rng.gen_range(0..subs.len());
+            subs.swap_remove(i);
+        }
+        // Run; read everything subscribed (values must never panic).
+        engine.run_for(TimeSpan(100));
+        for s in &subs {
+            let _ = s.versioned();
+        }
+        // Invariants.
+        let stats = env.manager.stats();
+        assert_eq!(stats.compute_failures, 0, "no contained faults expected");
+        assert!(
+            stats.handlers <= stats.subscriptions,
+            "every handler has at least one reference: {stats:?}"
+        );
+    }
+
+    // Tear everything down: no handlers, tasks or subscriptions survive.
+    let expected_results: usize = queries.iter().map(|q| q.results.len()).sum();
+    assert!(expected_results > 0, "queries produced results");
+    drop(subs);
+    for q in queries.drain(..) {
+        env.graph.remove_query(q.sink);
+    }
+    assert!(env.graph.is_empty() || !env.graph.nodes().is_empty());
+    // Sources may remain (registered in the catalog, no consumers), but
+    // all consumer-created metadata is gone.
+    assert_eq!(env.manager.stats().subscriptions, 0);
+    assert_eq!(env.manager.handler_count(), 0);
+    assert_eq!(env.manager.periodic().live_tasks(), 0);
+}
+
+#[test]
+fn soak_subscriptions_survive_query_removal() {
+    // A subscription held on a node that gets removed keeps serving from
+    // its snapshotted definition (documented behaviour), and dropping it
+    // afterwards cleans up fully.
+    let env = setup();
+    let plan = install(
+        &env.graph,
+        &env.catalog,
+        "SELECT COUNT(*) FROM alpha[RANGE 60]",
+    )
+    .unwrap();
+    // Find the aggregate node: the sink's upstream.
+    let agg = env.graph.upstream(plan.sink)[0];
+    let rate = env
+        .manager
+        .subscribe(MetadataKey::new(agg, "input_rate"))
+        .unwrap();
+    let mut engine = VirtualEngine::new(env.graph.clone(), env.clock.clone());
+    engine.run_until(Timestamp(300));
+    assert!(rate.get_f64().is_some());
+    env.graph.remove_query(plan.sink);
+    // The registry is detached but the live handler keeps working.
+    let _ = rate.versioned();
+    drop(rate);
+    assert_eq!(env.manager.handler_count(), 0);
+}
