@@ -1,0 +1,81 @@
+//! Overhead of the trace bus on the framework's hot paths.
+//!
+//! With no sink installed every emission site reduces to one relaxed
+//! atomic load, so subscribe/unsubscribe cascades, reads and trigger
+//! propagation should cost the same as before the bus existed (the
+//! `disabled` rows). The `ring_sink` rows show the cost of actually
+//! collecting into a bounded ring buffer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use streammeta_core::{
+    ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId, NodeRegistry, RingBufferSink,
+};
+use streammeta_time::VirtualClock;
+
+/// A five-item triggered chain `i4 -> i3 -> ... -> i0` on one node.
+fn chain_manager() -> (Arc<MetadataManager>, Arc<AtomicU64>) {
+    let clock = VirtualClock::shared();
+    let manager = MetadataManager::new(clock);
+    let reg = NodeRegistry::new(NodeId(0));
+    let cell = Arc::new(AtomicU64::new(0));
+    let c2 = cell.clone();
+    reg.define(
+        ItemDef::on_demand("i0")
+            .compute(move |_| MetadataValue::U64(c2.load(Ordering::Relaxed)))
+            .build(),
+    );
+    for i in 1..5 {
+        reg.define(
+            ItemDef::triggered(format!("i{i}"))
+                .dep_local(format!("i{}", i - 1))
+                .compute(move |ctx| ctx.dep(&format!("i{}", i - 1)))
+                .build(),
+        );
+    }
+    manager.attach_node(reg);
+    (manager, cell)
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    for (mode, sink) in [
+        ("disabled", None),
+        ("ring_sink", Some(RingBufferSink::new(4096))),
+    ] {
+        let (manager, cell) = chain_manager();
+        manager.set_trace_sink(
+            sink.clone()
+                .map(|s| s as Arc<dyn streammeta_core::TraceSink>),
+        );
+
+        g.bench_function(format!("subscribe_chain5/{mode}"), |b| {
+            b.iter(|| {
+                let sub = manager
+                    .subscribe(MetadataKey::new(NodeId(0), "i4"))
+                    .unwrap();
+                drop(sub);
+            })
+        });
+
+        let sub = manager
+            .subscribe(MetadataKey::new(NodeId(0), "i4"))
+            .unwrap();
+        g.bench_function(format!("read_on_demand/{mode}"), |b| {
+            b.iter(|| manager.read(&MetadataKey::new(NodeId(0), "i0")))
+        });
+        g.bench_function(format!("propagate_chain4/{mode}"), |b| {
+            b.iter(|| {
+                cell.fetch_add(1, Ordering::Relaxed);
+                manager.notify_changed(MetadataKey::new(NodeId(0), "i0"));
+            })
+        });
+        drop(sub);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -10,9 +10,10 @@
 
 use streammeta_bench::scenarios::join_scenario;
 use streammeta_bench::table::Table;
-use streammeta_core::MetadataKey;
+use streammeta_core::{MetadataKey, RingBufferSink, TraceEvent};
 use streammeta_costmodel::{ESTIMATED_CPU_USAGE, ESTIMATED_OUTPUT_RATE};
 use streammeta_engine::VirtualEngine;
+use streammeta_profiler::render_trace;
 use streammeta_time::Timestamp;
 
 fn main() {
@@ -21,6 +22,11 @@ fn main() {
     println!("E2 / Figure 3 — subscription cascade of the join cost model\n");
     println!("handlers before subscription: {}", mgr.handler_count());
 
+    // Trace the cascade itself: every include/exclude the manager performs
+    // lands in the ring buffer in the order it happened.
+    let sink = RingBufferSink::new(1024);
+    mgr.set_trace_sink(Some(sink.clone()));
+
     let cpu = mgr
         .subscribe(MetadataKey::new(s.join, ESTIMATED_CPU_USAGE))
         .expect("subscribe estimated_cpu_usage");
@@ -28,6 +34,14 @@ fn main() {
         "handlers after subscribing estimated_cpu_usage: {}\n",
         mgr.handler_count()
     );
+
+    println!("inclusion trace (dependencies materialise before dependents):");
+    let includes: Vec<_> = sink
+        .snapshot()
+        .into_iter()
+        .filter(|r| matches!(r.event, TraceEvent::Include { .. }))
+        .collect();
+    println!("{}", render_trace(&includes));
 
     let mut table = Table::new(&["included item", "mechanism", "subscriptions"]);
     for key in mgr.included_keys() {
@@ -55,9 +69,17 @@ fn main() {
         cpu.get()
     );
 
+    sink.clear();
     drop(cpu);
     println!(
         "handlers after unsubscription (automatic exclusion): {}",
         mgr.handler_count()
     );
+    println!("\nexclusion trace (remaining handlers count down to zero):");
+    let excludes: Vec<_> = sink
+        .snapshot()
+        .into_iter()
+        .filter(|r| matches!(r.event, TraceEvent::Exclude { .. }))
+        .collect();
+    println!("{}", render_trace(&excludes));
 }

@@ -10,12 +10,20 @@
 //! shared by reference count, and removed when the count reaches zero.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use streammeta_time::{TaskId, Timestamp};
 
+use crate::histogram::HistogramMonitor;
 use crate::item::{ItemDef, Mechanism, ResolvedDep};
 use crate::{MetadataKey, MetadataValue, VersionedValue};
+
+/// Domain of the compute-latency histogram: [0, ~1.05 ms) in 256 buckets
+/// of 4096 ns; slower computes land in the overflow bucket and saturate
+/// the percentile estimate at the upper edge.
+const LATENCY_HI_NS: i64 = 1 << 20;
+const LATENCY_BUCKETS: usize = 256;
 
 /// Push observer signature: called with each stored value change.
 pub type ObserverFn = dyn Fn(&VersionedValue) + Send + Sync;
@@ -40,6 +48,9 @@ pub(crate) struct Handler {
     accesses: AtomicU64,
     updates: AtomicU64,
     computes: AtomicU64,
+    /// Compute-latency distribution in nanoseconds. Observed only while
+    /// the manager's latency profiling switch is on.
+    pub(crate) latency: Arc<HistogramMonitor>,
 }
 
 impl Handler {
@@ -56,6 +67,13 @@ impl Handler {
             accesses: AtomicU64::new(0),
             updates: AtomicU64::new(0),
             computes: AtomicU64::new(0),
+            latency: {
+                let h = HistogramMonitor::new(0, LATENCY_HI_NS, LATENCY_BUCKETS);
+                // The manager's profiling flag is the real gate; the
+                // histogram itself stays armed for the handler's lifetime.
+                h.activation().activate();
+                h
+            },
         }
     }
 
@@ -134,6 +152,14 @@ pub struct HandlerStats {
     pub computes: u64,
     /// Current number of subscriptions (direct + dependent inclusions).
     pub subscriptions: usize,
+    /// Median compute latency in nanoseconds, if latency profiling
+    /// observed any evaluation (see
+    /// [`crate::MetadataManager::set_latency_profiling`]).
+    pub latency_p50: Option<u64>,
+    /// 95th-percentile compute latency in nanoseconds.
+    pub latency_p95: Option<u64>,
+    /// 99th-percentile compute latency in nanoseconds.
+    pub latency_p99: Option<u64>,
 }
 
 #[cfg(test)]

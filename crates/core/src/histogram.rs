@@ -150,6 +150,29 @@ impl HistogramSnapshot {
         Some(count as f64 / self.width as f64 / total as f64)
     }
 
+    /// Nearest-rank percentile estimate (`0.0 < p <= 1.0`), reported as
+    /// the upper edge of the bucket holding the rank. Underflow ranks
+    /// report the domain's lower edge, overflow ranks saturate at the
+    /// upper edge. `None` before any observation.
+    pub fn percentile(&self, p: f64) -> Option<i64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = self.underflow;
+        if rank <= cum {
+            return Some(self.lo);
+        }
+        for (i, &count) in self.counts.iter().enumerate() {
+            cum += count;
+            if rank <= cum {
+                return Some(self.lo + ((i as u64 + 1) * self.width) as i64);
+            }
+        }
+        Some(self.lo + (self.counts.len() as u64 * self.width) as i64)
+    }
+
     /// Renders `bucket_lo:count` pairs, for textual metadata export.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -240,6 +263,32 @@ mod tests {
         let h = active(0, 10, 2);
         assert_eq!(h.snapshot().selectivity_lt(5), None);
         assert_eq!(h.snapshot().selectivity_eq(5), None);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let h = active(0, 100, 10);
+        for v in 0..100 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), Some(50));
+        assert_eq!(s.percentile(0.95), Some(100));
+        assert_eq!(s.percentile(0.05), Some(10));
+        assert_eq!(
+            HistogramMonitor::new(0, 10, 2).snapshot().percentile(0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn percentile_saturates_at_domain_edges() {
+        let h = active(0, 10, 2);
+        h.observe(-5);
+        h.observe(50);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.25), Some(0));
+        assert_eq!(s.percentile(1.0), Some(10));
     }
 
     #[test]

@@ -75,9 +75,11 @@ mod histogram;
 mod item;
 mod key;
 mod manager;
+mod meta;
 mod monitor;
 mod registry;
 mod subscription;
+mod trace;
 mod value;
 
 pub use error::{MetadataError, Result};
@@ -90,7 +92,9 @@ pub use item::{
 };
 pub use key::{EventKey, ItemPath, MetadataKey, NodeId};
 pub use manager::{ManagerStats, MetadataManager};
+pub use meta::META_NODE;
 pub use monitor::{Counter, Gauge};
 pub use registry::{MetadataModule, NodeRegistry, RegistryScope};
 pub use subscription::Subscription;
+pub use trace::{RingBufferSink, TraceEvent, TraceRecord, TraceSink};
 pub use value::{MetadataValue, VersionedValue};

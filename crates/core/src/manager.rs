@@ -23,7 +23,7 @@
 //! (compute functions, hooks) is never called while it is held.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::{Mutex, RwLock};
@@ -31,8 +31,10 @@ use streammeta_time::{ClockRef, PeriodicRegistry, PeriodicTask, TimeSpan, Timest
 
 use crate::handler::{Handler, HandlerStats};
 use crate::item::{DepReader, DepSource, EvalCtx, ItemDef, Mechanism};
+use crate::monitor::Counter;
 use crate::registry::NodeRegistry;
 use crate::subscription::Subscription;
+use crate::trace::{TraceEvent, TraceRecord, TraceSink};
 use crate::{
     EventKey, ItemPath, MetadataError, MetadataKey, MetadataValue, NodeId, Result, VersionedValue,
 };
@@ -67,6 +69,9 @@ pub struct ManagerStats {
     /// Compute functions that panicked (contained; the item reported
     /// `Unavailable` for that evaluation).
     pub compute_failures: u64,
+    /// Periodic refreshes that completed a full window after their
+    /// scheduled boundary.
+    pub deadline_misses: u64,
 }
 
 /// The central coordinator of dynamic metadata management.
@@ -79,11 +84,25 @@ pub struct MetadataManager {
     /// Graph-level lock (Section 4.2).
     registries: RwLock<HashMap<NodeId, Arc<NodeRegistry>>>,
     inner: Mutex<Inner>,
-    computes: AtomicU64,
+    /// Always-on counter (not a plain atomic) so the reflexive meta node
+    /// can derive `meta.computes_rate` from it via a `WindowDelta`.
+    computes: Arc<Counter>,
     updates: AtomicU64,
     accesses: AtomicU64,
     propagations: AtomicU64,
     compute_failures: AtomicU64,
+    deadline_misses: AtomicU64,
+    /// BFS depth of the deepest handler recomputed in the last
+    /// propagation round.
+    last_propagation_depth: AtomicU64,
+    /// Trace bus: a single relaxed load gates every emission site, so an
+    /// uninstalled sink costs (close to) nothing on the hot paths.
+    trace_enabled: AtomicBool,
+    trace_sink: RwLock<Option<Arc<dyn TraceSink>>>,
+    trace_seq: AtomicU64,
+    /// Gates the per-compute latency measurement (two `Instant` reads per
+    /// evaluation when on).
+    profile_latency: AtomicBool,
     self_weak: Weak<MetadataManager>,
 }
 
@@ -101,13 +120,89 @@ impl MetadataManager {
             periodic,
             registries: RwLock::new(HashMap::new()),
             inner: Mutex::new(Inner::default()),
-            computes: AtomicU64::new(0),
+            computes: Counter::always_on(),
             updates: AtomicU64::new(0),
             accesses: AtomicU64::new(0),
             propagations: AtomicU64::new(0),
             compute_failures: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            last_propagation_depth: AtomicU64::new(0),
+            trace_enabled: AtomicBool::new(false),
+            trace_sink: RwLock::new(None),
+            trace_seq: AtomicU64::new(0),
+            profile_latency: AtomicBool::new(false),
             self_weak: weak.clone(),
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Trace bus and profiling switches
+    // ------------------------------------------------------------------
+
+    /// Installs (or, with `None`, removes) the trace sink receiving the
+    /// manager's structured lifecycle events.
+    pub fn set_trace_sink(&self, sink: Option<Arc<dyn TraceSink>>) {
+        // On removal, clear the gate before the slot so emission sites
+        // stop checking for the sink first.
+        let enabled = sink.is_some();
+        if !enabled {
+            self.trace_enabled.store(false, Ordering::Relaxed);
+        }
+        *self.trace_sink.write() = sink;
+        if enabled {
+            self.trace_enabled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether a trace sink is installed.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Emits one trace event. The closure runs only when a sink is
+    /// installed, so emission sites pay one relaxed load otherwise.
+    #[inline]
+    fn trace(&self, event: impl FnOnce() -> TraceEvent) {
+        if !self.trace_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let sink = self.trace_sink.read().clone();
+        if let Some(sink) = sink {
+            sink.record(TraceRecord {
+                seq: self.trace_seq.fetch_add(1, Ordering::Relaxed),
+                at: self.clock.now(),
+                event: event(),
+            });
+        }
+    }
+
+    /// Switches per-compute latency measurement on or off. When on, every
+    /// compute evaluation is timed into the handler's latency histogram
+    /// and [`HandlerStats`] report p50/p95/p99.
+    pub fn set_latency_profiling(&self, on: bool) {
+        self.profile_latency.store(on, Ordering::Relaxed);
+    }
+
+    /// The always-on counter of compute evaluations (feeds the meta
+    /// node's `meta.computes_rate`).
+    pub(crate) fn computes_counter(&self) -> &Arc<Counter> {
+        &self.computes
+    }
+
+    /// A weak self-reference for compute closures of the meta node.
+    pub(crate) fn weak_self(&self) -> Weak<MetadataManager> {
+        self.self_weak.clone()
+    }
+
+    /// Periodic refreshes that completed a full window late.
+    pub fn deadline_miss_count(&self) -> u64 {
+        self.deadline_misses.load(Ordering::Relaxed)
+    }
+
+    /// BFS depth of the deepest handler recomputed by the most recent
+    /// trigger-propagation round (0 if the round reached nothing).
+    pub fn last_propagation_depth(&self) -> u64 {
+        self.last_propagation_depth.load(Ordering::Relaxed)
     }
 
     /// The manager's clock.
@@ -190,6 +285,7 @@ impl MetadataManager {
     /// included automatically; shared items are reference counted. The
     /// returned [`Subscription`] unsubscribes on drop.
     pub fn subscribe(self: &Arc<Self>, key: MetadataKey) -> Result<Subscription> {
+        self.trace(|| TraceEvent::Subscribe { key: key.clone() });
         let mut created: Vec<Arc<Handler>> = Vec::new();
         let mut log: Vec<MetadataKey> = Vec::new();
         let result = {
@@ -294,6 +390,14 @@ impl MetadataManager {
                 refcount: 1,
             },
         );
+        // The stack holds the ancestors of `key` here, so its length is
+        // the dependency depth; emission at insert time makes the trace
+        // list inclusions in DFS dependency order (dependencies first).
+        self.trace(|| TraceEvent::Include {
+            key: key.clone(),
+            mechanism: handler.mechanism().label(),
+            depth: stack.len(),
+        });
         log.push(key);
         created.push(handler);
         Ok(())
@@ -386,10 +490,21 @@ impl MetadataManager {
     /// Cancels one subscription on `key`. Called by [`Subscription`] on
     /// drop; dependent items are excluded recursively (Section 2.4).
     pub(crate) fn unsubscribe(&self, key: &MetadataKey) {
+        self.trace(|| TraceEvent::Unsubscribe { key: key.clone() });
         let mut removed = Vec::new();
-        {
+        let remaining_after = {
             let mut inner = self.inner.lock();
             self.exclude(&mut inner, key, &mut removed);
+            inner.handlers.len()
+        };
+        // The i-th of n drops left `remaining_after + (n - 1 - i)` live
+        // handlers; an exclusion cascade back to idle traces down to 0.
+        let n = removed.len();
+        for (i, h) in removed.iter().enumerate() {
+            self.trace(|| TraceEvent::Exclude {
+                key: h.key.clone(),
+                remaining: remaining_after + (n - 1 - i),
+            });
         }
         self.run_exclusion_actions(&removed);
     }
@@ -492,11 +607,17 @@ impl MetadataManager {
     /// Per-item statistics, if the item is included.
     pub fn handler_stats(&self, key: &MetadataKey) -> Option<HandlerStats> {
         let inner = self.inner.lock();
-        inner.handlers.get(key).map(|e| HandlerStats {
-            accesses: e.handler.access_count(),
-            updates: e.handler.update_count(),
-            computes: e.handler.compute_count(),
-            subscriptions: e.refcount,
+        inner.handlers.get(key).map(|e| {
+            let latency = e.handler.latency.snapshot();
+            HandlerStats {
+                accesses: e.handler.access_count(),
+                updates: e.handler.update_count(),
+                computes: e.handler.compute_count(),
+                subscriptions: e.refcount,
+                latency_p50: latency.percentile(0.50).map(|v| v.max(0) as u64),
+                latency_p95: latency.percentile(0.95).map(|v| v.max(0) as u64),
+                latency_p99: latency.percentile(0.99).map(|v| v.max(0) as u64),
+            }
         })
     }
 
@@ -511,11 +632,12 @@ impl MetadataManager {
         ManagerStats {
             handlers: inner.handlers.len(),
             subscriptions: inner.handlers.values().map(|e| e.refcount).sum(),
-            computes: self.computes.load(Ordering::Relaxed),
+            computes: self.computes.value(),
             updates: self.updates.load(Ordering::Relaxed),
             accesses: self.accesses.load(Ordering::Relaxed),
             propagations: self.propagations.load(Ordering::Relaxed),
             compute_failures: self.compute_failures.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -599,7 +721,7 @@ impl MetadataManager {
         now: Timestamp,
     ) -> MetadataValue {
         handler.record_compute();
-        self.computes.fetch_add(1, Ordering::Relaxed);
+        self.computes.record();
         let ctx = EvalCtx {
             now,
             window,
@@ -607,10 +729,22 @@ impl MetadataManager {
             deps: &handler.resolved_deps,
         };
         let compute = &handler.def.compute;
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compute(&ctx))) {
+        let started = self
+            .profile_latency
+            .load(Ordering::Relaxed)
+            .then(std::time::Instant::now);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compute(&ctx)));
+        if let Some(started) = started {
+            let ns = started.elapsed().as_nanos().min(i64::MAX as u128) as i64;
+            handler.latency.observe(ns);
+        }
+        match result {
             Ok(v) => v,
             Err(_) => {
                 self.compute_failures.fetch_add(1, Ordering::Relaxed);
+                self.trace(|| TraceEvent::ComputeFailed {
+                    key: handler.key.clone(),
+                });
                 MetadataValue::Unavailable
             }
         }
@@ -630,6 +764,21 @@ impl MetadataManager {
             }
             changed
         };
+        // Deadline-miss detection: the refresh finished a full window (or
+        // more) after its scheduled boundary, i.e. the next boundary was
+        // already due. Under a virtual-time driver this flags catch-up
+        // firings after coarse clock steps; under wall clock, overload.
+        let fired_at = self.clock.now();
+        let missed = fired_at.since(boundary) >= window;
+        if missed {
+            self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.trace(|| TraceEvent::PeriodicFired {
+            key: key.clone(),
+            boundary,
+            fired_at,
+            missed,
+        });
         if changed {
             self.propagate(DepSource::Item(key.clone()), boundary);
         }
@@ -657,14 +806,16 @@ impl MetadataManager {
     /// round; an item only recomputes if one of its sources actually
     /// changed, and only propagates further if its own value changed.
     fn propagate(&self, origin: DepSource, now: Timestamp) {
-        self.propagations.fetch_add(1, Ordering::Relaxed);
-        // Phase 1: snapshot the affected subgraph.
-        let plan: Vec<Arc<Handler>> = {
+        let round = self.propagations.fetch_add(1, Ordering::Relaxed) + 1;
+        // Phase 1: snapshot the affected subgraph, remembering each item's
+        // BFS distance from the origin for the trace.
+        let (plan, depths) = {
             let inner = self.inner.lock();
             let mut reach: BTreeMap<MetadataKey, Arc<Handler>> = BTreeMap::new();
-            let mut frontier: VecDeque<DepSource> = VecDeque::new();
-            frontier.push_back(origin.clone());
-            while let Some(src) = frontier.pop_front() {
+            let mut depths: HashMap<MetadataKey, usize> = HashMap::new();
+            let mut frontier: VecDeque<(DepSource, usize)> = VecDeque::new();
+            frontier.push_back((origin.clone(), 0));
+            while let Some((src, depth)) = frontier.pop_front() {
                 if let Some(deps) = inner.dependents.get(&src) {
                     for key in deps {
                         if reach.contains_key(key) {
@@ -678,16 +829,18 @@ impl MetadataManager {
                         // schedule, on-demand dependents on access.
                         if entry.handler.mechanism() == Mechanism::Triggered {
                             reach.insert(key.clone(), entry.handler.clone());
-                            frontier.push_back(DepSource::Item(key.clone()));
+                            depths.insert(key.clone(), depth + 1);
+                            frontier.push_back((DepSource::Item(key.clone()), depth + 1));
                         }
                     }
                 }
             }
-            topo_order(reach)
+            (topo_order(reach), depths)
         };
         // Phase 2: recompute outside the bookkeeping lock.
         let mut changed: HashSet<DepSource> = HashSet::new();
         changed.insert(origin);
+        let mut max_depth = 0usize;
         for handler in plan {
             let affected = handler
                 .resolved_deps
@@ -698,11 +851,22 @@ impl MetadataManager {
             }
             let _guard = handler.compute_lock.lock();
             let v = self.compute_value(&handler, None, now);
-            if handler.store_if_changed(v, now) {
+            let stored = handler.store_if_changed(v, now);
+            if stored {
                 self.updates.fetch_add(1, Ordering::Relaxed);
                 changed.insert(DepSource::Item(handler.key.clone()));
             }
+            let depth = depths.get(&handler.key).copied().unwrap_or(0);
+            max_depth = max_depth.max(depth);
+            self.trace(|| TraceEvent::PropagationStep {
+                round,
+                key: handler.key.clone(),
+                depth,
+                changed: stored,
+            });
         }
+        self.last_propagation_depth
+            .store(max_depth as u64, Ordering::Relaxed);
     }
 }
 

@@ -1,0 +1,194 @@
+//! Reflexive meta-metadata: the manager's own runtime statistics exposed
+//! as ordinary metadata items.
+//!
+//! The paper motivates runtime metadata with "analysis gives insight into
+//! system behavior" — and the metadata framework itself is a system worth
+//! observing. [`MetadataManager::install_meta_node`] attaches a synthetic
+//! node ([`META_NODE`]) whose items describe the manager: handler counts,
+//! compute/update/access totals, the compute rate over a window, trigger
+//! propagation depth, deadline misses, and contained compute failures.
+//! Consumers — a profiler's `Recorder`, a load shedder, an optimizer —
+//! subscribe to them through the normal pub-sub API, with the usual
+//! tailored-provision guarantee: nothing is maintained until subscribed.
+
+use std::sync::Arc;
+
+use streammeta_time::TimeSpan;
+
+use crate::estimators::WindowDelta;
+use crate::item::ItemDef;
+use crate::manager::MetadataManager;
+use crate::registry::NodeRegistry;
+use crate::{MetadataValue, NodeId};
+
+/// The synthetic query-graph node owning the manager's self-describing
+/// metadata items. Reserved; real graph nodes must not use this id.
+pub const META_NODE: NodeId = NodeId(u32::MAX);
+
+impl MetadataManager {
+    /// Attaches the reflexive meta node and returns its registry.
+    ///
+    /// All items are on-demand snapshots of manager counters except
+    /// `meta.computes_rate`, a periodic rate (computes per time unit) over
+    /// `rate_window`. Installation defines items only — no handler exists
+    /// and nothing is computed until something subscribes.
+    pub fn install_meta_node(self: &Arc<Self>, rate_window: TimeSpan) -> Arc<NodeRegistry> {
+        let reg = NodeRegistry::new(META_NODE);
+        let stat = |name: &str, doc: &str, read: fn(&MetadataManager) -> MetadataValue| {
+            let weak = self.weak_self();
+            ItemDef::on_demand(name)
+                .doc(doc)
+                .compute(move |_ctx| match weak.upgrade() {
+                    Some(mgr) => read(&mgr),
+                    None => MetadataValue::Unavailable,
+                })
+                .build()
+        };
+        reg.define(stat("meta.handlers", "live metadata handlers", |m| {
+            MetadataValue::U64(m.handler_count() as u64)
+        }));
+        reg.define(stat(
+            "meta.subscriptions",
+            "sum of all subscription counts",
+            |m| MetadataValue::U64(m.stats().subscriptions as u64),
+        ));
+        reg.define(stat(
+            "meta.computes",
+            "total compute-function evaluations",
+            |m| MetadataValue::U64(m.stats().computes),
+        ));
+        reg.define(stat("meta.updates", "total stored value changes", |m| {
+            MetadataValue::U64(m.stats().updates)
+        }));
+        reg.define(stat("meta.accesses", "total consumer accesses", |m| {
+            MetadataValue::U64(m.stats().accesses)
+        }));
+        reg.define(stat(
+            "meta.propagations",
+            "total trigger-propagation rounds",
+            |m| MetadataValue::U64(m.stats().propagations),
+        ));
+        reg.define(stat(
+            "meta.propagation_depth",
+            "BFS depth of the last propagation round",
+            |m| MetadataValue::U64(m.last_propagation_depth()),
+        ));
+        reg.define(stat(
+            "meta.deadline_misses",
+            "periodic refreshes that ran a full window late",
+            |m| MetadataValue::U64(m.deadline_miss_count()),
+        ));
+        reg.define(stat(
+            "meta.compute_failures",
+            "contained compute-function panics",
+            |m| MetadataValue::U64(m.stats().compute_failures),
+        ));
+        let delta = WindowDelta::new(self.computes_counter().clone());
+        reg.define(
+            ItemDef::periodic("meta.computes_rate", rate_window)
+                .doc("compute evaluations per time unit, per window")
+                .compute(
+                    move |ctx| match delta.rate_over(ctx.window().unwrap_or(TimeSpan::ZERO)) {
+                        Some(r) => MetadataValue::F64(r),
+                        None => MetadataValue::Unavailable,
+                    },
+                )
+                .build(),
+        );
+        self.attach_node(reg.clone());
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ItemDef, MetadataKey};
+    use streammeta_time::{Clock, TimeSpan, VirtualClock};
+
+    fn setup() -> (Arc<VirtualClock>, Arc<MetadataManager>) {
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock.clone());
+        let reg = NodeRegistry::new(NodeId(0));
+        reg.define(
+            ItemDef::on_demand("x")
+                .compute(|_| MetadataValue::U64(7))
+                .build(),
+        );
+        mgr.attach_node(reg);
+        mgr.install_meta_node(TimeSpan(10));
+        (clock, mgr)
+    }
+
+    #[test]
+    fn install_defines_without_computing() {
+        let (_clock, mgr) = setup();
+        assert!(mgr.registry(META_NODE).is_some());
+        assert_eq!(mgr.handler_count(), 0);
+        assert_eq!(mgr.stats().computes, 0);
+    }
+
+    #[test]
+    fn meta_handlers_counts_itself() {
+        let (_clock, mgr) = setup();
+        let handlers = mgr
+            .subscribe(MetadataKey::new(META_NODE, "meta.handlers"))
+            .unwrap();
+        // The meta item's own handler is part of the count it reports.
+        assert_eq!(handlers.get().as_u64(), Some(1));
+        let _x = mgr.subscribe(MetadataKey::new(NodeId(0), "x")).unwrap();
+        assert_eq!(handlers.get().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn computes_rate_measures_manager_activity() {
+        let (clock, mgr) = setup();
+        let rate = mgr
+            .subscribe(MetadataKey::new(META_NODE, "meta.computes_rate"))
+            .unwrap();
+        let x = mgr.subscribe(MetadataKey::new(NodeId(0), "x")).unwrap();
+        assert!(!rate.get().is_available());
+        for _ in 0..20 {
+            x.get(); // one on-demand compute each
+        }
+        clock.advance(TimeSpan(10));
+        mgr.periodic().advance_to(clock.now());
+        // 20 accesses of `x` in a 10-unit window, plus the boundary
+        // evaluation of the rate item itself: (20 + 1) / 10.
+        assert_eq!(rate.get_f64(), Some(2.1));
+    }
+
+    #[test]
+    fn meta_counters_track_failures_and_misses() {
+        let (clock, mgr) = setup();
+        let reg = mgr.registry(NodeId(0)).unwrap();
+        reg.define(
+            ItemDef::on_demand("boom")
+                .compute(|_| panic!("intentional"))
+                .build(),
+        );
+        let failures = mgr
+            .subscribe(MetadataKey::new(META_NODE, "meta.compute_failures"))
+            .unwrap();
+        let misses = mgr
+            .subscribe(MetadataKey::new(META_NODE, "meta.deadline_misses"))
+            .unwrap();
+        assert_eq!(failures.get().as_u64(), Some(0));
+        let boom = mgr.subscribe(MetadataKey::new(NodeId(0), "boom")).unwrap();
+        assert_eq!(boom.get(), MetadataValue::Unavailable);
+        assert_eq!(failures.get().as_u64(), Some(1));
+
+        assert_eq!(misses.get().as_u64(), Some(0));
+        reg.define(
+            ItemDef::periodic("tick", TimeSpan(5))
+                .compute(|ctx| MetadataValue::U64(ctx.now().units()))
+                .build(),
+        );
+        let _tick = mgr.subscribe(MetadataKey::new(NodeId(0), "tick")).unwrap();
+        // Jump four windows at once: the catch-up firings at t=5,10,15 all
+        // complete a full window late; the one at t=20 is on time.
+        clock.advance(TimeSpan(20));
+        mgr.periodic().advance_to(clock.now());
+        assert_eq!(misses.get().as_u64(), Some(3));
+    }
+}

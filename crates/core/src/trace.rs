@@ -1,0 +1,386 @@
+//! Trace bus: structured observability events for the metadata framework
+//! itself.
+//!
+//! The manager narrates its own lifecycle — subscriptions, the automatic
+//! DFS inclusion/exclusion of dependencies (Section 2.4 of the paper),
+//! trigger-propagation rounds (Section 3.2.3), periodic firings and
+//! compute failures — to an installed [`TraceSink`]. With no sink
+//! installed the hot path pays a single relaxed atomic load; event
+//! construction is behind that gate.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use streammeta_time::Timestamp;
+
+use crate::MetadataKey;
+
+/// One structured event on the trace bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An external subscription request arrived for `key`.
+    Subscribe {
+        /// The requested item.
+        key: MetadataKey,
+    },
+    /// An external unsubscription arrived for `key`.
+    Unsubscribe {
+        /// The released item.
+        key: MetadataKey,
+    },
+    /// The inclusion DFS materialised a handler for `key`.
+    Include {
+        /// The included item.
+        key: MetadataKey,
+        /// The item's provision mechanism.
+        mechanism: &'static str,
+        /// Dependency depth below the subscription root (root = 0).
+        depth: usize,
+    },
+    /// Exclusion dropped the handler of `key`.
+    Exclude {
+        /// The excluded item.
+        key: MetadataKey,
+        /// Handlers still alive after this drop.
+        remaining: usize,
+    },
+    /// One handler was recomputed during a trigger-propagation round.
+    PropagationStep {
+        /// Identifier of the propagation round (monotone per manager).
+        round: u64,
+        /// The recomputed item.
+        key: MetadataKey,
+        /// Distance from the origin in the inverted dependency graph.
+        depth: usize,
+        /// Whether the recomputation changed the stored value.
+        changed: bool,
+    },
+    /// A periodic handler fired at a window boundary.
+    PeriodicFired {
+        /// The refreshed item.
+        key: MetadataKey,
+        /// The scheduled window boundary.
+        boundary: Timestamp,
+        /// The actual instant the refresh ran.
+        fired_at: Timestamp,
+        /// Whether the refresh ran a full window late (deadline miss).
+        missed: bool,
+    },
+    /// A compute function panicked; the value became `Unavailable`.
+    ComputeFailed {
+        /// The failing item.
+        key: MetadataKey,
+    },
+}
+
+impl TraceEvent {
+    /// Short machine-readable event name (used by the JSONL export and
+    /// the profiler's pretty-printer).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Subscribe { .. } => "subscribe",
+            TraceEvent::Unsubscribe { .. } => "unsubscribe",
+            TraceEvent::Include { .. } => "include",
+            TraceEvent::Exclude { .. } => "exclude",
+            TraceEvent::PropagationStep { .. } => "propagation_step",
+            TraceEvent::PeriodicFired { .. } => "periodic_fired",
+            TraceEvent::ComputeFailed { .. } => "compute_failed",
+        }
+    }
+
+    /// The item the event concerns.
+    pub fn key(&self) -> &MetadataKey {
+        match self {
+            TraceEvent::Subscribe { key }
+            | TraceEvent::Unsubscribe { key }
+            | TraceEvent::Include { key, .. }
+            | TraceEvent::Exclude { key, .. }
+            | TraceEvent::PropagationStep { key, .. }
+            | TraceEvent::PeriodicFired { key, .. }
+            | TraceEvent::ComputeFailed { key } => key,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Subscribe { key } => write!(f, "subscribe {key}"),
+            TraceEvent::Unsubscribe { key } => write!(f, "unsubscribe {key}"),
+            TraceEvent::Include {
+                key,
+                mechanism,
+                depth,
+            } => write!(f, "include {key} mechanism={mechanism} depth={depth}"),
+            TraceEvent::Exclude { key, remaining } => {
+                write!(f, "exclude {key} remaining={remaining}")
+            }
+            TraceEvent::PropagationStep {
+                round,
+                key,
+                depth,
+                changed,
+            } => write!(
+                f,
+                "propagation round={round} {key} depth={depth} changed={changed}"
+            ),
+            TraceEvent::PeriodicFired {
+                key,
+                boundary,
+                fired_at,
+                missed,
+            } => write!(
+                f,
+                "periodic {key} boundary={boundary} fired_at={fired_at} missed={missed}"
+            ),
+            TraceEvent::ComputeFailed { key } => write!(f, "compute_failed {key}"),
+        }
+    }
+}
+
+/// One sequenced, timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Per-manager emission sequence number.
+    pub seq: u64,
+    /// Clock instant of emission.
+    pub at: Timestamp,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// The record as one JSON object (a JSONL line, without the newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"at\":");
+        out.push_str(&self.at.units().to_string());
+        out.push_str(",\"event\":\"");
+        out.push_str(self.event.kind());
+        out.push_str("\",\"key\":\"");
+        push_escaped(&mut out, &self.event.key().to_string());
+        out.push('"');
+        match &self.event {
+            TraceEvent::Include {
+                mechanism, depth, ..
+            } => {
+                out.push_str(",\"mechanism\":\"");
+                push_escaped(&mut out, mechanism);
+                out.push_str("\",\"depth\":");
+                out.push_str(&depth.to_string());
+            }
+            TraceEvent::Exclude { remaining, .. } => {
+                out.push_str(",\"remaining\":");
+                out.push_str(&remaining.to_string());
+            }
+            TraceEvent::PropagationStep {
+                round,
+                depth,
+                changed,
+                ..
+            } => {
+                out.push_str(",\"round\":");
+                out.push_str(&round.to_string());
+                out.push_str(",\"depth\":");
+                out.push_str(&depth.to_string());
+                out.push_str(",\"changed\":");
+                out.push_str(if *changed { "true" } else { "false" });
+            }
+            TraceEvent::PeriodicFired {
+                boundary,
+                fired_at,
+                missed,
+                ..
+            } => {
+                out.push_str(",\"boundary\":");
+                out.push_str(&boundary.units().to_string());
+                out.push_str(",\"fired_at\":");
+                out.push_str(&fired_at.units().to_string());
+                out.push_str(",\"missed\":");
+                out.push_str(if *missed { "true" } else { "false" });
+            }
+            TraceEvent::Subscribe { .. }
+            | TraceEvent::Unsubscribe { .. }
+            | TraceEvent::ComputeFailed { .. } => {}
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Receives trace records from a [`crate::MetadataManager`].
+///
+/// Implementations must be cheap and non-blocking — records are emitted
+/// from inside subscription and propagation paths.
+pub trait TraceSink: Send + Sync {
+    /// Accepts one record.
+    fn record(&self, record: TraceRecord);
+}
+
+/// A bounded in-memory trace sink: keeps the most recent `capacity`
+/// records, counting the ones it had to evict.
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<TraceRecord>>,
+    dropped: AtomicU64,
+}
+
+impl RingBufferSink {
+    /// A ring buffer holding at most `capacity` records (at least 1).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(RingBufferSink {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Maximum retained records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+
+    /// Discards all retained records (the drop counter is kept).
+    pub fn clear(&self) {
+        self.buf.lock().clear();
+    }
+
+    /// The retained records as JSON Lines (one object per line).
+    pub fn to_jsonl(&self) -> String {
+        let buf = self.buf.lock();
+        let mut out = String::with_capacity(buf.len() * 96);
+        for rec in buf.iter() {
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&self, record: TraceRecord) {
+        let mut buf = self.buf.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn rec(seq: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            seq,
+            at: Timestamp(seq),
+            event,
+        }
+    }
+
+    fn key(path: &str) -> MetadataKey {
+        MetadataKey::new(NodeId(1), path)
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let sink = RingBufferSink::new(2);
+        for i in 0..4 {
+            sink.record(rec(i, TraceEvent::Subscribe { key: key("a") }));
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 2);
+        let snap = sink.snapshot();
+        assert_eq!(snap[0].seq, 2);
+        assert_eq!(snap[1].seq, 3);
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn jsonl_renders_one_object_per_line() {
+        let sink = RingBufferSink::new(8);
+        sink.record(rec(
+            0,
+            TraceEvent::Include {
+                key: key("rate"),
+                mechanism: "periodic",
+                depth: 2,
+            },
+        ));
+        sink.record(rec(
+            1,
+            TraceEvent::PeriodicFired {
+                key: key("rate"),
+                boundary: Timestamp(100),
+                fired_at: Timestamp(105),
+                missed: false,
+            },
+        ));
+        let jsonl = sink.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"include\""));
+        assert!(lines[0].contains("\"mechanism\":\"periodic\""));
+        assert!(lines[0].contains("\"depth\":2"));
+        assert!(lines[1].contains("\"boundary\":100"));
+        assert!(lines[1].contains("\"missed\":false"));
+    }
+
+    #[test]
+    fn event_kind_and_key_are_uniform() {
+        let e = TraceEvent::Exclude {
+            key: key("x"),
+            remaining: 3,
+        };
+        assert_eq!(e.kind(), "exclude");
+        assert_eq!(e.key(), &key("x"));
+        assert_eq!(format!("{e}"), "exclude n1/x remaining=3");
+    }
+}

@@ -14,6 +14,7 @@ use streammeta_graph::{NodeKind, QueryGraph};
 use streammeta_streams::Element;
 use streammeta_time::{Clock, TimeSpan, Timestamp, VirtualClock};
 
+use crate::probes::EngineProbes;
 use crate::queues::QueueSet;
 use crate::scheduler::{FifoScheduler, Scheduler};
 use crate::shedder::LoadShedder;
@@ -57,6 +58,7 @@ pub struct VirtualEngine {
     scheduler: Box<dyn Scheduler>,
     queues: QueueSet,
     shedder: Option<LoadShedder>,
+    probes: Option<Arc<EngineProbes>>,
     ops_per_tick: Option<usize>,
     tick: TimeSpan,
     stats: EngineStats,
@@ -76,6 +78,7 @@ impl VirtualEngine {
             scheduler: Box::new(FifoScheduler),
             queues: QueueSet::new(),
             shedder: None,
+            probes: None,
             ops_per_tick: None,
             tick: TimeSpan(1),
             stats: EngineStats::default(),
@@ -106,6 +109,12 @@ impl VirtualEngine {
     /// Installs a load shedder in front of the sources.
     pub fn set_shedder(&mut self, shedder: LoadShedder) {
         self.shedder = Some(shedder);
+    }
+
+    /// Installs engine probes; each tick publishes queue depths and
+    /// shed counters into their monitors (no-ops while unsubscribed).
+    pub fn set_probes(&mut self, probes: Arc<EngineProbes>) {
+        self.probes = Some(probes);
     }
 
     /// The installed shedder, if any.
@@ -197,6 +206,9 @@ impl VirtualEngine {
             self.graph
                 .process(key.0, key.1, &item.element, now, &mut self.scratch);
             self.stats.processed += 1;
+            if let Some(p) = &self.probes {
+                p.processed.record();
+            }
             let mut outputs = std::mem::take(&mut self.scratch);
             Self::fan_out(&mut self.queues, &self.graph, key.0, &mut outputs);
             self.scratch = outputs;
@@ -207,6 +219,15 @@ impl VirtualEngine {
         if let Some(shedder) = &mut self.shedder {
             shedder.on_tick(&self.queues);
             self.stats.dropped = shedder.counts().1;
+        }
+        if let Some(p) = &self.probes {
+            p.queue_elements.set(self.queues.total_elements() as f64);
+            p.queue_bytes.set(self.queues.total_bytes() as f64);
+            if let Some(shedder) = &self.shedder {
+                let (admitted, dropped) = shedder.counts();
+                p.shed_admitted.set(admitted as f64);
+                p.shed_dropped.set(dropped as f64);
+            }
         }
         self.graph.manager().periodic().advance_to(now);
 

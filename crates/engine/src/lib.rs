@@ -12,13 +12,15 @@
 //!   synchronization experiments of Section 4.2.
 
 mod executor;
+mod probes;
 mod queues;
 mod scheduler;
 mod shedder;
 mod threaded;
 
 pub use executor::{EngineStats, VirtualEngine};
+pub use probes::{EngineProbes, ENGINE_NODE};
 pub use queues::{QueueKey, QueueSet, Queued};
 pub use scheduler::{ChainScheduler, FifoScheduler, QosScheduler, RoundRobinScheduler, Scheduler};
 pub use shedder::LoadShedder;
-pub use threaded::{run_threaded, ThreadedRunStats};
+pub use threaded::{run_threaded, run_threaded_with, ThreadedRunStats};

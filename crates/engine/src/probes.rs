@@ -1,0 +1,199 @@
+//! Engine self-observation: queue depths, worker utilization and
+//! shed-drop counters published as metadata items.
+//!
+//! The executors are producers of runtime metadata like any operator: an
+//! [`EngineProbes`] bundle holds activatable monitors the engines write
+//! on their hot paths (a relaxed flag check when nobody subscribed), and
+//! [`EngineProbes::install`] defines the corresponding items on the
+//! synthetic [`ENGINE_NODE`] so consumers — a `Recorder`, a shedder, the
+//! Prometheus exporter — subscribe through the normal pub-sub API.
+
+use std::sync::Arc;
+
+use streammeta_core::{
+    Counter, Gauge, ItemDef, MetadataManager, MetadataValue, NodeId, NodeRegistry, WindowDelta,
+};
+use streammeta_time::TimeSpan;
+
+/// The synthetic node owning the engine's metadata items. Reserved
+/// (distinct from [`streammeta_core::META_NODE`]); real graph nodes must
+/// not use this id.
+pub const ENGINE_NODE: NodeId = NodeId(u32::MAX - 1);
+
+/// Activatable monitors the executors feed.
+///
+/// All writes no-op while the corresponding items are unsubscribed
+/// (tailored provision down to the engine's own instrumentation).
+pub struct EngineProbes {
+    /// Total queued elements (inter-operator queues or channel backlog).
+    pub queue_elements: Arc<Gauge>,
+    /// Total queued bytes (virtual engine only).
+    pub queue_bytes: Arc<Gauge>,
+    /// Workers currently processing an element (threaded executor).
+    pub busy_workers: Arc<Gauge>,
+    /// Configured worker count (threaded executor).
+    pub workers: Arc<Gauge>,
+    /// Elements processed.
+    pub processed: Arc<Counter>,
+    /// Elements dropped by the load shedder.
+    pub shed_dropped: Arc<Gauge>,
+    /// Elements admitted by the load shedder.
+    pub shed_admitted: Arc<Gauge>,
+}
+
+impl Default for EngineProbes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineProbes {
+    /// A fresh, inactive probe bundle.
+    pub fn new() -> Self {
+        EngineProbes {
+            queue_elements: Gauge::new(),
+            queue_bytes: Gauge::new(),
+            busy_workers: Gauge::new(),
+            workers: Gauge::new(),
+            processed: Counter::new(),
+            shed_dropped: Gauge::new(),
+            shed_admitted: Gauge::new(),
+        }
+    }
+
+    /// Defines the engine items on [`ENGINE_NODE`] and attaches the
+    /// registry to `manager`. `rate_window` sizes the window of the
+    /// periodic `engine.processed_rate` item.
+    pub fn install(
+        &self,
+        manager: &Arc<MetadataManager>,
+        rate_window: TimeSpan,
+    ) -> Arc<NodeRegistry> {
+        let reg = NodeRegistry::new(ENGINE_NODE);
+        let gauge_item = |name: &str, doc: &str, g: &Arc<Gauge>| {
+            let read = g.clone();
+            ItemDef::on_demand(name)
+                .doc(doc)
+                .monitor(g.clone())
+                .compute(move |_| MetadataValue::F64(read.value()))
+                .build()
+        };
+        reg.define(gauge_item(
+            "engine.queue_elements",
+            "total queued elements across inter-operator queues",
+            &self.queue_elements,
+        ));
+        reg.define(gauge_item(
+            "engine.queue_bytes",
+            "total queued bytes across inter-operator queues",
+            &self.queue_bytes,
+        ));
+        reg.define(gauge_item(
+            "engine.busy_workers",
+            "workers currently processing an element",
+            &self.busy_workers,
+        ));
+        reg.define(gauge_item(
+            "engine.workers",
+            "configured worker count",
+            &self.workers,
+        ));
+        reg.define(gauge_item(
+            "engine.shed_dropped",
+            "elements dropped by the load shedder",
+            &self.shed_dropped,
+        ));
+        reg.define(gauge_item(
+            "engine.shed_admitted",
+            "elements admitted by the load shedder",
+            &self.shed_admitted,
+        ));
+        {
+            let busy = self.busy_workers.clone();
+            let workers = self.workers.clone();
+            reg.define(
+                ItemDef::on_demand("engine.worker_utilization")
+                    .doc("busy workers / configured workers, in [0, 1]")
+                    .monitor(self.busy_workers.clone())
+                    .monitor(self.workers.clone())
+                    .compute(move |_| {
+                        let total = workers.value();
+                        if total <= 0.0 {
+                            MetadataValue::Unavailable
+                        } else {
+                            MetadataValue::F64(busy.value() / total)
+                        }
+                    })
+                    .build(),
+            );
+        }
+        {
+            let processed = self.processed.clone();
+            reg.define(
+                ItemDef::on_demand("engine.processed")
+                    .doc("elements processed so far")
+                    .counter(&self.processed)
+                    .compute(move |_| MetadataValue::U64(processed.value()))
+                    .build(),
+            );
+        }
+        {
+            let delta = WindowDelta::new(self.processed.clone());
+            reg.define(
+                ItemDef::periodic("engine.processed_rate", rate_window)
+                    .doc("elements processed per time unit, per window")
+                    .counter(&self.processed)
+                    .compute(move |ctx| {
+                        match delta.rate_over(ctx.window().unwrap_or(TimeSpan::ZERO)) {
+                            Some(r) => MetadataValue::F64(r),
+                            None => MetadataValue::Unavailable,
+                        }
+                    })
+                    .build(),
+            );
+        }
+        manager.attach_node(reg.clone());
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammeta_core::MetadataKey;
+    use streammeta_time::VirtualClock;
+
+    #[test]
+    fn probes_stay_inactive_until_subscribed() {
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock);
+        let probes = EngineProbes::new();
+        probes.install(&mgr, TimeSpan(100));
+
+        probes.queue_elements.set(42.0);
+        assert_eq!(probes.queue_elements.value(), 0.0);
+
+        let sub = mgr
+            .subscribe(MetadataKey::new(ENGINE_NODE, "engine.queue_elements"))
+            .unwrap();
+        probes.queue_elements.set(42.0);
+        assert_eq!(sub.get_f64(), Some(42.0));
+        drop(sub);
+        assert!(!probes.queue_elements.is_active());
+    }
+
+    #[test]
+    fn worker_utilization_divides_busy_by_total() {
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock);
+        let probes = EngineProbes::new();
+        probes.install(&mgr, TimeSpan(100));
+        let util = mgr
+            .subscribe(MetadataKey::new(ENGINE_NODE, "engine.worker_utilization"))
+            .unwrap();
+        assert!(!util.get().is_available());
+        probes.workers.set(4.0);
+        probes.busy_workers.set(3.0);
+        assert_eq!(util.get_f64(), Some(0.75));
+    }
+}

@@ -12,6 +12,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use streammeta_core::NodeId;
+
+use crate::probes::EngineProbes;
 use streammeta_graph::{NodeKind, QueryGraph};
 use streammeta_streams::Element;
 use streammeta_time::Clock;
@@ -42,7 +44,26 @@ pub fn run_threaded(
     duration: Duration,
     workers: usize,
 ) -> ThreadedRunStats {
+    run_threaded_with(graph, clock, duration, workers, None)
+}
+
+/// Like [`run_threaded`], additionally publishing channel backlog, busy
+/// workers and processed counts into `probes` (no-ops per monitor unless
+/// the corresponding [`crate::probes::ENGINE_NODE`] item is subscribed).
+pub fn run_threaded_with(
+    graph: &Arc<QueryGraph>,
+    clock: &Arc<dyn Clock>,
+    duration: Duration,
+    workers: usize,
+    probes: Option<&EngineProbes>,
+) -> ThreadedRunStats {
     let workers = workers.max(1);
+    if let Some(p) = probes {
+        p.workers.set(workers as f64);
+    }
+    let queue_gauge = probes.map(|p| p.queue_elements.clone());
+    let busy_gauge = probes.map(|p| p.busy_workers.clone());
+    let processed_counter = probes.map(|p| p.processed.clone());
     let (tx, rx): (Sender<WorkItem>, Receiver<WorkItem>) = unbounded();
     let stop = Arc::new(AtomicBool::new(false));
     let processed = Arc::new(AtomicU64::new(0));
@@ -56,6 +77,7 @@ pub fn run_threaded(
             let tx = tx.clone();
             let stop = stop.clone();
             let source_elements = source_elements.clone();
+            let queue_gauge = queue_gauge.clone();
             scope.spawn(move || {
                 let deadline = Instant::now() + duration;
                 let sources: Vec<NodeId> = graph
@@ -80,6 +102,9 @@ pub fn run_threaded(
                             }
                         }
                     }
+                    if let Some(g) = &queue_gauge {
+                        g.set(tx.len() as f64);
+                    }
                     std::thread::sleep(Duration::from_micros(200));
                 }
                 stop.store(true, Ordering::SeqCst);
@@ -93,11 +118,16 @@ pub fn run_threaded(
             let tx = tx.clone();
             let stop = stop.clone();
             let processed = processed.clone();
+            let busy_gauge = busy_gauge.clone();
+            let processed_counter = processed_counter.clone();
             scope.spawn(move || {
                 let mut out = Vec::new();
                 loop {
                     match rx.recv_timeout(Duration::from_millis(1)) {
                         Ok(item) => {
+                            if let Some(g) = &busy_gauge {
+                                g.add(1.0);
+                            }
                             out.clear();
                             graph.process(
                                 item.node,
@@ -107,6 +137,9 @@ pub fn run_threaded(
                                 &mut out,
                             );
                             processed.fetch_add(1, Ordering::Relaxed);
+                            if let Some(c) = &processed_counter {
+                                c.record();
+                            }
                             for e in out.drain(..) {
                                 for (node, port) in graph.downstream(item.node) {
                                     let _ = tx.send(WorkItem {
@@ -115,6 +148,9 @@ pub fn run_threaded(
                                         element: e.clone(),
                                     });
                                 }
+                            }
+                            if let Some(g) = &busy_gauge {
+                                g.add(-1.0);
                             }
                         }
                         Err(_) => {

@@ -310,6 +310,91 @@ fn qos_scheduler_prefers_high_priority_queries() {
 }
 
 #[test]
+fn subscription_churn_keeps_stats_consistent() {
+    // Many threads subscribing to and dropping dependency-bearing items
+    // concurrently: the manager's cumulative counters only ever grow, the
+    // per-item subscription counts match what churn is live, and once the
+    // last subscription drops every handler is excluded again.
+    let clock: Arc<dyn Clock> = WallClock::shared();
+    let manager = MetadataManager::new(clock.clone());
+    let graph = Arc::new(QueryGraph::with_config(
+        manager.clone(),
+        MetadataConfig {
+            rate_window: TimeSpan(10_000),
+        },
+    ));
+    let src = graph.source(
+        "s",
+        Box::new(ConstantRate::new(
+            Timestamp(0),
+            TimeSpan(100),
+            TupleGen::Sequence,
+            1,
+        )),
+    );
+    let f = graph.filter(
+        "f",
+        src,
+        FilterPredicate::AttrLt {
+            col: 0,
+            bound: i64::MAX,
+        },
+        1,
+    );
+    let _sink = graph.sink_discard("k", f);
+
+    const THREADS: usize = 4;
+    const ITERS: usize = 200;
+    let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let manager = manager.clone();
+            let done = done.clone();
+            s.spawn(move || {
+                // Alternate between two items with different dependency
+                // fan-in so include/exclude cascades interleave.
+                let paths = ["input_rate", "selectivity", "output_rate"];
+                for i in 0..ITERS {
+                    let key = MetadataKey::new(f, paths[(t + i) % paths.len()]);
+                    let sub = manager.subscribe(key).unwrap();
+                    let _ = sub.get();
+                    drop(sub);
+                }
+                done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        }
+        // Meanwhile the main thread checks that the cumulative counters
+        // are monotone under concurrent churn.
+        let mut last = manager.stats();
+        while done.load(std::sync::atomic::Ordering::SeqCst) < THREADS {
+            let now = manager.stats();
+            assert!(now.computes >= last.computes, "computes");
+            assert!(now.accesses >= last.accesses, "accesses");
+            assert!(now.updates >= last.updates, "updates");
+            assert!(now.propagations >= last.propagations, "propagations");
+            last = now;
+            std::thread::yield_now();
+        }
+    });
+
+    let stats = manager.stats();
+    // All churn subscriptions were dropped, so the live sum is zero and
+    // every access was counted.
+    assert_eq!(stats.subscriptions, 0);
+    assert!(stats.accesses >= (THREADS * ITERS) as u64);
+    assert_eq!(stats.compute_failures, 0);
+    // Every subscription was dropped: the whole cascade is excluded.
+    assert_eq!(stats.handlers, 0);
+    assert_eq!(manager.handler_count(), 0);
+    for path in ["input_rate", "selectivity", "output_rate"] {
+        assert!(
+            manager.handler_stats(&MetadataKey::new(f, path)).is_none(),
+            "{path} handler should be gone"
+        );
+    }
+}
+
+#[test]
 fn threaded_executor_processes_concurrently_with_metadata_access() {
     let clock: Arc<dyn Clock> = WallClock::shared();
     let manager = MetadataManager::new(clock.clone());

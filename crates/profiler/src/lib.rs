@@ -11,13 +11,18 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use streammeta_core::{MetadataKey, MetadataManager, MetadataValue, Result, Subscription};
+use streammeta_core::{
+    MetadataKey, MetadataManager, MetadataValue, Result, Subscription, TraceRecord,
+};
 use streammeta_time::Timestamp;
 
 /// One tracked time series.
 struct Series {
     label: String,
     sub: Subscription,
+    /// Sample rounds that happened before this series was tracked; its
+    /// first sample belongs to round `lead`, not round 0.
+    lead: usize,
     samples: Vec<(Timestamp, Option<f64>)>,
 }
 
@@ -42,6 +47,8 @@ pub struct SeriesSummary {
 pub struct Recorder {
     manager: Arc<MetadataManager>,
     series: Vec<Series>,
+    /// Sample rounds taken so far.
+    rounds: usize,
 }
 
 impl Recorder {
@@ -50,6 +57,7 @@ impl Recorder {
         Recorder {
             manager,
             series: Vec::new(),
+            rounds: 0,
         }
     }
 
@@ -60,6 +68,7 @@ impl Recorder {
         self.series.push(Series {
             label: label.into(),
             sub,
+            lead: self.rounds,
             samples: Vec::new(),
         });
         Ok(self.series.len() - 1)
@@ -68,6 +77,7 @@ impl Recorder {
     /// Samples every tracked item at the current clock instant.
     pub fn sample(&mut self) {
         let now = self.manager.clock().now();
+        self.rounds += 1;
         for s in &mut self.series {
             let v = match s.sub.get() {
                 MetadataValue::Unavailable => None,
@@ -130,7 +140,8 @@ impl Recorder {
     }
 
     /// All series as CSV: `time,<label1>,<label2>,...` rows aligned on
-    /// sample round.
+    /// sample round. Series tracked after sampling started are padded
+    /// with leading `NA` cells so later rows stay aligned.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("time");
         for s in &self.series {
@@ -138,22 +149,22 @@ impl Recorder {
             out.push_str(&s.label);
         }
         out.push('\n');
-        let rounds = self
-            .series
-            .iter()
-            .map(|s| s.samples.len())
-            .max()
-            .unwrap_or(0);
-        for i in 0..rounds {
+        let cell = |s: &Series, round: usize| -> Option<(Timestamp, Option<f64>)> {
+            round
+                .checked_sub(s.lead)
+                .and_then(|i| s.samples.get(i))
+                .copied()
+        };
+        for round in 0..self.rounds {
             let t = self
                 .series
                 .iter()
-                .find_map(|s| s.samples.get(i).map(|(t, _)| *t))
+                .find_map(|s| cell(s, round).map(|(t, _)| t))
                 .unwrap_or(Timestamp::ZERO);
             let _ = write!(out, "{t}");
             for s in &self.series {
                 out.push(',');
-                match s.samples.get(i).and_then(|(_, v)| *v) {
+                match cell(s, round).and_then(|(_, v)| v) {
                     Some(v) => {
                         let _ = write!(out, "{v}");
                     }
@@ -164,6 +175,67 @@ impl Recorder {
         }
         out
     }
+
+    /// The tracked items in Prometheus text exposition format: one gauge
+    /// per series with `node`/`item` labels, read at call time (what a
+    /// scrape would see). Non-numeric and unavailable values are skipped.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            let Some(v) = s.sub.get_f64() else {
+                continue;
+            };
+            let name = prometheus_name(&s.label);
+            let key = s.sub.key();
+            let _ = writeln!(out, "# HELP {name} metadata item {key}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(
+                out,
+                "{name}{{node=\"{}\",item=\"{}\"}} {v}",
+                key.node, key.item
+            );
+        }
+        out
+    }
+}
+
+/// Sanitizes a series label into a Prometheus metric name
+/// (`streammeta_` prefix, `[a-zA-Z0-9_:]` body).
+fn prometheus_name(label: &str) -> String {
+    let mut name = String::from("streammeta_");
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            name.push(c);
+        } else {
+            name.push('_');
+        }
+    }
+    name
+}
+
+/// Renders trace records as an aligned, human-readable listing; include
+/// and exclude cascades are indented by dependency depth.
+pub fn render_trace(records: &[TraceRecord]) -> String {
+    use streammeta_core::TraceEvent;
+    let mut out = String::new();
+    for r in records {
+        let indent = match &r.event {
+            TraceEvent::Include { depth, .. } | TraceEvent::PropagationStep { depth, .. } => {
+                *depth * 2
+            }
+            _ => 0,
+        };
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10}  {:indent$}{}",
+            r.seq,
+            r.at.units(),
+            "",
+            r.event,
+            indent = indent
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -220,6 +292,63 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some("time,time,label"));
         assert_eq!(lines.next(), Some("1,1,NA"));
+    }
+
+    #[test]
+    fn late_tracked_series_pads_leading_na() {
+        let (clock, mgr) = setup();
+        let mut rec = Recorder::new(mgr);
+        rec.track("time", MetadataKey::new(NodeId(0), "t")).unwrap();
+        clock.advance(TimeSpan(1));
+        rec.sample();
+        clock.advance(TimeSpan(1));
+        rec.sample();
+        // Tracked after two rounds: its samples belong to rounds 2+.
+        let late = rec.track("late", MetadataKey::new(NodeId(0), "t")).unwrap();
+        clock.advance(TimeSpan(1));
+        rec.sample();
+        let csv = rec.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("time,time,late"));
+        assert_eq!(lines.next(), Some("1,1,NA"));
+        assert_eq!(lines.next(), Some("2,2,NA"));
+        assert_eq!(lines.next(), Some("3,3,3"));
+        assert_eq!(lines.next(), None);
+        // Per-series views are unpadded.
+        assert_eq!(rec.series(late).len(), 1);
+    }
+
+    #[test]
+    fn prometheus_renders_current_values_with_labels() {
+        let (clock, mgr) = setup();
+        let mut rec = Recorder::new(mgr);
+        rec.track("clock time", MetadataKey::new(NodeId(0), "t"))
+            .unwrap();
+        // Non-numeric values are skipped.
+        rec.track("label", MetadataKey::new(NodeId(0), "label"))
+            .unwrap();
+        clock.advance(TimeSpan(7));
+        let text = rec.render_prometheus();
+        assert!(text.contains("# HELP streammeta_clock_time metadata item n0/t"));
+        assert!(text.contains("# TYPE streammeta_clock_time gauge"));
+        assert!(text.contains("streammeta_clock_time{node=\"n0\",item=\"t\"} 7"));
+        assert!(!text.contains("streammeta_label"));
+    }
+
+    #[test]
+    fn trace_listing_indents_by_depth() {
+        use streammeta_core::{RingBufferSink, TraceEvent};
+        let (_clock, mgr) = setup();
+        let sink = RingBufferSink::new(16);
+        mgr.set_trace_sink(Some(sink.clone()));
+        let _sub = mgr.subscribe(MetadataKey::new(NodeId(0), "t")).unwrap();
+        let text = render_trace(&sink.snapshot());
+        assert!(text.contains("subscribe n0/t"));
+        assert!(text.contains("include n0/t"));
+        assert!(sink
+            .snapshot()
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Include { depth: 0, .. })));
     }
 
     #[test]

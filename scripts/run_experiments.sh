@@ -2,11 +2,15 @@
 # Runs every paper-reproduction experiment (release build) and writes the
 # outputs to results/exp_*.txt. See DESIGN.md §4 for the experiment index
 # and EXPERIMENTS.md for the interpretation of each table.
+#
+# Fully offline: all dependencies are vendored path crates, so no network
+# access is needed (or attempted) at any point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-results}
 mkdir -p "$OUT"
+export CARGO_NET_OFFLINE=true
 
 cargo build --release -p streammeta-bench --bins
 
@@ -14,10 +18,11 @@ for exp in exp_e1_taxonomy exp_e2_fig3_cascade exp_e3_fig4_concurrent \
            exp_e4_fig5_aggregation exp_e5_scalability exp_e6_freshness \
            exp_e10_resize exp_e11_concurrency exp_e12_dyndeps \
            exp_e13_chain exp_e14_shedding exp_e15_selectivity \
-           exp_e16_optimizer exp_e17_qos; do
+           exp_e16_optimizer exp_e17_qos exp_e18_observability; do
     echo "=== $exp ==="
-    ./target/release/"$exp" | tee "$OUT/$exp.txt"
+    RESULTS_DIR="$OUT" ./target/release/"$exp" | tee "$OUT/$exp.txt"
     echo
 done
 
 echo "All experiment outputs written to $OUT/"
+echo "Recorder time series: $OUT/e18_observability.csv"

@@ -36,13 +36,17 @@ pub use streammeta_time as time;
 /// Convenience prelude: the names almost every program needs.
 pub mod prelude {
     pub use streammeta_core::{
-        ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId, NodeRegistry, Subscription,
+        ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId, NodeRegistry, RingBufferSink,
+        Subscription, TraceEvent, TraceSink, META_NODE,
     };
     pub use streammeta_costmodel::{install_cost_model, ResourceManager};
-    pub use streammeta_engine::{ChainScheduler, FifoScheduler, LoadShedder, VirtualEngine};
+    pub use streammeta_engine::{
+        ChainScheduler, EngineProbes, FifoScheduler, LoadShedder, VirtualEngine, ENGINE_NODE,
+    };
     pub use streammeta_graph::{
         AggKind, FilterPredicate, JoinPredicate, MetadataConfig, QueryGraph, StateImpl,
     };
+    pub use streammeta_profiler::Recorder;
     pub use streammeta_streams::{Bursty, ConstantRate, Generator, PoissonArrivals, TupleGen};
     pub use streammeta_time::{Clock, TimeSpan, Timestamp, VirtualClock, WallClock};
 }
