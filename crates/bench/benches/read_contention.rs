@@ -1,0 +1,49 @@
+//! E19 bench: single-read latency of the two consumer paths, alone and
+//! with 7 background readers hammering the same item — the microbenchmark
+//! companion of `exp_e19_read_contention` (aggregate throughput).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use streammeta_core::{ItemDef, MetadataKey, MetadataManager, NodeId, NodeRegistry};
+use streammeta_time::{Clock, VirtualClock};
+
+fn bench_read_contention(c: &mut Criterion) {
+    let clock: Arc<dyn Clock> = VirtualClock::shared();
+    let manager = MetadataManager::new(clock);
+    let reg = NodeRegistry::new(NodeId(0));
+    reg.define(ItemDef::static_value("cfg.value", 42u64));
+    manager.attach_node(reg);
+    let key = MetadataKey::new(NodeId(0), "cfg.value");
+    let sub = Arc::new(manager.subscribe(key.clone()).unwrap());
+
+    let mut g = c.benchmark_group("read_contention");
+    g.bench_function("sub_get_uncontended", |b| b.iter(|| sub.get()));
+    g.bench_function("key_read_uncontended", |b| b.iter(|| manager.read(&key)));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..7)
+        .map(|_| {
+            let sub = sub.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(sub.get());
+                }
+            })
+        })
+        .collect();
+    g.bench_function("sub_get_7_background_readers", |b| b.iter(|| sub.get()));
+    g.bench_function("key_read_7_background_readers", |b| {
+        b.iter(|| manager.read(&key))
+    });
+    stop.store(true, Ordering::SeqCst);
+    for r in readers {
+        r.join().unwrap();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_read_contention);
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! metadata item during updates. Handlers are created on first subscription,
 //! shared by reference count, and removed when the count reaches zero.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -28,14 +28,140 @@ const LATENCY_BUCKETS: usize = 256;
 /// Push observer signature: called with each stored value change.
 pub type ObserverFn = dyn Fn(&VersionedValue) + Send + Sync;
 
+/// Lock-free snapshot cell for scalar values (seqlock over atomics).
+///
+/// Every word is individually atomic, so readers never observe a torn
+/// word; the sequence check rejects snapshots that mixed two
+/// generations. Writers are serialized by the handler's value write
+/// lock, which they hold while publishing. Values that do not fit in a
+/// word (`Text`, `Histogram`) park the cell in the `TAG_UNCACHED`
+/// state and readers fall back to the value lock.
+struct ScalarCell {
+    /// Even = stable, odd = write in progress.
+    seq: AtomicU64,
+    tag: AtomicU64,
+    bits: AtomicU64,
+    version: AtomicU64,
+    updated_at: AtomicU64,
+}
+
+const TAG_UNAVAILABLE: u64 = 0;
+const TAG_F64: u64 = 1;
+const TAG_I64: u64 = 2;
+const TAG_U64: u64 = 3;
+const TAG_BOOL: u64 = 4;
+const TAG_SPAN: u64 = 5;
+const TAG_TIME: u64 = 6;
+const TAG_UNCACHED: u64 = 7;
+
+fn pack_value(value: &MetadataValue) -> Option<(u64, u64)> {
+    Some(match value {
+        MetadataValue::Unavailable => (TAG_UNAVAILABLE, 0),
+        MetadataValue::F64(v) => (TAG_F64, v.to_bits()),
+        MetadataValue::I64(v) => (TAG_I64, *v as u64),
+        MetadataValue::U64(v) => (TAG_U64, *v),
+        MetadataValue::Bool(v) => (TAG_BOOL, *v as u64),
+        MetadataValue::Span(s) => (TAG_SPAN, s.0),
+        MetadataValue::Time(t) => (TAG_TIME, t.0),
+        MetadataValue::Text(_) | MetadataValue::Histogram(_) => return None,
+    })
+}
+
+fn unpack_value(tag: u64, bits: u64) -> MetadataValue {
+    match tag {
+        TAG_F64 => MetadataValue::F64(f64::from_bits(bits)),
+        TAG_I64 => MetadataValue::I64(bits as i64),
+        TAG_U64 => MetadataValue::U64(bits),
+        TAG_BOOL => MetadataValue::Bool(bits != 0),
+        TAG_SPAN => MetadataValue::Span(streammeta_time::TimeSpan(bits)),
+        TAG_TIME => MetadataValue::Time(Timestamp(bits)),
+        _ => MetadataValue::Unavailable,
+    }
+}
+
+impl ScalarCell {
+    /// Matches `VersionedValue::unavailable()`.
+    fn new() -> Self {
+        ScalarCell {
+            seq: AtomicU64::new(0),
+            tag: AtomicU64::new(TAG_UNAVAILABLE),
+            bits: AtomicU64::new(0),
+            version: AtomicU64::new(0),
+            updated_at: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes a new snapshot. Caller holds the value write lock, so
+    /// publications never race each other.
+    fn publish(&self, value: &VersionedValue) {
+        let seq = self.seq.load(Ordering::Relaxed);
+        self.seq.store(seq.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        match pack_value(&value.value) {
+            Some((tag, bits)) => {
+                self.tag.store(tag, Ordering::Relaxed);
+                self.bits.store(bits, Ordering::Relaxed);
+                self.version.store(value.version, Ordering::Relaxed);
+                self.updated_at.store(value.updated_at.0, Ordering::Relaxed);
+            }
+            None => self.tag.store(TAG_UNCACHED, Ordering::Relaxed),
+        }
+        self.seq.store(seq.wrapping_add(2), Ordering::Release);
+    }
+
+    /// One optimistic read attempt; `None` means a write was in flight,
+    /// raced this read, or the stored value is not cacheable.
+    fn try_read(&self) -> Option<VersionedValue> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 & 1 != 0 {
+            return None;
+        }
+        let tag = self.tag.load(Ordering::Relaxed);
+        let bits = self.bits.load(Ordering::Relaxed);
+        let version = self.version.load(Ordering::Relaxed);
+        let updated_at = self.updated_at.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        if self.seq.load(Ordering::Relaxed) != s1 || tag == TAG_UNCACHED {
+            return None;
+        }
+        Some(VersionedValue {
+            value: unpack_value(tag, bits),
+            version,
+            updated_at: Timestamp(updated_at),
+        })
+    }
+}
+
+/// One registered push observer. `last_delivered` makes delivery
+/// monotonic per observer: two concurrent stores release the value lock
+/// in one order but may reach the observer lock in the other, and
+/// without the version gate that would deliver version 2 before
+/// version 1.
+struct Observer {
+    id: u64,
+    last_delivered: u64,
+    f: Box<ObserverFn>,
+}
+
 /// Runtime state of one included metadata item.
 pub(crate) struct Handler {
     pub(crate) key: MetadataKey,
     pub(crate) def: ItemDef,
     /// Dependencies resolved at inclusion time.
     pub(crate) resolved_deps: Vec<ResolvedDep>,
+    /// Subscription refcount (direct + dependent inclusions). Mutated
+    /// only under the manager's bookkeeping mutex; read lock-free by
+    /// `subscription_count` / `handler_stats`.
+    pub(crate) subscriptions: AtomicUsize,
+    /// Whether the item recomputes on access (`Mechanism::OnDemand`),
+    /// predecoded for the read hot path.
+    pub(crate) on_demand: bool,
     /// Item-level lock of the three-level scheme (Section 4.2).
     value: RwLock<VersionedValue>,
+    /// Lock-free mirror of `value` for scalar values; readers try it
+    /// first and only take the value lock for uncacheable values or
+    /// when a write is in flight.
+    cell: ScalarCell,
     /// Serializes computations so stateful compute functions (counters
     /// that reset on sampling) see one evaluation at a time.
     pub(crate) compute_lock: Mutex<()>,
@@ -43,7 +169,7 @@ pub(crate) struct Handler {
     pub(crate) periodic_task: Mutex<Option<TaskId>>,
     /// Push observers, notified after every stored change (Section 2.1's
     /// consumers as listeners — e.g. a monitoring tool plotting values).
-    observers: Mutex<Vec<(u64, Box<ObserverFn>)>>,
+    observers: Mutex<Vec<Observer>>,
     next_observer: AtomicU64,
     accesses: AtomicU64,
     updates: AtomicU64,
@@ -55,11 +181,16 @@ pub(crate) struct Handler {
 
 impl Handler {
     pub(crate) fn new(key: MetadataKey, def: ItemDef, resolved_deps: Vec<ResolvedDep>) -> Self {
+        let on_demand = def.mechanism() == Mechanism::OnDemand;
         Handler {
             key,
             def,
             resolved_deps,
+            on_demand,
+            // Created by the subscription that materialises the item.
+            subscriptions: AtomicUsize::new(1),
             value: RwLock::new(VersionedValue::unavailable()),
+            cell: ScalarCell::new(),
             compute_lock: Mutex::new(()),
             periodic_task: Mutex::new(None),
             observers: Mutex::new(Vec::new()),
@@ -81,14 +212,22 @@ impl Handler {
         self.def.mechanism()
     }
 
-    /// A consistent snapshot of the current value.
+    /// A consistent snapshot of the current value. Scalar values are
+    /// served by the lock-free cell; the value lock is taken only for
+    /// uncacheable values or when a concurrent write is in flight.
     pub(crate) fn snapshot(&self) -> VersionedValue {
-        self.value.read().clone()
+        match self.cell.try_read() {
+            Some(v) => v,
+            None => self.value.read().clone(),
+        }
     }
 
     /// Stores `value` if it differs from the current one. Returns whether
     /// anything changed (drives trigger propagation). Push observers are
-    /// notified after the value lock is released.
+    /// notified after the value lock is released; deliveries whose
+    /// version is ≤ the observer's last delivered one are skipped, so
+    /// each observer sees a strictly increasing version sequence even
+    /// when concurrent stores reach the observer lock out of order.
     pub(crate) fn store_if_changed(&self, value: MetadataValue, now: Timestamp) -> bool {
         let snapshot = {
             let mut cur = self.value.write();
@@ -98,26 +237,48 @@ impl Handler {
             cur.value = value;
             cur.version += 1;
             cur.updated_at = now;
+            // Published while the write lock is held: publications are
+            // serialized and the cell never lags a released write.
+            self.cell.publish(&cur);
             cur.clone()
         };
         self.updates.fetch_add(1, Ordering::Relaxed);
-        let observers = self.observers.lock();
-        for (_, f) in observers.iter() {
-            f(&snapshot);
+        let mut observers = self.observers.lock();
+        for obs in observers.iter_mut() {
+            if snapshot.version > obs.last_delivered {
+                obs.last_delivered = snapshot.version;
+                (obs.f)(&snapshot);
+            }
         }
         true
     }
 
-    /// Registers a push observer; returns its id for deregistration.
-    pub(crate) fn add_observer(&self, f: Box<ObserverFn>) -> u64 {
+    /// Registers a push observer and synchronously delivers the current
+    /// snapshot to it (if a value was ever stored), closing the gap
+    /// between inclusion-time pre-computation and observer registration:
+    /// without the initial delivery, a `subscribe_with` consumer would
+    /// miss every update stored before the observer was attached. The
+    /// snapshot is read under the observer lock, so no concurrent store
+    /// can slip a *newer* version in front of the initial delivery.
+    pub(crate) fn add_observer_with_snapshot(&self, f: Box<ObserverFn>) -> u64 {
         let id = self.next_observer.fetch_add(1, Ordering::Relaxed);
-        self.observers.lock().push((id, f));
+        let mut observers = self.observers.lock();
+        let snapshot = self.snapshot();
+        let obs = Observer {
+            id,
+            last_delivered: snapshot.version,
+            f,
+        };
+        if snapshot.version > 0 {
+            (obs.f)(&snapshot);
+        }
+        observers.push(obs);
         id
     }
 
     /// Removes a push observer.
     pub(crate) fn remove_observer(&self, id: u64) {
-        self.observers.lock().retain(|(i, _)| *i != id);
+        self.observers.lock().retain(|obs| obs.id != id);
     }
 
     pub(crate) fn record_access(&self) {

@@ -78,6 +78,7 @@ mod manager;
 mod meta;
 mod monitor;
 mod registry;
+mod shards;
 mod subscription;
 mod trace;
 mod value;

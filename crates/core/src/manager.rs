@@ -21,6 +21,17 @@
 //!
 //! Subscription bookkeeping lives in one internal mutex; user code
 //! (compute functions, hooks) is never called while it is held.
+//!
+//! The *read* paths do not take the bookkeeping mutex at all:
+//!
+//! * a [`Subscription`] caches its `Arc<Handler>` at creation, so
+//!   `Subscription::get`/`versioned` go straight to the item-level lock
+//!   (the subscription itself guarantees handler liveness);
+//! * key-based reads (`read`, `read_versioned`, `is_included`, …)
+//!   resolve handlers through a sharded index
+//!   ([`crate::shards::HandlerShards`]) maintained by include/exclude
+//!   under the bookkeeping mutex — concurrent readers only share a
+//!   shard read lock.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -33,20 +44,19 @@ use crate::handler::{Handler, HandlerStats};
 use crate::item::{DepReader, DepSource, EvalCtx, ItemDef, Mechanism};
 use crate::monitor::Counter;
 use crate::registry::NodeRegistry;
+use crate::shards::HandlerShards;
 use crate::subscription::Subscription;
 use crate::trace::{TraceEvent, TraceRecord, TraceSink};
 use crate::{
     EventKey, ItemPath, MetadataError, MetadataKey, MetadataValue, NodeId, Result, VersionedValue,
 };
 
-struct HandlerEntry {
-    handler: Arc<Handler>,
-    refcount: usize,
-}
-
 #[derive(Default)]
 struct Inner {
-    handlers: HashMap<MetadataKey, HandlerEntry>,
+    /// Authoritative handler map. The refcount lives in
+    /// [`Handler::subscriptions`], mutated only while this mutex is
+    /// held; the sharded index mirrors this map for lock-free readers.
+    handlers: HashMap<MetadataKey, Arc<Handler>>,
     /// Inverted dependency edges: source -> items that depend on it.
     dependents: HashMap<DepSource, Vec<MetadataKey>>,
 }
@@ -72,6 +82,12 @@ pub struct ManagerStats {
     /// Periodic refreshes that completed a full window after their
     /// scheduled boundary.
     pub deadline_misses: u64,
+    /// Reads served through a cached subscription handler (no manager
+    /// lock of any kind).
+    pub fast_reads: u64,
+    /// Key-based handler lookups served by the sharded index (one shard
+    /// read lock).
+    pub shard_reads: u64,
 }
 
 /// The central coordinator of dynamic metadata management.
@@ -84,10 +100,23 @@ pub struct MetadataManager {
     /// Graph-level lock (Section 4.2).
     registries: RwLock<HashMap<NodeId, Arc<NodeRegistry>>>,
     inner: Mutex<Inner>,
+    /// Hash-partitioned `key -> handler` mirror of `inner.handlers`,
+    /// written under the bookkeeping mutex, read without it.
+    shards: HandlerShards,
+    /// Access counts of handlers that have been excluded, folded in on
+    /// removal so totals survive handler death. Together with the live
+    /// handlers' counters this yields the access total; the cached-read
+    /// count is derived as `total - key-based` so the subscription fast
+    /// path pays exactly one counter increment.
+    retired_accesses: AtomicU64,
+    shard_reads: AtomicU64,
     /// Always-on counter (not a plain atomic) so the reflexive meta node
     /// can derive `meta.computes_rate` from it via a `WindowDelta`.
     computes: Arc<Counter>,
     updates: AtomicU64,
+    /// Key-based accesses only; cached-subscription reads count on their
+    /// handler alone (one atomic less on the hot path) and totals are
+    /// derived where reported.
     accesses: AtomicU64,
     propagations: AtomicU64,
     compute_failures: AtomicU64,
@@ -120,6 +149,9 @@ impl MetadataManager {
             periodic,
             registries: RwLock::new(HashMap::new()),
             inner: Mutex::new(Inner::default()),
+            shards: HandlerShards::new(),
+            retired_accesses: AtomicU64::new(0),
+            shard_reads: AtomicU64::new(0),
             computes: Counter::always_on(),
             updates: AtomicU64::new(0),
             accesses: AtomicU64::new(0),
@@ -296,7 +328,11 @@ impl MetadataManager {
         match result {
             Ok(()) => {
                 self.run_inclusion_actions(&created);
-                Ok(Subscription::new(self.clone(), key))
+                let handler = self
+                    .shards
+                    .get(&key)
+                    .expect("inclusion just installed the handler");
+                Ok(Subscription::new(self.clone(), key, handler))
             }
             Err(e) => {
                 self.rollback(&log);
@@ -305,30 +341,29 @@ impl MetadataManager {
         }
     }
 
-    /// Subscribes to `key` with a push observer: `callback` runs after
+    /// Subscribes to `key` with a push observer.
+    ///
+    /// Delivery guarantee: the callback is synchronously invoked with the
+    /// item's *current* snapshot at registration time (if a value has
+    /// ever been stored — inclusion pre-computes static, periodic and
+    /// triggered items, so those deliver immediately), and then after
     /// every stored value change (periodic publishes, trigger updates,
-    /// on-demand recomputations that changed the value). The callback is
-    /// invoked on the updating thread and must be fast and non-blocking;
-    /// it must not call back into the manager. Deregistered when the
-    /// returned [`Subscription`] drops.
+    /// on-demand recomputations that changed the value). Versions are
+    /// strictly increasing per observer; no update that happens after
+    /// registration is skipped. The callback is invoked on the updating
+    /// thread and must be fast and non-blocking; it must not call back
+    /// into the manager. Deregistered when the returned [`Subscription`]
+    /// drops.
     pub fn subscribe_with(
         self: &Arc<Self>,
         key: MetadataKey,
         callback: impl Fn(&VersionedValue) + Send + Sync + 'static,
     ) -> Result<Subscription> {
-        let sub = self.subscribe(key.clone())?;
-        let handler = self
-            .handler(&key)
-            .expect("subscription keeps the handler alive");
-        let id = handler.add_observer(Box::new(callback));
+        let sub = self.subscribe(key)?;
+        let id = sub
+            .cached_handler()
+            .add_observer_with_snapshot(Box::new(callback));
         Ok(sub.with_observer(id))
-    }
-
-    /// Removes a push observer (used by [`Subscription`] on drop).
-    pub(crate) fn remove_observer(&self, key: &MetadataKey, id: u64) {
-        if let Some(handler) = self.handler(key) {
-            handler.remove_observer(id);
-        }
     }
 
     /// Subscribes to every available item of `node` (the "maintain all
@@ -350,10 +385,10 @@ impl MetadataManager {
         log: &mut Vec<MetadataKey>,
         created: &mut Vec<Arc<Handler>>,
     ) -> Result<()> {
-        if let Some(entry) = inner.handlers.get_mut(&key) {
+        if let Some(handler) = inner.handlers.get(&key) {
             // "The traversal stops at items already provided" — but every
             // inclusion path contributes one reference.
-            entry.refcount += 1;
+            handler.subscriptions.fetch_add(1, Ordering::Relaxed);
             log.push(key);
             return Ok(());
         }
@@ -383,13 +418,8 @@ impl MetadataManager {
                 dependents.push(key.clone());
             }
         }
-        inner.handlers.insert(
-            key.clone(),
-            HandlerEntry {
-                handler: handler.clone(),
-                refcount: 1,
-            },
-        );
+        inner.handlers.insert(key.clone(), handler.clone());
+        self.shards.insert(key.clone(), handler.clone());
         // The stack holds the ancestors of `key` here, so its length is
         // the dependency depth; emission at insert time makes the trace
         // list inclusions in DFS dependency order (dependencies first).
@@ -455,7 +485,7 @@ impl MetadataManager {
         {
             let mut inner = self.inner.lock();
             for key in log.iter().rev() {
-                Self::decrement(&mut inner, key, &mut removed);
+                self.decrement(&mut inner, key, &mut removed);
             }
         }
         // Handlers removed during rollback never ran their inclusion
@@ -465,18 +495,21 @@ impl MetadataManager {
             .all(|h: &Arc<Handler>| { h.periodic_task.lock().is_none() }));
     }
 
-    /// Decrements `key`'s refcount; on zero removes the handler and its
-    /// inverted edges (without recursing into dependencies).
-    fn decrement(inner: &mut Inner, key: &MetadataKey, removed: &mut Vec<Arc<Handler>>) {
-        let Some(entry) = inner.handlers.get_mut(key) else {
+    /// Decrements `key`'s refcount; on zero removes the handler (from
+    /// the bookkeeping map and the sharded index) and its inverted edges
+    /// (without recursing into dependencies).
+    fn decrement(&self, inner: &mut Inner, key: &MetadataKey, removed: &mut Vec<Arc<Handler>>) {
+        let Some(handler) = inner.handlers.get(key) else {
             return;
         };
-        entry.refcount -= 1;
-        if entry.refcount > 0 {
+        if handler.subscriptions.fetch_sub(1, Ordering::Relaxed) > 1 {
             return;
         }
-        let entry = inner.handlers.remove(key).expect("present");
-        for dep in &entry.handler.resolved_deps {
+        let handler = inner.handlers.remove(key).expect("present");
+        self.shards.remove(key);
+        self.retired_accesses
+            .fetch_add(handler.access_count(), Ordering::Relaxed);
+        for dep in &handler.resolved_deps {
             if let Some(list) = inner.dependents.get_mut(&dep.source) {
                 list.retain(|k| k != key);
                 if list.is_empty() {
@@ -484,7 +517,7 @@ impl MetadataManager {
                 }
             }
         }
-        removed.push(entry.handler);
+        removed.push(handler);
     }
 
     /// Cancels one subscription on `key`. Called by [`Subscription`] on
@@ -511,7 +544,7 @@ impl MetadataManager {
 
     fn exclude(&self, inner: &mut Inner, key: &MetadataKey, removed: &mut Vec<Arc<Handler>>) {
         let before = removed.len();
-        Self::decrement(inner, key, removed);
+        self.decrement(inner, key, removed);
         if removed.len() == before {
             return; // still referenced (or unknown)
         }
@@ -541,12 +574,21 @@ impl MetadataManager {
     // Access
     // ------------------------------------------------------------------
 
+    /// Resolves a handler through the sharded index — one shard read
+    /// lock, never the bookkeeping mutex.
     fn handler(&self, key: &MetadataKey) -> Option<Arc<Handler>> {
-        self.inner
-            .lock()
-            .handlers
-            .get(key)
-            .map(|e| e.handler.clone())
+        self.shard_reads.fetch_add(1, Ordering::Relaxed);
+        self.shards.get(key)
+    }
+
+    /// Read through a cached handler (the [`Subscription`] fast path):
+    /// no manager lock of any kind, only the item-level value lock (and
+    /// the compute mutex for on-demand items).
+    pub(crate) fn read_cached(&self, handler: &Arc<Handler>) -> VersionedValue {
+        // One relaxed increment — the manager-level cached-read count is
+        // derived in `fast_read_count` rather than maintained here.
+        handler.record_access();
+        self.access_handler(handler)
     }
 
     /// The current value of an included item. On-demand items are
@@ -566,30 +608,25 @@ impl MetadataManager {
     }
 
     fn access_handler(&self, handler: &Arc<Handler>) -> VersionedValue {
-        match handler.mechanism() {
-            Mechanism::OnDemand => {
-                let now = self.clock.now();
-                let _guard = handler.compute_lock.lock();
-                let v = self.compute_value(handler, None, now);
-                handler.store_if_changed(v, now);
-                handler.snapshot()
-            }
-            _ => handler.snapshot(),
+        if handler.on_demand {
+            let now = self.clock.now();
+            let _guard = handler.compute_lock.lock();
+            let v = self.compute_value(handler, None, now);
+            handler.store_if_changed(v, now);
         }
+        handler.snapshot()
     }
 
-    /// Whether `key` currently has a handler.
+    /// Whether `key` currently has a handler. One shard read lock.
     pub fn is_included(&self, key: &MetadataKey) -> bool {
-        self.inner.lock().handlers.contains_key(key)
+        self.shard_reads.fetch_add(1, Ordering::Relaxed);
+        self.shards.contains(key)
     }
 
     /// The subscription count of `key` (0 if not included).
     pub fn subscription_count(&self, key: &MetadataKey) -> usize {
-        self.inner
-            .lock()
-            .handlers
-            .get(key)
-            .map_or(0, |e| e.refcount)
+        self.handler(key)
+            .map_or(0, |h| h.subscriptions.load(Ordering::Relaxed))
     }
 
     /// Number of live handlers.
@@ -604,16 +641,16 @@ impl MetadataManager {
         v
     }
 
-    /// Per-item statistics, if the item is included.
+    /// Per-item statistics, if the item is included. Served by the
+    /// sharded index, without the bookkeeping mutex.
     pub fn handler_stats(&self, key: &MetadataKey) -> Option<HandlerStats> {
-        let inner = self.inner.lock();
-        inner.handlers.get(key).map(|e| {
-            let latency = e.handler.latency.snapshot();
+        self.handler(key).map(|h| {
+            let latency = h.latency.snapshot();
             HandlerStats {
-                accesses: e.handler.access_count(),
-                updates: e.handler.update_count(),
-                computes: e.handler.compute_count(),
-                subscriptions: e.refcount,
+                accesses: h.access_count(),
+                updates: h.update_count(),
+                computes: h.compute_count(),
+                subscriptions: h.subscriptions.load(Ordering::Relaxed),
                 latency_p50: latency.percentile(0.50).map(|v| v.max(0) as u64),
                 latency_p95: latency.percentile(0.95).map(|v| v.max(0) as u64),
                 latency_p99: latency.percentile(0.99).map(|v| v.max(0) as u64),
@@ -629,16 +666,47 @@ impl MetadataManager {
     /// Aggregate statistics.
     pub fn stats(&self) -> ManagerStats {
         let inner = self.inner.lock();
+        let total_accesses = self.retired_accesses.load(Ordering::Relaxed)
+            + inner
+                .handlers
+                .values()
+                .map(|h| h.access_count())
+                .sum::<u64>();
+        let key_accesses = self.accesses.load(Ordering::Relaxed);
         ManagerStats {
             handlers: inner.handlers.len(),
-            subscriptions: inner.handlers.values().map(|e| e.refcount).sum(),
+            subscriptions: inner
+                .handlers
+                .values()
+                .map(|h| h.subscriptions.load(Ordering::Relaxed))
+                .sum(),
             computes: self.computes.value(),
             updates: self.updates.load(Ordering::Relaxed),
-            accesses: self.accesses.load(Ordering::Relaxed),
+            accesses: total_accesses,
             propagations: self.propagations.load(Ordering::Relaxed),
             compute_failures: self.compute_failures.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            fast_reads: total_accesses.saturating_sub(key_accesses),
+            shard_reads: self.shard_reads.load(Ordering::Relaxed),
         }
+    }
+
+    /// Reads served through cached subscription handlers (no manager
+    /// lock at all). Derived — per-handler access counts minus the
+    /// key-based reads — so the fast path itself maintains no
+    /// manager-level counter.
+    pub fn fast_read_count(&self) -> u64 {
+        self.stats().fast_reads
+    }
+
+    /// Key-based handler lookups served by the sharded index.
+    pub fn shard_read_count(&self) -> u64 {
+        self.shard_reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of partitions of the sharded handler index.
+    pub fn shard_count(&self) -> usize {
+        self.shards.shard_count()
     }
 
     // ------------------------------------------------------------------
@@ -821,14 +889,14 @@ impl MetadataManager {
                         if reach.contains_key(key) {
                             continue;
                         }
-                        let Some(entry) = inner.handlers.get(key) else {
+                        let Some(handler) = inner.handlers.get(key) else {
                             continue;
                         };
                         // Updates pass through *triggered* handlers only:
                         // periodic dependents refresh on their own
                         // schedule, on-demand dependents on access.
-                        if entry.handler.mechanism() == Mechanism::Triggered {
-                            reach.insert(key.clone(), entry.handler.clone());
+                        if handler.mechanism() == Mechanism::Triggered {
+                            reach.insert(key.clone(), handler.clone());
                             depths.insert(key.clone(), depth + 1);
                             frontier.push_back((DepSource::Item(key.clone()), depth + 1));
                         }

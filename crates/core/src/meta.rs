@@ -83,6 +83,16 @@ impl MetadataManager {
             "contained compute-function panics",
             |m| MetadataValue::U64(m.stats().compute_failures),
         ));
+        reg.define(stat(
+            "meta.fast_reads",
+            "reads served through cached subscription handlers (no manager lock)",
+            |m| MetadataValue::U64(m.fast_read_count()),
+        ));
+        reg.define(stat(
+            "meta.shard_reads",
+            "key-based handler lookups served by the sharded index",
+            |m| MetadataValue::U64(m.shard_read_count()),
+        ));
         let delta = WindowDelta::new(self.computes_counter().clone());
         reg.define(
             ItemDef::periodic("meta.computes_rate", rate_window)

@@ -1,0 +1,122 @@
+//! Sharded handler index: the level-0 tier of the locking scheme.
+//!
+//! Key-based reads (`read`, `read_versioned`, `read_dep`, …) used to
+//! funnel through the manager's global bookkeeping mutex just to resolve
+//! `MetadataKey -> Arc<Handler>`, serializing all consumers (the
+//! contention wall of Section 4.2 at scale). The index keeps that mapping
+//! in N hash-partitioned `RwLock<HashMap>` shards: writers (include /
+//! exclude, already serialized by the bookkeeping mutex) take one shard
+//! write lock briefly, while concurrent readers of different keys — and
+//! concurrent readers of the *same* key — only share a shard read lock.
+//!
+//! The bookkeeping mutex remains the single source of truth for
+//! refcounts and dependency edges; the shards are a derived, eventually
+//! identical mirror maintained under that mutex, so a reader either sees
+//! a fully constructed handler or none at all.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::handler::Handler;
+use crate::MetadataKey;
+
+/// Number of partitions. A small power of two well above typical core
+/// counts: enough to make writer/reader collisions on *different* keys
+/// rare, cheap enough to scan on teardown diagnostics.
+const SHARD_COUNT: usize = 16;
+
+pub(crate) struct HandlerShards {
+    shards: Vec<RwLock<HashMap<MetadataKey, Arc<Handler>>>>,
+    hasher: RandomState,
+}
+
+impl HandlerShards {
+    pub(crate) fn new() -> Self {
+        HandlerShards {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, key: &MetadataKey) -> &RwLock<HashMap<MetadataKey, Arc<Handler>>> {
+        &self.shards[(self.hasher.hash_one(key) as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// The handler for `key`, if included. One shard read lock.
+    pub(crate) fn get(&self, key: &MetadataKey) -> Option<Arc<Handler>> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Whether `key` currently has a handler. One shard read lock.
+    pub(crate) fn contains(&self, key: &MetadataKey) -> bool {
+        self.shard(key).read().contains_key(key)
+    }
+
+    /// Mirrors an inclusion. Called with the bookkeeping mutex held.
+    pub(crate) fn insert(&self, key: MetadataKey, handler: Arc<Handler>) {
+        self.shard(&key).write().insert(key, handler);
+    }
+
+    /// Mirrors an exclusion. Called with the bookkeeping mutex held.
+    pub(crate) fn remove(&self, key: &MetadataKey) {
+        self.shard(key).write().remove(key);
+    }
+
+    /// Number of partitions (exposed for stats/experiments).
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::ItemDef;
+    use crate::NodeId;
+
+    fn handler(i: u32) -> (MetadataKey, Arc<Handler>) {
+        let key = MetadataKey::new(NodeId(i), format!("item{i}"));
+        let h = Arc::new(Handler::new(
+            key.clone(),
+            ItemDef::static_value(format!("item{i}"), u64::from(i)),
+            Vec::new(),
+        ));
+        (key, h)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let shards = HandlerShards::new();
+        let (key, h) = handler(1);
+        assert!(shards.get(&key).is_none());
+        shards.insert(key.clone(), h.clone());
+        assert!(shards.contains(&key));
+        assert!(Arc::ptr_eq(&shards.get(&key).unwrap(), &h));
+        shards.remove(&key);
+        assert!(!shards.contains(&key));
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let shards = HandlerShards::new();
+        for i in 0..256 {
+            let (key, h) = handler(i);
+            shards.insert(key, h);
+        }
+        let occupied = shards
+            .shards
+            .iter()
+            .filter(|s| !s.read().is_empty())
+            .count();
+        assert!(occupied > 1, "256 keys should span several shards");
+        assert_eq!(
+            shards.shards.iter().map(|s| s.read().len()).sum::<usize>(),
+            256
+        );
+    }
+}

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::handler::Handler;
 use crate::manager::MetadataManager;
 use crate::{MetadataKey, MetadataValue, VersionedValue};
 
@@ -12,20 +13,37 @@ use crate::{MetadataKey, MetadataValue, VersionedValue};
 /// subscription (or dependent inclusion) exists, the item's handler is
 /// maintained; dropping the last subscription excludes the item and all
 /// dependencies that are no longer needed (Section 2.1 of the paper).
+///
+/// The subscription caches its `Arc<Handler>` at creation — it is
+/// exactly what guarantees the handler stays alive — so [`Self::get`] /
+/// [`Self::versioned`] never consult the manager's bookkeeping state:
+/// reads go straight to the item-level value lock.
 pub struct Subscription {
     manager: Arc<MetadataManager>,
     key: MetadataKey,
+    /// The item's handler, pinned for the subscription's lifetime.
+    handler: Arc<Handler>,
     /// Push-observer registered with this subscription, if any.
     observer: Option<u64>,
 }
 
 impl Subscription {
-    pub(crate) fn new(manager: Arc<MetadataManager>, key: MetadataKey) -> Self {
+    pub(crate) fn new(
+        manager: Arc<MetadataManager>,
+        key: MetadataKey,
+        handler: Arc<Handler>,
+    ) -> Self {
         Subscription {
             manager,
             key,
+            handler,
             observer: None,
         }
+    }
+
+    /// The cached handler (crate-internal: observer registration).
+    pub(crate) fn cached_handler(&self) -> &Arc<Handler> {
+        &self.handler
     }
 
     pub(crate) fn with_observer(mut self, id: u64) -> Self {
@@ -39,18 +57,15 @@ impl Subscription {
     }
 
     /// The item's current value. On-demand items are recomputed by this
-    /// access.
+    /// access. Served through the cached handler: no manager bookkeeping
+    /// lock, no key lookup.
     pub fn get(&self) -> MetadataValue {
-        self.manager
-            .read(&self.key)
-            .expect("subscription keeps the handler alive")
+        self.manager.read_cached(&self.handler).value
     }
 
     /// Like [`Self::get`], with version and update instant.
     pub fn versioned(&self) -> VersionedValue {
-        self.manager
-            .read_versioned(&self.key)
-            .expect("subscription keeps the handler alive")
+        self.manager.read_cached(&self.handler)
     }
 
     /// Numeric shortcut: the value coerced to `f64`, if possible.
@@ -76,7 +91,7 @@ impl Clone for Subscription {
 impl Drop for Subscription {
     fn drop(&mut self) {
         if let Some(id) = self.observer {
-            self.manager.remove_observer(&self.key, id);
+            self.handler.remove_observer(id);
         }
         self.manager.unsubscribe(&self.key);
     }

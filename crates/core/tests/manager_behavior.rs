@@ -971,18 +971,25 @@ fn push_observers_fire_on_every_stored_change() {
     }
     {
         let seen = seen.lock();
-        assert_eq!(seen.len(), 3, "one push per boundary change");
-        // Version 1 was the inclusion-time pre-computation (t=0), before
-        // the observer registered; boundaries push versions 2..4.
-        assert_eq!(seen[0], (2, MetadataValue::U64(10)));
-        assert_eq!(seen[2], (4, MetadataValue::U64(30)));
+        // Version 1 is the inclusion-time pre-computation (t=0); the
+        // registration-time snapshot delivers it so no update between
+        // inclusion and observer attachment is missed. Boundaries then
+        // push versions 2..4.
+        assert_eq!(
+            seen.len(),
+            4,
+            "registration snapshot + one push per boundary"
+        );
+        assert_eq!(seen[0], (1, MetadataValue::U64(0)));
+        assert_eq!(seen[1], (2, MetadataValue::U64(10)));
+        assert_eq!(seen[3], (4, MetadataValue::U64(30)));
     }
     // Dropping the subscription deregisters the observer.
     let keep_alive = mgr.subscribe(key(1, "p")).unwrap();
     drop(sub);
     clock.advance(TimeSpan(10));
     mgr.periodic().advance_to(clock.now());
-    assert_eq!(seen.lock().len(), 3, "no pushes after drop");
+    assert_eq!(seen.lock().len(), 4, "no pushes after drop");
     drop(keep_alive);
 }
 
@@ -998,11 +1005,13 @@ fn push_observers_fire_on_trigger_propagation() {
             c2.fetch_add(1, Ordering::SeqCst);
         })
         .unwrap();
+    // Registration delivers the inclusion-time snapshot once.
+    assert_eq!(count.load(Ordering::SeqCst), 1, "registration snapshot");
     // Redefining c is refused while included, so instead fire an event
     // chain: notify_changed on c recomputes b then a (values unchanged
     // since c is static -> no pushes).
     mgr.notify_changed(key(1, "c"));
-    assert_eq!(count.load(Ordering::SeqCst), 0, "values did not change");
+    assert_eq!(count.load(Ordering::SeqCst), 1, "values did not change");
 }
 
 #[test]

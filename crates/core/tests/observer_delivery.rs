@@ -1,0 +1,128 @@
+//! Push-observer delivery guarantees.
+//!
+//! Two properties of `subscribe_with`:
+//!
+//! * the callback synchronously receives the item's current snapshot at
+//!   registration (inclusion pre-computes static, periodic and triggered
+//!   items, so a consumer registering after inclusion must not miss the
+//!   value that already exists);
+//! * each observer sees a strictly increasing version sequence, even
+//!   when stores race the registration or each other.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use streammeta_core::{ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId, NodeRegistry};
+use streammeta_time::VirtualClock;
+
+fn key(node: u32, item: &str) -> MetadataKey {
+    MetadataKey::new(NodeId(node), item)
+}
+
+#[test]
+fn subscribe_with_delivers_snapshot_at_registration() {
+    let clock = VirtualClock::shared();
+    let mgr = MetadataManager::new(clock);
+    let reg = NodeRegistry::new(NodeId(1));
+    reg.define(ItemDef::static_value("cfg", 42u64));
+    mgr.attach_node(reg);
+
+    let seen: Arc<Mutex<Vec<(u64, MetadataValue)>>> = Arc::new(Mutex::new(Vec::new()));
+    let s2 = seen.clone();
+    let _sub = mgr
+        .subscribe_with(key(1, "cfg"), move |v| {
+            s2.lock().unwrap().push((v.version, v.value.clone()));
+        })
+        .unwrap();
+
+    // The static value is stored by inclusion, before the observer is
+    // attached — without the registration snapshot the consumer would
+    // never hear of it.
+    let seen = seen.lock().unwrap();
+    assert_eq!(seen.len(), 1, "registration delivered the current value");
+    assert_eq!(seen[0], (1, MetadataValue::U64(42)));
+}
+
+#[test]
+fn subscribe_with_on_never_stored_item_stays_silent() {
+    let clock = VirtualClock::shared();
+    let mgr = MetadataManager::new(clock);
+    let reg = NodeRegistry::new(NodeId(1));
+    // On-demand items are not pre-computed at inclusion: nothing has
+    // ever been stored, so registration must not fabricate a delivery.
+    reg.define(
+        ItemDef::on_demand("lazy")
+            .compute(|_| MetadataValue::U64(7))
+            .build(),
+    );
+    mgr.attach_node(reg);
+
+    let calls = Arc::new(AtomicU64::new(0));
+    let c2 = calls.clone();
+    let sub = mgr
+        .subscribe_with(key(1, "lazy"), move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        0,
+        "version 0 is not delivered"
+    );
+    // The first access stores the computed value and notifies.
+    assert_eq!(sub.get(), MetadataValue::U64(7));
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn observer_versions_are_strictly_increasing_under_concurrent_stores() {
+    let clock = VirtualClock::shared();
+    let mgr = MetadataManager::new(clock);
+    let reg = NodeRegistry::new(NodeId(1));
+    let ticks = Arc::new(AtomicU64::new(0));
+    let t2 = ticks.clone();
+    // Every access stores a fresh value, so concurrent readers generate
+    // concurrent stores (and thus concurrent observer notifications).
+    reg.define(
+        ItemDef::on_demand("tick")
+            .compute(move |_| MetadataValue::U64(t2.fetch_add(1, Ordering::SeqCst)))
+            .build(),
+    );
+    mgr.attach_node(reg);
+
+    let versions: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let v2 = versions.clone();
+    let sub = mgr
+        .subscribe_with(key(1, "tick"), move |v| {
+            v2.lock().unwrap().push(v.version);
+        })
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let mgr = mgr.clone();
+            let sub = &sub;
+            scope.spawn(move || {
+                let k = key(1, "tick");
+                for i in 0..2_000u32 {
+                    if i % 2 == 0 {
+                        let _ = sub.get();
+                    } else {
+                        let _ = mgr.read(&k);
+                    }
+                }
+            });
+        }
+    });
+
+    let versions = versions.lock().unwrap();
+    assert!(!versions.is_empty());
+    for pair in versions.windows(2) {
+        assert!(
+            pair[1] > pair[0],
+            "delivery went backwards: {} after {}",
+            pair[1],
+            pair[0]
+        );
+    }
+}

@@ -68,6 +68,13 @@ pub fn run_threaded_with(
     let stop = Arc::new(AtomicBool::new(false));
     let processed = Arc::new(AtomicU64::new(0));
     let source_elements = Arc::new(AtomicU64::new(0));
+    // Items taken off the channel but not yet fanned back into it. An
+    // empty channel alone does not mean the run is drained: a worker
+    // mid-`process` is about to enqueue downstream elements, and a
+    // worker that exits on the empty-channel snapshot abandons them to
+    // whichever single worker happens to survive. Workers only exit
+    // when the channel is empty AND nothing is in flight.
+    let in_flight = Arc::new(AtomicU64::new(0));
 
     std::thread::scope(|scope| {
         // Feeder: release due source elements as wall time passes.
@@ -118,6 +125,7 @@ pub fn run_threaded_with(
             let tx = tx.clone();
             let stop = stop.clone();
             let processed = processed.clone();
+            let in_flight = in_flight.clone();
             let busy_gauge = busy_gauge.clone();
             let processed_counter = processed_counter.clone();
             scope.spawn(move || {
@@ -125,6 +133,7 @@ pub fn run_threaded_with(
                 loop {
                     match rx.recv_timeout(Duration::from_millis(1)) {
                         Ok(item) => {
+                            in_flight.fetch_add(1, Ordering::SeqCst);
                             if let Some(g) = &busy_gauge {
                                 g.add(1.0);
                             }
@@ -149,12 +158,20 @@ pub fn run_threaded_with(
                                     });
                                 }
                             }
+                            // Decremented only after the downstream
+                            // elements are back in the channel, so the
+                            // exit condition never sees them in neither
+                            // place.
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
                             if let Some(g) = &busy_gauge {
                                 g.add(-1.0);
                             }
                         }
                         Err(_) => {
-                            if stop.load(Ordering::SeqCst) && rx.is_empty() {
+                            if stop.load(Ordering::SeqCst)
+                                && rx.is_empty()
+                                && in_flight.load(Ordering::SeqCst) == 0
+                            {
                                 break;
                             }
                         }

@@ -63,8 +63,15 @@ impl Ord for Entry {
 struct Inner {
     next_id: u64,
     heap: BinaryHeap<Reverse<Entry>>,
+    /// Cancelled ids whose heap entry has not been reaped yet. Ids are
+    /// removed as the heap drains, so membership here says nothing about
+    /// whether an id was ever cancelled — `live` is the authority.
     cancelled: HashSet<u64>,
-    live: usize,
+    /// Ids that are registered and not cancelled. An explicit set, not a
+    /// counter: cancellation must be able to tell "live until now" from
+    /// "already cancelled or never registered" even after the heap entry
+    /// and the `cancelled` marker of an earlier cancellation are gone.
+    live: HashSet<u64>,
 }
 
 /// A shared priority queue of periodic tasks.
@@ -111,7 +118,7 @@ impl PeriodicRegistry {
         let mut inner = self.inner.lock();
         let id = inner.next_id;
         inner.next_id += 1;
-        inner.live += 1;
+        inner.live.insert(id);
         inner.heap.push(Reverse(Entry {
             due: first_due,
             id,
@@ -123,17 +130,19 @@ impl PeriodicRegistry {
         TaskId(id)
     }
 
-    /// Cancels a task. Cancelling an already-cancelled task is a no-op.
+    /// Cancels a task. Cancelling an already-cancelled (or unknown) task
+    /// is a no-op — in particular a repeat cancellation after the heap
+    /// entry was drained must not touch other tasks' accounting.
     pub fn cancel(&self, id: TaskId) {
         let mut inner = self.inner.lock();
-        if inner.cancelled.insert(id.0) {
-            inner.live = inner.live.saturating_sub(1);
+        if inner.live.remove(&id.0) {
+            inner.cancelled.insert(id.0);
         }
     }
 
     /// Number of live (registered, not cancelled) tasks.
     pub fn live_tasks(&self) -> usize {
-        self.inner.lock().live
+        self.inner.lock().live.len()
     }
 
     /// The earliest pending deadline, if any.
@@ -259,10 +268,39 @@ mod tests {
     fn cancel_twice_is_noop() {
         let reg = PeriodicRegistry::new();
         let n = Arc::new(AtomicUsize::new(0));
-        let id = reg.register(Timestamp(1), TimeSpan(1), counting_task(n));
+        let id = reg.register(Timestamp(1), TimeSpan(1), counting_task(n.clone()));
         reg.cancel(id);
         reg.cancel(id);
         assert_eq!(reg.live_tasks(), 0);
+        // A survivor registered after the double-cancel must not be
+        // affected by further repeats.
+        let keep = reg.register(Timestamp(2), TimeSpan(1), counting_task(n));
+        reg.cancel(id);
+        assert_eq!(reg.live_tasks(), 1);
+        reg.cancel(keep);
+        assert_eq!(reg.live_tasks(), 0);
+    }
+
+    #[test]
+    fn cancel_after_drain_does_not_corrupt_live_count() {
+        let reg = PeriodicRegistry::new();
+        let n = Arc::new(AtomicUsize::new(0));
+        let doomed = reg.register(Timestamp(1), TimeSpan(1), counting_task(n.clone()));
+        let _survivor = reg.register(Timestamp(1), TimeSpan(1), counting_task(n.clone()));
+        assert_eq!(reg.live_tasks(), 2);
+        reg.cancel(doomed);
+        assert_eq!(reg.live_tasks(), 1);
+        // The drain reaps `doomed`'s heap entry and clears its
+        // cancellation marker...
+        reg.advance_to(Timestamp(3));
+        assert_eq!(n.load(Ordering::SeqCst), 3, "survivor fired at 1, 2, 3");
+        // ...after which a repeat cancellation must still be a no-op:
+        // the old marker-based accounting re-counted it and stole the
+        // survivor's live slot.
+        reg.cancel(doomed);
+        assert_eq!(reg.live_tasks(), 1, "survivor is still live");
+        reg.advance_to(Timestamp(4));
+        assert_eq!(n.load(Ordering::SeqCst), 4, "survivor keeps firing");
     }
 
     #[test]

@@ -18,7 +18,8 @@ for exp in exp_e1_taxonomy exp_e2_fig3_cascade exp_e3_fig4_concurrent \
            exp_e4_fig5_aggregation exp_e5_scalability exp_e6_freshness \
            exp_e10_resize exp_e11_concurrency exp_e12_dyndeps \
            exp_e13_chain exp_e14_shedding exp_e15_selectivity \
-           exp_e16_optimizer exp_e17_qos exp_e18_observability; do
+           exp_e16_optimizer exp_e17_qos exp_e18_observability \
+           exp_e19_read_contention; do
     echo "=== $exp ==="
     RESULTS_DIR="$OUT" ./target/release/"$exp" | tee "$OUT/$exp.txt"
     echo
