@@ -1,0 +1,222 @@
+//! `streammeta-analyze`: static anomaly detection for metadata graphs
+//! ("metalint") and a deterministic interleaving checker for the
+//! lock-free read path.
+//!
+//! # Static analysis
+//!
+//! The paper's central observation (Section 3) is that metadata
+//! anomalies like Figure 4 (two consumers sharing a reset-on-access
+//! on-demand measurement) and Figure 5 (an on-demand aggregate sampling
+//! a periodically updated input) are *structural*: they follow from the
+//! combination of update mechanism, statefulness and dependency shape,
+//! and are therefore detectable before any tuple flows. This crate
+//! extracts a typed [`GraphModel`] from a [`MetadataManager`] — without
+//! executing a single compute function — and runs a rule engine over it:
+//!
+//! | code | rule | severity |
+//! |------|------|----------|
+//! | A1 | shared on-demand reset-on-read item (Figure 4) | error |
+//! | A2 | on-demand stateful aggregate over a periodic input (Figure 5) | error |
+//! | A3 | dependency cycle (incl. via dynamic alternatives) | error |
+//! | A4 | dangling / unresolvable dependency | error (warning if alternative) |
+//! | A5 | period inversion: periodic faster than its periodic input | warning (error if stateful) |
+//! | A6 | isolation violation: triggered item feeds a periodic one | warning |
+//! | B1 | dependency chain deeper than the propagation budget | warning |
+//! | B2 | fan-out above the budget | warning |
+//!
+//! Three exposures: the library API ([`analyze`]), the `metalint` binary
+//! (in `streammeta-bench`, over the E1–E19 experiment graphs), and a
+//! subscription-time hook ([`install_linter`]) that warns or denies by
+//! policy when a new subscription would complete an anomalous shape.
+//!
+//! # Interleaving checker
+//!
+//! [`interleave`] is a minimal loom-style exhaustive scheduler used by
+//! the test suites in `tests/` to model-check the seqlock publish/read
+//! protocol of `streammeta-core::handler` and the sharded key-index
+//! races of `streammeta-core::shards` — deterministically, with no real
+//! threads and no wall-clock sleeps.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod interleave;
+pub mod model;
+pub mod rules;
+
+pub use diag::{DiagCode, Diagnostic, Severity};
+pub use interleave::{Explorer, Model, Stats, Violation};
+pub use model::{DepEdge, GraphModel, ItemModel, MechKind};
+pub use rules::Budgets;
+
+use streammeta_core::{MetadataKey, MetadataManager, ValidationPolicy};
+
+/// Analyzes every item defined in every registry attached to `manager`
+/// with the default [`Budgets`], returning the findings sorted by
+/// (code, key). No compute function is executed.
+pub fn analyze(manager: &MetadataManager) -> Vec<Diagnostic> {
+    analyze_with(manager, &Budgets::default())
+}
+
+/// [`analyze`] with explicit graph budgets.
+pub fn analyze_with(manager: &MetadataManager, budgets: &Budgets) -> Vec<Diagnostic> {
+    rules::run(&GraphModel::extract(manager), budgets)
+}
+
+/// Installs the rule engine as the manager's subscription-time
+/// validator.
+///
+/// On every `subscribe(key)` the graph is re-analyzed as if the pending
+/// subscription already existed ([`GraphModel::extract_with_pending`]),
+/// and error-severity findings anchored inside the subtree the
+/// subscription would include are reported as violations. Under
+/// [`ValidationPolicy::Warn`] they are collected on the manager
+/// (`take_validation_warnings`); under [`ValidationPolicy::Deny`] the
+/// subscription fails with `MetadataError::ValidationFailed`.
+///
+/// This is exactly the paper's Figure-4 scenario made un-deployable:
+/// the *first* subscription to the shared reset-on-read item is clean,
+/// the *second* one completes the anomaly and is flagged (or refused)
+/// at the moment it is attempted.
+pub fn install_linter(manager: &MetadataManager, policy: ValidationPolicy, budgets: Budgets) {
+    manager.set_validator(
+        Some(std::sync::Arc::new(
+            move |mgr: &MetadataManager, key: &MetadataKey| {
+                let model = GraphModel::extract_with_pending(mgr, key);
+                let scope = model.reachable_from(key);
+                rules::run(&model, &budgets)
+                    .into_iter()
+                    .filter(|d| d.severity == Severity::Error && scope.contains(&d.key))
+                    .map(|d| format!("{}[{}] {}: {}", d.severity, d.code, d.key, d.message))
+                    .collect()
+            },
+        )),
+        policy,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammeta_core::{ItemDef, MetadataError, MetadataValue, NodeId, NodeRegistry};
+    use streammeta_time::{TimeSpan, VirtualClock};
+
+    fn fig4_manager() -> std::sync::Arc<MetadataManager> {
+        let mgr = MetadataManager::new(VirtualClock::shared());
+        let reg = NodeRegistry::new(NodeId(0));
+        reg.define(
+            ItemDef::on_demand("input_rate_naive")
+                .reset_on_read()
+                .compute(|_| MetadataValue::F64(0.0))
+                .build(),
+        );
+        mgr.attach_node(reg);
+        mgr
+    }
+
+    #[test]
+    fn analyze_is_clean_on_single_consumer() {
+        let mgr = fig4_manager();
+        let key = MetadataKey::new(NodeId(0), "input_rate_naive");
+        let _s = mgr.subscribe(key).unwrap();
+        assert!(analyze(&mgr).is_empty());
+    }
+
+    #[test]
+    fn analyze_flags_fig4_on_second_consumer() {
+        let mgr = fig4_manager();
+        let key = MetadataKey::new(NodeId(0), "input_rate_naive");
+        let _s1 = mgr.subscribe(key.clone()).unwrap();
+        let _s2 = mgr.subscribe(key.clone()).unwrap();
+        let diags = analyze(&mgr);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::SharedOnDemandReset);
+        assert_eq!(diags[0].key, key);
+    }
+
+    #[test]
+    fn linter_warn_policy_collects_and_allows() {
+        let mgr = fig4_manager();
+        install_linter(&mgr, ValidationPolicy::Warn, Budgets::default());
+        let key = MetadataKey::new(NodeId(0), "input_rate_naive");
+        let _s1 = mgr.subscribe(key.clone()).unwrap();
+        assert!(mgr.take_validation_warnings().is_empty());
+        let _s2 = mgr.subscribe(key.clone()).unwrap();
+        let warnings = mgr.take_validation_warnings();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("[A1]"), "{warnings:?}");
+    }
+
+    #[test]
+    fn linter_deny_policy_refuses_the_completing_subscription() {
+        let mgr = fig4_manager();
+        install_linter(&mgr, ValidationPolicy::Deny, Budgets::default());
+        let key = MetadataKey::new(NodeId(0), "input_rate_naive");
+        let _s1 = mgr.subscribe(key.clone()).unwrap();
+        let err = mgr.subscribe(key.clone()).unwrap_err();
+        match err {
+            MetadataError::ValidationFailed(k, violations) => {
+                assert_eq!(k, key);
+                assert!(violations[0].contains("[A1]"));
+            }
+            other => panic!("expected ValidationFailed, got {other:?}"),
+        }
+        // The denied subscription must not leak a handler.
+        assert_eq!(mgr.subscription_count(&key), 1);
+    }
+
+    #[test]
+    fn linter_scopes_to_the_pending_subtree() {
+        // An unrelated anomaly elsewhere must not block this subscribe.
+        let mgr = fig4_manager();
+        let reg = NodeRegistry::new(NodeId(1));
+        reg.define(ItemDef::static_value("healthy", 1u64));
+        mgr.attach_node(reg);
+        install_linter(&mgr, ValidationPolicy::Deny, Budgets::default());
+        let naive = MetadataKey::new(NodeId(0), "input_rate_naive");
+        let _s1 = mgr.subscribe(naive.clone()).unwrap();
+        // The anomaly now exists…
+        let _s2 = mgr.subscribe(naive.clone()).unwrap_err();
+        // …but a subscription to the unrelated healthy item still works:
+        let healthy = MetadataKey::new(NodeId(1), "healthy");
+        let _s3 = mgr.subscribe(healthy).unwrap();
+    }
+
+    #[test]
+    fn analyze_with_respects_budgets() {
+        let mgr = fig4_manager();
+        let diags = analyze_with(
+            &mgr,
+            &Budgets {
+                max_depth: 0,
+                max_fanout: 0,
+            },
+        );
+        // Single item, no deps: depth 0, fanout 0 — still clean.
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn a2_fires_against_a_real_manager_graph() {
+        let mgr = MetadataManager::new(VirtualClock::shared());
+        let reg = NodeRegistry::new(NodeId(0));
+        reg.define(
+            ItemDef::periodic("input_rate", TimeSpan(50))
+                .stateful()
+                .compute(|_| MetadataValue::F64(0.0))
+                .build(),
+        );
+        reg.define(
+            ItemDef::on_demand("avg_input_rate")
+                .dep_local("input_rate")
+                .stateful()
+                .compute(|_| MetadataValue::F64(0.0))
+                .build(),
+        );
+        mgr.attach_node(reg);
+        let diags = analyze(&mgr);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::OnDemandOverPeriodic);
+        assert_eq!(diags[0].key, MetadataKey::new(NodeId(0), "avg_input_rate"));
+    }
+}

@@ -1,0 +1,717 @@
+//! The rule engine: anomaly rules A1–A6 and graph budget checks B1/B2.
+//!
+//! Each rule is a pure function of the extracted [`GraphModel`] — no
+//! compute function runs, no lock is held while analysing. The rules
+//! formalise the paper's two central anomalies (Figure 4 and Figure 5)
+//! plus the structural hazards the runtime can only discover mid-flight
+//! (cycles, dangling dependencies, period inversions, isolation
+//! violations) and operational ceilings on graph shape.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use streammeta_core::MetadataKey;
+
+use crate::diag::{DiagCode, Diagnostic, Severity};
+use crate::model::{GraphModel, ItemModel, MechKind};
+
+/// Ceilings for the graph budget checks (B1/B2).
+#[derive(Clone, Copy, Debug)]
+pub struct Budgets {
+    /// Maximum dependency-chain depth before B1 fires. Trigger
+    /// propagation walks this chain on every change; deep chains turn
+    /// one update into a long synchronous cascade.
+    pub max_depth: usize,
+    /// Maximum number of distinct dependents of one item before B2
+    /// fires. High fan-out makes one item's update notify a crowd.
+    pub max_fanout: usize,
+}
+
+impl Default for Budgets {
+    fn default() -> Self {
+        Budgets {
+            max_depth: 8,
+            max_fanout: 16,
+        }
+    }
+}
+
+/// Runs every rule over `model` and returns the findings sorted by
+/// (code, key) — deterministic for identical graphs.
+pub fn run(model: &GraphModel, budgets: &Budgets) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for item in model.items.values() {
+        rule_a1_shared_reset(model, item, &mut out);
+        rule_a2_on_demand_over_periodic(model, item, &mut out);
+        rule_a4_dangling(model, item, &mut out);
+        rule_a5_period_inversion(model, item, &mut out);
+        rule_a6_isolation(model, item, &mut out);
+        rule_b2_fanout(model, item, budgets, &mut out);
+    }
+    rule_a3_cycles(model, &mut out);
+    rule_b1_depth(model, budgets, &mut out);
+    out.sort_by(|a, b| (a.code, &a.key).cmp(&(b.code, &b.key)));
+    out
+}
+
+/// A1 (Figure 4): an on-demand item whose evaluation resets the
+/// underlying measurement, shared by two or more subscription roots.
+/// Every access covers only the interval since the *other* consumer's
+/// access, so all consumers read wrong values.
+fn rule_a1_shared_reset(model: &GraphModel, item: &ItemModel, out: &mut Vec<Diagnostic>) {
+    if item.mechanism != MechKind::OnDemand || !item.reset_on_read {
+        return;
+    }
+    let dependents: Vec<MetadataKey> = model
+        .dependents_of(&item.key)
+        .into_iter()
+        .cloned()
+        .collect();
+    // Every live subscription root and every statically declared
+    // dependent is an independent access path that resets the shared
+    // measurement.
+    let roots = item.subscribers + dependents.len();
+    if roots < 2 {
+        return;
+    }
+    out.push(Diagnostic {
+        code: DiagCode::SharedOnDemandReset,
+        severity: Severity::Error,
+        key: item.key.clone(),
+        message: format!(
+            "on-demand item resets its measurement on every read but is shared by \
+             {roots} subscription roots ({} live, {} dependent items): each access \
+             truncates the interval the others measure (paper Figure 4)",
+            item.subscribers,
+            dependents.len()
+        ),
+        hint: "replace the reset-on-access measurement with a periodic item: one \
+               shared window boundary serves every consumer the same value"
+            .into(),
+        related: dependents,
+    });
+}
+
+/// A2 (Figure 5): an on-demand stateful aggregate over a periodically
+/// updated input. The aggregate observes the input on the consumer's
+/// access schedule instead of the input's update schedule, so it samples
+/// (and can alias with) the update period — in the paper's Figure 5 it
+/// only ever sees the peak windows.
+fn rule_a2_on_demand_over_periodic(
+    model: &GraphModel,
+    item: &ItemModel,
+    out: &mut Vec<Diagnostic>,
+) {
+    if item.mechanism != MechKind::OnDemand || !item.stateful {
+        return;
+    }
+    for (dep_key, edge) in item.item_deps() {
+        let Some(dep) = model.items.get(dep_key) else {
+            continue; // A4's problem
+        };
+        let Some(period) = dep.mechanism.period() else {
+            continue;
+        };
+        let (severity, detail) = match item.implied_window {
+            Some(iw) if period >= iw => (
+                Severity::Error,
+                format!(
+                    "the input's period ({period:?}) is at least the aggregate's \
+                     implied sampling window ({iw:?}), so repeated accesses re-observe \
+                     the same published value"
+                ),
+            ),
+            Some(iw) => (
+                Severity::Error,
+                format!(
+                    "accesses arrive every ~{iw:?} while the input publishes every \
+                     {period:?}: the aggregate skips updates and can alias with the \
+                     publish schedule"
+                ),
+            ),
+            None if edge.alternative => (
+                Severity::Warning,
+                "a dynamic resolver may select the periodic input".into(),
+            ),
+            None => (
+                Severity::Error,
+                "the access schedule is unconstrained, so which published values the \
+                 aggregate observes is an accident of consumer timing"
+                    .into(),
+            ),
+        };
+        out.push(Diagnostic {
+            code: DiagCode::OnDemandOverPeriodic,
+            severity,
+            key: item.key.clone(),
+            message: format!(
+                "on-demand stateful aggregate samples the periodic item {dep_key} \
+                 instead of observing it: {detail} (paper Figure 5)"
+            ),
+            hint: format!(
+                "make the aggregate triggered on {dep_key} so every published value \
+                 is observed exactly once"
+            ),
+            related: vec![dep_key.clone()],
+        });
+    }
+}
+
+/// A3: dependency cycles, including cycles that only close through
+/// dynamic-dependency alternatives. The runtime rejects a cycle at
+/// inclusion time with an error; statically it is a definition bug.
+fn rule_a3_cycles(model: &GraphModel, out: &mut Vec<Diagnostic>) {
+    // Iterative DFS with colors; report each cycle once, rotated to
+    // start at its minimal key.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: BTreeMap<&MetadataKey, Color> =
+        model.items.keys().map(|k| (k, Color::White)).collect();
+    let mut found: BTreeSet<Vec<MetadataKey>> = BTreeSet::new();
+
+    fn dfs<'a>(
+        model: &'a GraphModel,
+        key: &'a MetadataKey,
+        color: &mut BTreeMap<&'a MetadataKey, Color>,
+        stack: &mut Vec<&'a MetadataKey>,
+        found: &mut BTreeSet<Vec<MetadataKey>>,
+    ) {
+        color.insert(key, Color::Gray);
+        stack.push(key);
+        if let Some(item) = model.items.get(key) {
+            for (dep, _) in item.item_deps() {
+                let Some((dep, _)) = model.items.get_key_value(dep) else {
+                    continue;
+                };
+                match color.get(dep).copied().unwrap_or(Color::White) {
+                    Color::Gray => {
+                        // Close the cycle: from `dep`'s position in the
+                        // stack to the top.
+                        let start = stack.iter().position(|k| *k == dep).expect("on stack");
+                        let mut cycle: Vec<MetadataKey> =
+                            stack[start..].iter().map(|k| (*k).clone()).collect();
+                        // Canonical rotation for dedup.
+                        let min = cycle
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, k)| (*k).clone())
+                            .map(|(i, _)| i)
+                            .unwrap_or(0);
+                        cycle.rotate_left(min);
+                        found.insert(cycle);
+                    }
+                    Color::White => dfs(model, dep, color, stack, found),
+                    Color::Black => {}
+                }
+            }
+        }
+        stack.pop();
+        color.insert(key, Color::Black);
+    }
+
+    let keys: Vec<&MetadataKey> = model.items.keys().collect();
+    for key in keys {
+        if color.get(key).copied() == Some(Color::White) {
+            let mut stack = Vec::new();
+            dfs(model, key, &mut color, &mut stack, &mut found);
+        }
+    }
+
+    for cycle in found {
+        let uses_alternative = cycle.iter().enumerate().any(|(i, from)| {
+            let to = &cycle[(i + 1) % cycle.len()];
+            model.items[from]
+                .item_deps()
+                .any(|(dep, edge)| dep == to && edge.alternative)
+        });
+        let path: Vec<String> = cycle
+            .iter()
+            .chain(cycle.first())
+            .map(|k| k.to_string())
+            .collect();
+        out.push(Diagnostic {
+            code: DiagCode::DependencyCycle,
+            severity: Severity::Error,
+            key: cycle[0].clone(),
+            message: format!(
+                "dependency cycle {}{}: inclusion of any member fails at runtime",
+                path.join(" -> "),
+                if uses_alternative {
+                    " (closes only through a dynamic-dependency alternative)"
+                } else {
+                    ""
+                }
+            ),
+            hint: "break the cycle by removing one dependency or replacing it with an \
+                   event trigger"
+                .into(),
+            related: cycle,
+        });
+    }
+}
+
+/// A4: a dependency on an item no attached registry defines — the
+/// subscription would fail at runtime with `ItemUndefined`/`NodeUnknown`.
+fn rule_a4_dangling(model: &GraphModel, item: &ItemModel, out: &mut Vec<Diagnostic>) {
+    for (dep_key, edge) in item.item_deps() {
+        if model.defines(dep_key) {
+            continue;
+        }
+        out.push(Diagnostic {
+            code: DiagCode::DanglingDependency,
+            severity: if edge.alternative {
+                Severity::Warning
+            } else {
+                Severity::Error
+            },
+            key: item.key.clone(),
+            message: format!(
+                "{}dependency `{}` -> {dep_key} is unresolvable: no attached registry \
+                 defines that item",
+                if edge.alternative {
+                    "dynamic-alternative "
+                } else {
+                    ""
+                },
+                edge.role
+            ),
+            hint: format!(
+                "define {dep_key} (or attach its node's registry) before subscribing, \
+                 or drop the dependency"
+            ),
+            related: vec![dep_key.clone()],
+        });
+    }
+}
+
+/// A5: period inversion — a periodic item refreshes faster than a
+/// periodic dependency it reads, so consecutive refreshes re-read the
+/// same (stale) value; a stateful aggregate then double-counts it.
+fn rule_a5_period_inversion(model: &GraphModel, item: &ItemModel, out: &mut Vec<Diagnostic>) {
+    let Some(own) = item.mechanism.period() else {
+        return;
+    };
+    for (dep_key, _) in item.item_deps() {
+        let Some(dep) = model.items.get(dep_key) else {
+            continue;
+        };
+        let Some(dep_period) = dep.mechanism.period() else {
+            continue;
+        };
+        if own >= dep_period {
+            continue;
+        }
+        out.push(Diagnostic {
+            code: DiagCode::PeriodInversion,
+            severity: if item.stateful {
+                Severity::Error
+            } else {
+                Severity::Warning
+            },
+            key: item.key.clone(),
+            message: format!(
+                "periodic item (period {own:?}) refreshes faster than its periodic \
+                 dependency {dep_key} (period {dep_period:?}): {} refreshes in a row \
+                 re-read the same value{}",
+                (dep_period.0 / own.0.max(1)).max(2),
+                if item.stateful {
+                    ", and the stateful aggregate double-counts it"
+                } else {
+                    ""
+                }
+            ),
+            hint: format!(
+                "refresh no faster than the dependency (period >= {dep_period:?}), or \
+                 make this item triggered on {dep_key}"
+            ),
+            related: vec![dep_key.clone()],
+        });
+    }
+}
+
+/// A6: isolation violation — a triggered item feeds a periodic one. The
+/// triggered value can change at any instant, so the periodic item's
+/// window-boundary snapshot reads a value that moved mid-window: the
+/// paper's isolation condition (Section 3) asks periodic inputs to be
+/// stable within a window.
+fn rule_a6_isolation(model: &GraphModel, item: &ItemModel, out: &mut Vec<Diagnostic>) {
+    if item.mechanism.period().is_none() {
+        return;
+    }
+    for (dep_key, _) in item.item_deps() {
+        let Some(dep) = model.items.get(dep_key) else {
+            continue;
+        };
+        if dep.mechanism != MechKind::Triggered {
+            continue;
+        }
+        out.push(Diagnostic {
+            code: DiagCode::IsolationViolation,
+            severity: Severity::Warning,
+            key: item.key.clone(),
+            message: format!(
+                "periodic item reads the triggered item {dep_key}, which can update \
+                 mid-window: the window-boundary snapshot is not isolated from \
+                 in-window changes (paper Section 3)"
+            ),
+            hint: format!(
+                "make this item triggered on {dep_key}, or read a periodic upstream of \
+                 the triggered value"
+            ),
+            related: vec![dep_key.clone()],
+        });
+    }
+}
+
+/// B1: propagation-depth budget — the longest dependency chain in the
+/// model, compared against [`Budgets::max_depth`]. Cycle participants
+/// are skipped (A3 already reports them).
+fn rule_b1_depth(model: &GraphModel, budgets: &Budgets, out: &mut Vec<Diagnostic>) {
+    // Memoized longest-chain DFS; `None` in `depth` marks "on stack"
+    // (cycle), which we treat as depth 0 to stay terminating.
+    fn depth_of<'a>(
+        model: &'a GraphModel,
+        key: &'a MetadataKey,
+        memo: &mut BTreeMap<&'a MetadataKey, Option<usize>>,
+    ) -> usize {
+        match memo.get(key) {
+            Some(Some(d)) => return *d,
+            Some(None) => return 0, // cycle member
+            None => {}
+        }
+        memo.insert(key, None);
+        let mut best = 0;
+        if let Some(item) = model.items.get(key) {
+            for (dep, _) in item.item_deps() {
+                if let Some((dep, _)) = model.items.get_key_value(dep) {
+                    best = best.max(1 + depth_of(model, dep, memo));
+                }
+            }
+        }
+        memo.insert(key, Some(best));
+        best
+    }
+
+    let mut memo: BTreeMap<&MetadataKey, Option<usize>> = BTreeMap::new();
+    let mut deepest: Option<(&MetadataKey, usize)> = None;
+    for key in model.items.keys() {
+        let d = depth_of(model, key, &mut memo);
+        if deepest.is_none_or(|(_, best)| d > best) {
+            deepest = Some((key, d));
+        }
+    }
+    if let Some((key, depth)) = deepest {
+        if depth > budgets.max_depth {
+            out.push(Diagnostic {
+                code: DiagCode::PropagationDepth,
+                severity: Severity::Warning,
+                key: key.clone(),
+                message: format!(
+                    "dependency chain of depth {depth} exceeds the propagation-depth \
+                     budget ({}): one upstream change cascades through {depth} \
+                     synchronous recomputations",
+                    budgets.max_depth
+                ),
+                hint: "flatten the chain (depend on the original source directly) or \
+                       raise the budget if the depth is intended"
+                    .into(),
+                related: Vec::new(),
+            });
+        }
+    }
+}
+
+/// B2: fan-out budget — items with more distinct dependents than
+/// [`Budgets::max_fanout`].
+fn rule_b2_fanout(
+    model: &GraphModel,
+    item: &ItemModel,
+    budgets: &Budgets,
+    out: &mut Vec<Diagnostic>,
+) {
+    let dependents = model.dependents_of(&item.key);
+    if dependents.len() <= budgets.max_fanout {
+        return;
+    }
+    out.push(Diagnostic {
+        code: DiagCode::FanOut,
+        severity: Severity::Warning,
+        key: item.key.clone(),
+        message: format!(
+            "{} items depend on this one, exceeding the fan-out budget ({}): every \
+             update notifies all of them",
+            dependents.len(),
+            budgets.max_fanout
+        ),
+        hint: "introduce an intermediate aggregate, or raise the budget if the fan-out \
+               is intended"
+            .into(),
+        related: dependents.into_iter().take(8).cloned().collect(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DepEdge;
+    use streammeta_core::{DepSource, NodeId};
+    use streammeta_time::TimeSpan;
+
+    fn key(name: &str) -> MetadataKey {
+        MetadataKey::new(NodeId(0), name)
+    }
+
+    fn item(name: &str, mech: MechKind) -> ItemModel {
+        ItemModel {
+            key: key(name),
+            mechanism: mech,
+            stateful: false,
+            reset_on_read: false,
+            implied_window: None,
+            deps: Vec::new(),
+            subscribers: 0,
+        }
+    }
+
+    fn dep(name: &str) -> DepEdge {
+        DepEdge {
+            role: "in".into(),
+            source: DepSource::Item(key(name)),
+            alternative: false,
+        }
+    }
+
+    fn alt_dep(name: &str) -> DepEdge {
+        DepEdge {
+            alternative: true,
+            ..dep(name)
+        }
+    }
+
+    fn model(items: Vec<ItemModel>) -> GraphModel {
+        GraphModel {
+            items: items.into_iter().map(|i| (i.key.clone(), i)).collect(),
+        }
+    }
+
+    fn run_default(m: &GraphModel) -> Vec<Diagnostic> {
+        run(m, &Budgets::default())
+    }
+
+    fn find(diags: &[Diagnostic], code: DiagCode) -> &Diagnostic {
+        diags
+            .iter()
+            .find(|d| d.code == code)
+            .unwrap_or_else(|| panic!("no {code} in {diags:?}"))
+    }
+
+    #[test]
+    fn a1_fires_on_shared_reset_on_read() {
+        let mut naive = item("naive", MechKind::OnDemand);
+        naive.reset_on_read = true;
+        naive.subscribers = 2;
+        let m = model(vec![naive]);
+        let diags = run_default(&m);
+        let d = find(&diags, DiagCode::SharedOnDemandReset);
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.key, key("naive"));
+        assert!(d.message.contains("Figure 4"));
+        assert!(d.hint.contains("periodic"));
+    }
+
+    #[test]
+    fn a1_counts_dependents_as_roots() {
+        let mut naive = item("naive", MechKind::OnDemand);
+        naive.reset_on_read = true;
+        naive.subscribers = 1;
+        let mut consumer = item("ratio", MechKind::Triggered);
+        consumer.deps.push(dep("naive"));
+        let m = model(vec![naive, consumer]);
+        let d = run_default(&m);
+        assert_eq!(
+            find(&d, DiagCode::SharedOnDemandReset).related,
+            vec![key("ratio")]
+        );
+    }
+
+    #[test]
+    fn a1_silent_for_single_root_or_non_reset() {
+        let mut naive = item("naive", MechKind::OnDemand);
+        naive.reset_on_read = true;
+        naive.subscribers = 1;
+        assert!(run_default(&model(vec![naive])).is_empty());
+
+        let mut plain = item("plain", MechKind::OnDemand);
+        plain.subscribers = 5;
+        assert!(run_default(&model(vec![plain])).is_empty());
+    }
+
+    #[test]
+    fn a2_fires_on_stateful_on_demand_over_periodic() {
+        let rate = item("rate", MechKind::Periodic(TimeSpan(50)));
+        let mut avg = item("avg", MechKind::OnDemand);
+        avg.stateful = true;
+        avg.deps.push(dep("rate"));
+        let diags = run_default(&model(vec![rate, avg]));
+        let d = find(&diags, DiagCode::OnDemandOverPeriodic);
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.key, key("avg"));
+        assert_eq!(d.related, vec![key("rate")]);
+        assert!(d.message.contains("Figure 5"));
+        assert!(d.hint.contains("triggered"));
+    }
+
+    #[test]
+    fn a2_silent_for_stateless_or_triggered_consumers() {
+        let rate = item("rate", MechKind::Periodic(TimeSpan(50)));
+        let mut pass = item("pass", MechKind::OnDemand);
+        pass.deps.push(dep("rate"));
+        let mut trig = item("trig", MechKind::Triggered);
+        trig.stateful = true;
+        trig.deps.push(dep("rate"));
+        assert!(run_default(&model(vec![rate, pass, trig])).is_empty());
+    }
+
+    #[test]
+    fn a3_reports_cycle_once_with_members() {
+        let mut a = item("a", MechKind::Triggered);
+        a.deps.push(dep("b"));
+        let mut b = item("b", MechKind::Triggered);
+        b.deps.push(dep("c"));
+        let mut c = item("c", MechKind::Triggered);
+        c.deps.push(dep("a"));
+        let diags = run_default(&model(vec![a, b, c]));
+        let cycles: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::DependencyCycle)
+            .collect();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].key, key("a"));
+        assert_eq!(cycles[0].related, vec![key("a"), key("b"), key("c")]);
+        assert_eq!(cycles[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn a3_sees_cycles_through_alternatives() {
+        let mut a = item("a", MechKind::Triggered);
+        a.deps.push(alt_dep("b"));
+        let mut b = item("b", MechKind::Triggered);
+        b.deps.push(dep("a"));
+        let diags = run_default(&model(vec![a, b]));
+        let d = find(&diags, DiagCode::DependencyCycle);
+        assert!(d.message.contains("dynamic-dependency alternative"));
+    }
+
+    #[test]
+    fn a4_dangling_fixed_is_error_alternative_is_warning() {
+        let mut a = item("a", MechKind::Triggered);
+        a.deps.push(dep("missing"));
+        a.deps.push(alt_dep("also_missing"));
+        let diags = run_default(&model(vec![a]));
+        let dangling: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::DanglingDependency)
+            .collect();
+        assert_eq!(dangling.len(), 2);
+        let sev: Vec<Severity> = dangling.iter().map(|d| d.severity).collect();
+        assert!(sev.contains(&Severity::Error) && sev.contains(&Severity::Warning));
+    }
+
+    #[test]
+    fn a5_period_inversion_severity_tracks_statefulness() {
+        let slow = item("slow", MechKind::Periodic(TimeSpan(100)));
+        let mut fast = item("fast", MechKind::Periodic(TimeSpan(10)));
+        fast.deps.push(dep("slow"));
+        let d = run_default(&model(vec![slow.clone(), fast.clone()]));
+        assert_eq!(
+            find(&d, DiagCode::PeriodInversion).severity,
+            Severity::Warning
+        );
+
+        fast.stateful = true;
+        let d = run_default(&model(vec![slow, fast]));
+        let diag = find(&d, DiagCode::PeriodInversion);
+        assert_eq!(diag.severity, Severity::Error);
+        assert_eq!(diag.key, key("fast"));
+        assert!(diag.hint.contains("triggered"));
+    }
+
+    #[test]
+    fn a5_silent_when_periods_align() {
+        let slow = item("slow", MechKind::Periodic(TimeSpan(50)));
+        let mut same = item("same", MechKind::Periodic(TimeSpan(50)));
+        same.deps.push(dep("slow"));
+        assert!(run_default(&model(vec![slow, same])).is_empty());
+    }
+
+    #[test]
+    fn a6_periodic_over_triggered_warns() {
+        let trig = item("count", MechKind::Triggered);
+        let mut per = item("win", MechKind::Periodic(TimeSpan(50)));
+        per.deps.push(dep("count"));
+        let diags = run_default(&model(vec![trig, per]));
+        let d = find(&diags, DiagCode::IsolationViolation);
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.key, key("win"));
+        assert_eq!(d.related, vec![key("count")]);
+    }
+
+    #[test]
+    fn b1_depth_budget() {
+        // Chain of 4 items with max_depth 2 -> B1 fires at the deepest.
+        let mut items = vec![item("i0", MechKind::Triggered)];
+        for i in 1..4 {
+            let mut it = item(&format!("i{i}"), MechKind::Triggered);
+            it.deps.push(dep(&format!("i{}", i - 1)));
+            items.push(it);
+        }
+        let budgets = Budgets {
+            max_depth: 2,
+            max_fanout: 16,
+        };
+        let diags = run(&model(items), &budgets);
+        let d = find(&diags, DiagCode::PropagationDepth);
+        assert_eq!(d.key, key("i3"));
+        assert!(d.message.contains("depth 3"));
+    }
+
+    #[test]
+    fn b2_fanout_budget() {
+        let hub = item("hub", MechKind::Triggered);
+        let mut items = vec![hub];
+        for i in 0..3 {
+            let mut it = item(&format!("c{i}"), MechKind::Triggered);
+            it.deps.push(dep("hub"));
+            items.push(it);
+        }
+        let budgets = Budgets {
+            max_depth: 8,
+            max_fanout: 2,
+        };
+        let diags = run(&model(items), &budgets);
+        let d = find(&diags, DiagCode::FanOut);
+        assert_eq!(d.key, key("hub"));
+        assert_eq!(d.related.len(), 3);
+    }
+
+    #[test]
+    fn output_is_sorted_and_deterministic() {
+        let mut naive = item("naive", MechKind::OnDemand);
+        naive.reset_on_read = true;
+        naive.subscribers = 2;
+        let mut a = item("a", MechKind::Triggered);
+        a.deps.push(dep("missing"));
+        let m = model(vec![naive, a]);
+        let d1 = run_default(&m);
+        let d2 = run_default(&m);
+        let codes1: Vec<_> = d1.iter().map(|d| (d.code, d.key.clone())).collect();
+        let codes2: Vec<_> = d2.iter().map(|d| (d.code, d.key.clone())).collect();
+        assert_eq!(codes1, codes2);
+        let mut sorted = codes1.clone();
+        sorted.sort();
+        assert_eq!(codes1, sorted);
+    }
+}

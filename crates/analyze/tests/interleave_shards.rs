@@ -1,0 +1,226 @@
+//! Model-checks the sharded handler index of
+//! `streammeta-core::shards` with the deterministic interleaving
+//! checker.
+//!
+//! The property the real code promises (`crates/core/src/shards.rs`): a
+//! key-based lookup "either sees a fully constructed handler or none at
+//! all". Inserts and removals mutate the shard `HashMap` under the
+//! shard's write lock; lookups hold the read lock. The model makes the
+//! map mutation deliberately non-atomic — an entry is two words, the
+//! value slot and the presence flag — so the *only* thing standing
+//! between a lookup and a half-mutated entry is the lock discipline.
+//!
+//! The checker exhausts every interleaving of an inserter, a remover
+//! and a lookup thread and asserts the lookup never observes a present
+//! entry with an incomplete value. The broken variant lets the remover
+//! skip the write lock (the bug the bookkeeping-mutex comment guards
+//! against): some schedule then interleaves the two removal words with
+//! a read-locked lookup, which the checker must catch.
+
+use streammeta_analyze::interleave::{Explorer, Model};
+
+/// A reader/writer lock as the scheduler sees it.
+#[derive(Clone, Copy, Debug, Default)]
+struct RwLockState {
+    writer: bool,
+    readers: usize,
+}
+
+impl RwLockState {
+    fn can_read(&self) -> bool {
+        !self.writer
+    }
+    fn can_write(&self) -> bool {
+        !self.writer && self.readers == 0
+    }
+}
+
+/// Thread programs. Each op is one atomic action.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Op {
+    AcquireWrite,
+    AcquireRead,
+    /// Store the value word of the entry.
+    SetValue(u64),
+    /// Store the presence flag.
+    SetPresent(bool),
+    /// Load the presence flag into the thread's register.
+    LoadPresent,
+    /// Load the value word into the thread's register.
+    LoadValue,
+    ReleaseWrite,
+    ReleaseRead,
+}
+
+/// Inserter: under the write lock, value first, then presence — the
+/// order `HandlerShards::insert` gets for free from `HashMap::insert`
+/// running entirely under the lock.
+const INSERT: &[Op] = &[
+    Op::AcquireWrite,
+    Op::SetValue(1),
+    Op::SetPresent(true),
+    Op::ReleaseWrite,
+];
+
+/// Remover, locked: presence off first, then the value is reclaimed.
+const REMOVE_LOCKED: &[Op] = &[
+    Op::AcquireWrite,
+    Op::SetPresent(false),
+    Op::SetValue(0),
+    Op::ReleaseWrite,
+];
+
+/// Remover, broken: same two mutation words with the write-lock
+/// acquisition dropped.
+const REMOVE_UNLOCKED: &[Op] = &[Op::SetPresent(false), Op::SetValue(0)];
+
+/// Lookup: under the read lock, check presence, then read the value.
+const LOOKUP: &[Op] = &[
+    Op::AcquireRead,
+    Op::LoadPresent,
+    Op::LoadValue,
+    Op::ReleaseRead,
+];
+
+#[derive(Clone, Debug)]
+struct Thread {
+    program: &'static [Op],
+    pc: usize,
+    present: bool,
+    value: u64,
+}
+
+impl Thread {
+    fn new(program: &'static [Op]) -> Thread {
+        Thread {
+            program,
+            pc: 0,
+            present: false,
+            value: 0,
+        }
+    }
+}
+
+/// One shard entry plus its lock and the racing threads.
+#[derive(Clone, Debug)]
+struct Shard {
+    lock: RwLockState,
+    /// The entry starts present and complete; the inserter re-inserts,
+    /// the remover removes.
+    present: bool,
+    value: u64,
+    threads: Vec<Thread>,
+    /// `(present, value)` pairs each completed lookup observed.
+    observations: Vec<(bool, u64)>,
+}
+
+impl Shard {
+    fn new(programs: &[&'static [Op]]) -> Shard {
+        Shard {
+            lock: RwLockState::default(),
+            present: true,
+            value: 1,
+            threads: programs.iter().map(|p| Thread::new(p)).collect(),
+            observations: Vec::new(),
+        }
+    }
+}
+
+impl Model for Shard {
+    fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        let t = &self.threads[tid];
+        t.pc == t.program.len()
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        if self.is_done(tid) {
+            return false;
+        }
+        match self.threads[tid].program[self.threads[tid].pc] {
+            Op::AcquireWrite => self.lock.can_write(),
+            Op::AcquireRead => self.lock.can_read(),
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, tid: usize) {
+        let op = self.threads[tid].program[self.threads[tid].pc];
+        match op {
+            Op::AcquireWrite => self.lock.writer = true,
+            Op::ReleaseWrite => self.lock.writer = false,
+            Op::AcquireRead => self.lock.readers += 1,
+            Op::ReleaseRead => {
+                self.lock.readers -= 1;
+                let t = &self.threads[tid];
+                self.observations.push((t.present, t.value));
+            }
+            Op::SetValue(v) => self.value = v,
+            Op::SetPresent(p) => self.present = p,
+            Op::LoadPresent => {
+                let p = self.present;
+                self.threads[tid].present = p;
+            }
+            Op::LoadValue => {
+                let v = self.value;
+                self.threads[tid].value = v;
+            }
+        }
+        self.threads[tid].pc += 1;
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if self.lock.writer && self.lock.readers > 0 {
+            return Err("lock violation: writer and readers held together".into());
+        }
+        for &(present, value) in &self.observations {
+            if present && value != 1 {
+                return Err(format!(
+                    "lookup observed a half-mutated entry: present with value {value}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn locked_insert_remove_lookup_never_exposes_partial_entries() {
+    // Three threads, every interleaving: the lock discipline makes the
+    // two-word mutations atomic with respect to lookups.
+    let stats = Explorer::with_max_depth(16)
+        .explore(Shard::new(&[INSERT, REMOVE_LOCKED, LOOKUP]))
+        .unwrap_or_else(|v| panic!("unexpected violation: {v}"));
+    // The lock gating collapses each critical section into an atomic
+    // unit, so exactly the 3! orderings of the sections remain.
+    assert_eq!(stats.schedules, 6, "unexpected schedule count: {stats:?}");
+}
+
+#[test]
+fn locked_remove_and_lookup_commute() {
+    // Two threads: lookup sees the entry fully, or not at all.
+    Explorer::with_max_depth(16)
+        .explore(Shard::new(&[REMOVE_LOCKED, LOOKUP]))
+        .unwrap_or_else(|v| panic!("unexpected violation: {v}"));
+}
+
+#[test]
+fn unlocked_remove_is_caught() {
+    let v = Explorer::with_max_depth(16)
+        .explore(Shard::new(&[REMOVE_UNLOCKED, LOOKUP]))
+        .expect_err("a remover that skips the write lock must expose a partial entry");
+    assert!(v.message.contains("half-mutated"), "{v}");
+    assert!(!v.schedule.is_empty());
+}
+
+#[test]
+fn unlocked_remove_races_insert_and_lookup() {
+    // Full three-way race with the broken remover: still caught.
+    let v = Explorer::with_max_depth(16)
+        .explore(Shard::new(&[INSERT, REMOVE_UNLOCKED, LOOKUP]))
+        .expect_err("three-way race with an unlocked remover must be caught");
+    assert!(v.message.contains("half-mutated"), "{v}");
+}

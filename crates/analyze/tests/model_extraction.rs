@@ -1,0 +1,136 @@
+//! Property test: model extraction is lossless.
+//!
+//! For arbitrary item definitions — any mechanism, any combination of
+//! the declarative flags, any acyclic fixed dependency shape — the
+//! [`GraphModel`] the analyzer extracts must reproduce exactly what was
+//! declared: same mechanism and period, same flags, same dependency
+//! edges with the right certainty marking. The rule engine reasons only
+//! over this model, so any loss here is a missed (or phantom) anomaly.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use streammeta_analyze::{GraphModel, MechKind};
+use streammeta_core::{ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId, NodeRegistry};
+use streammeta_time::{TimeSpan, VirtualClock};
+
+/// Everything a generated definition declares, kept for comparison.
+#[derive(Clone, Debug)]
+struct Spec {
+    mech: u8,
+    period: u64,
+    stateful: bool,
+    reset: bool,
+    window: Option<u64>,
+    deps: Vec<usize>,
+}
+
+fn build_manager(specs: &[Spec]) -> Arc<MetadataManager> {
+    let mgr = MetadataManager::new(VirtualClock::shared());
+    let reg = NodeRegistry::new(NodeId(0));
+    for (i, s) in specs.iter().enumerate() {
+        let mut b = match s.mech % 4 {
+            0 => ItemDef::on_demand(format!("i{i}")),
+            1 => ItemDef::periodic(format!("i{i}"), TimeSpan(s.period)),
+            2 => ItemDef::triggered(format!("i{i}")),
+            _ => {
+                // Static items carry no builder in the same shape; model
+                // them via the builder-less constructor and skip flags.
+                reg.define(ItemDef::static_value(format!("i{i}"), i as u64));
+                continue;
+            }
+        };
+        if s.stateful {
+            b = b.stateful();
+        }
+        if s.reset {
+            b = b.reset_on_read();
+        }
+        if let Some(w) = s.window {
+            b = b.implied_window(TimeSpan(w));
+        }
+        for d in &s.deps {
+            b = b.dep_local(format!("i{d}"));
+        }
+        reg.define(b.compute(|_| MetadataValue::U64(0)).build());
+    }
+    mgr.attach_node(reg);
+    mgr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn extraction_is_lossless(
+        raw in proptest::collection::vec(
+            (
+                0u8..4,                          // mechanism selector
+                1u64..200,                       // periodic window
+                prop::bool::ANY,                 // stateful
+                prop::bool::ANY,                 // reset_on_read
+                proptest::option::of(1u64..500), // implied window
+                proptest::collection::vec(0usize..10, 0..4), // dep indices
+            ),
+            1..10,
+        ),
+    ) {
+        let specs: Vec<Spec> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, (mech, period, stateful, reset, window, deps))| Spec {
+                mech: *mech,
+                period: *period,
+                stateful: *stateful,
+                reset: *reset,
+                window: *window,
+                // Only earlier items, deduplicated: acyclic and free of
+                // duplicate roles (each edge's role is its target path).
+                deps: deps
+                    .iter()
+                    .filter(|&&d| d < i)
+                    .copied()
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect(),
+            })
+            .collect();
+        let mgr = build_manager(&specs);
+        let model = GraphModel::extract(&mgr);
+        prop_assert_eq!(model.items.len(), specs.len());
+
+        for (i, s) in specs.iter().enumerate() {
+            let item = &model.items[&MetadataKey::new(NodeId(0), format!("i{i}"))];
+            match s.mech % 4 {
+                0 => prop_assert_eq!(item.mechanism, MechKind::OnDemand),
+                1 => prop_assert_eq!(item.mechanism, MechKind::Periodic(TimeSpan(s.period))),
+                2 => prop_assert_eq!(item.mechanism, MechKind::Triggered),
+                _ => {
+                    // Static shortcut: no flags, no deps by construction.
+                    prop_assert_eq!(item.mechanism, MechKind::Static);
+                    prop_assert!(!item.stateful && !item.reset_on_read);
+                    prop_assert!(item.deps.is_empty());
+                    continue;
+                }
+            }
+            prop_assert_eq!(
+                item.stateful,
+                s.stateful || s.reset || s.window.is_some()
+            );
+            prop_assert_eq!(item.reset_on_read, s.reset);
+            prop_assert_eq!(item.implied_window, s.window.map(TimeSpan));
+
+            // Fixed dependencies come back exactly, marked certain.
+            let got: BTreeSet<String> = item
+                .item_deps()
+                .map(|(k, _)| k.item.as_str().to_string())
+                .collect();
+            let want: BTreeSet<String> =
+                s.deps.iter().map(|d| format!("i{d}")).collect();
+            prop_assert_eq!(got, want);
+            prop_assert!(item.item_deps().all(|(_, e)| !e.alternative));
+            prop_assert_eq!(item.subscribers, 0);
+        }
+    }
+}

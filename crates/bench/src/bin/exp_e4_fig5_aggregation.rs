@@ -50,6 +50,7 @@ fn main() {
     slot.registry().define(
         ItemDef::on_demand("avg_input_rate_naive")
             .dep_local("input_rate")
+            .stateful()
             .doc("NAIVE on-access average of the periodic input rate (Figure 5 anomaly)")
             .compute(move |ctx| match ctx.dep_f64("input_rate") {
                 Some(r) => {

@@ -1,0 +1,150 @@
+//! `metalint` — static anomaly detection over the checked-in metadata
+//! graph fixtures.
+//!
+//! Builds each fixture graph (E-series experiments plus the synthetic
+//! S-series), runs the `streammeta-analyze` rule engine over it without
+//! executing any compute function, and compares the findings against
+//! the fixture's recorded baseline:
+//!
+//! * error codes must match the baseline exactly (a missing expected
+//!   error is a rule regression, a new one is a new anomaly);
+//! * expected warnings must be present (extra warnings are reported but
+//!   do not fail the run).
+//!
+//! Usage:
+//!
+//! ```text
+//! metalint [--json] [--list] [FIXTURE_ID ...]
+//! ```
+//!
+//! With `--json`, output is line-delimited JSON (one object per
+//! fixture, then a summary object) for CI baselining. Exit code 0 means
+//! every selected fixture matched its baseline.
+
+use std::process::ExitCode;
+
+use streammeta_analyze::{analyze, Severity};
+use streammeta_bench::fixtures::{self, Fixture};
+
+fn codes(diags: &[streammeta_analyze::Diagnostic], severity: Severity) -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = diags
+        .iter()
+        .filter(|d| d.severity == severity)
+        .map(|d| d.code.code())
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn json_list(codes: &[&str]) -> String {
+    let quoted: Vec<String> = codes.iter().map(|c| format!("\"{c}\"")).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+fn run_fixture(fixture: &Fixture, json: bool) -> bool {
+    let built = fixture.build();
+    let diags = analyze(&built.manager);
+    let errors = codes(&diags, Severity::Error);
+    let warnings = codes(&diags, Severity::Warning);
+
+    let mut expected_errors: Vec<&str> = fixture.expected_errors.to_vec();
+    expected_errors.sort_unstable();
+    let errors_ok = errors == expected_errors;
+    let warnings_ok = fixture
+        .expected_warnings
+        .iter()
+        .all(|w| warnings.contains(w));
+    let ok = errors_ok && warnings_ok;
+
+    if json {
+        let rendered: Vec<String> = diags.iter().map(|d| d.render_json()).collect();
+        println!(
+            "{{\"fixture\":\"{}\",\"ok\":{ok},\"errors\":{},\"expected_errors\":{},\"warnings\":{},\"diagnostics\":[{}]}}",
+            fixture.id,
+            json_list(&errors),
+            json_list(&expected_errors),
+            json_list(&warnings),
+            rendered.join(",")
+        );
+    } else {
+        let verdict = if ok { "ok" } else { "FAIL" };
+        println!(
+            "{:<4} {:<55} {} ({} error(s), {} warning(s))",
+            fixture.id,
+            fixture.name,
+            verdict,
+            errors.len(),
+            warnings.len()
+        );
+        for d in &diags {
+            for line in d.render_text().lines() {
+                println!("     {line}");
+            }
+        }
+        if !errors_ok {
+            println!("     baseline mismatch: expected errors {expected_errors:?}, got {errors:?}");
+        }
+        if !warnings_ok {
+            println!(
+                "     baseline mismatch: expected warnings {:?} to be present, got {warnings:?}",
+                fixture.expected_warnings
+            );
+        }
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let list = args.iter().any(|a| a == "--list");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if list {
+        for f in fixtures::all() {
+            println!("{:<4} {}", f.id, f.name);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&Fixture> = if ids.is_empty() {
+        fixtures::all().iter().collect()
+    } else {
+        let mut v = Vec::new();
+        for id in &ids {
+            match fixtures::by_id(id) {
+                Some(f) => v.push(f),
+                None => {
+                    eprintln!("metalint: unknown fixture `{id}` (try --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        v
+    };
+
+    let mut failed = 0usize;
+    for fixture in &selected {
+        if !run_fixture(fixture, json) {
+            failed += 1;
+        }
+    }
+
+    if json {
+        println!(
+            "{{\"summary\":{{\"fixtures\":{},\"failed\":{failed}}}}}",
+            selected.len()
+        );
+    } else {
+        println!(
+            "\n{} fixture(s), {} baseline mismatch(es)",
+            selected.len(),
+            failed
+        );
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,441 @@
+//! Checked-in metadata-graph fixtures for `metalint`.
+//!
+//! One fixture per paper-reproduction experiment (the E-series of
+//! DESIGN.md — E7–E9 were folded into neighbouring experiments and have
+//! no binaries, hence no fixtures) plus a small S-series of synthetic
+//! graphs that each exercise one analyzer rule in isolation. Every
+//! fixture records the error codes (and, for the S-series, warning
+//! codes) the analyzer is *expected* to produce: `metalint` treats that
+//! as its baseline and fails on any deviation in either direction, so a
+//! rule regression and a newly introduced anomaly are both caught.
+
+use std::sync::Arc;
+
+use streammeta_core::{
+    ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId, NodeRegistry, Subscription,
+};
+use streammeta_graph::QueryGraph;
+use streammeta_time::{TimeSpan, VirtualClock};
+
+use crate::scenarios::{join_scenario, parallel_queries};
+
+/// A built fixture: the manager to analyze plus whatever keeps its
+/// graph and subscriptions alive (dropping a [`Subscription`] would
+/// exclude the item and change the analyzer's root counts).
+pub struct BuiltFixture {
+    /// The manager the analyzer runs over.
+    pub manager: Arc<MetadataManager>,
+    _graph: Option<Arc<QueryGraph>>,
+    _subs: Vec<Subscription>,
+}
+
+/// One named fixture with its expected analyzer baseline.
+pub struct Fixture {
+    /// Stable id (`E1`…`E19`, `S1`…).
+    pub id: &'static str,
+    /// Human-readable description.
+    pub name: &'static str,
+    /// Error-level codes the analyzer must produce — no more, no less.
+    pub expected_errors: &'static [&'static str],
+    /// Warning-level codes the analyzer must produce.
+    pub expected_warnings: &'static [&'static str],
+    build: fn() -> BuiltFixture,
+}
+
+impl Fixture {
+    /// Constructs the fixture graph.
+    pub fn build(&self) -> BuiltFixture {
+        (self.build)()
+    }
+}
+
+fn healthy_join() -> BuiltFixture {
+    let s = join_scenario(10, 100, 50);
+    let sub = s
+        .manager
+        .subscribe(MetadataKey::new(s.sink, "input_rate"))
+        .expect("input_rate");
+    BuiltFixture {
+        manager: s.manager,
+        _graph: Some(s.graph),
+        _subs: vec![sub],
+    }
+}
+
+fn healthy_parallel() -> BuiltFixture {
+    let s = parallel_queries(4, 10, 50);
+    let subs = s
+        .sinks
+        .iter()
+        .map(|&sink| {
+            s.manager
+                .subscribe(MetadataKey::new(sink, "input_rate"))
+                .expect("input_rate")
+        })
+        .collect();
+    BuiltFixture {
+        manager: s.manager,
+        _graph: Some(s.graph),
+        _subs: subs,
+    }
+}
+
+/// E1: one item of each update mechanism, correctly combined.
+fn taxonomy() -> BuiltFixture {
+    let mgr = MetadataManager::new(VirtualClock::shared());
+    let reg = NodeRegistry::new(NodeId(0));
+    reg.define(ItemDef::static_value("window_size", 100u64));
+    reg.define(
+        ItemDef::on_demand("probe")
+            .compute(|_| MetadataValue::U64(1))
+            .build(),
+    );
+    reg.define(
+        ItemDef::periodic("rate", TimeSpan(50))
+            .stateful()
+            .compute(|_| MetadataValue::F64(0.1))
+            .build(),
+    );
+    reg.define(
+        ItemDef::triggered("avg_rate")
+            .dep_local("rate")
+            .stateful()
+            .compute(|_| MetadataValue::F64(0.1))
+            .build(),
+    );
+    mgr.attach_node(reg);
+    BuiltFixture {
+        manager: mgr,
+        _graph: None,
+        _subs: Vec::new(),
+    }
+}
+
+/// E3: the Figure 4 graph — two live consumers of the reset-on-access
+/// on-demand rate measurement.
+fn fig4_shared_reset() -> BuiltFixture {
+    let s = join_scenario(10, 100, 50);
+    let key = MetadataKey::new(s.sink, "input_rate_naive");
+    let s1 = s.manager.subscribe(key.clone()).expect("consumer 1");
+    let s2 = s.manager.subscribe(key).expect("consumer 2");
+    BuiltFixture {
+        manager: s.manager,
+        _graph: Some(s.graph),
+        _subs: vec![s1, s2],
+    }
+}
+
+/// E4: the Figure 5 graph — an on-demand stateful average over the
+/// periodically updated input rate.
+fn fig5_on_demand_avg() -> BuiltFixture {
+    let s = join_scenario(10, 100, 50);
+    let slot = s.graph.get(s.sink).expect("sink slot");
+    slot.registry().define(
+        ItemDef::on_demand("avg_input_rate_naive")
+            .dep_local("input_rate")
+            .stateful()
+            .doc("NAIVE on-access average of the periodic input rate (Figure 5 anomaly)")
+            .compute(|_| MetadataValue::Unavailable)
+            .build(),
+    );
+    let sub = s
+        .manager
+        .subscribe(MetadataKey::new(s.sink, "avg_input_rate_naive"))
+        .expect("naive avg");
+    BuiltFixture {
+        manager: s.manager,
+        _graph: Some(s.graph),
+        _subs: vec![sub],
+    }
+}
+
+/// E12: a dynamic dependency resolver with declared alternatives, all
+/// of which are defined.
+fn dynamic_deps() -> BuiltFixture {
+    use streammeta_core::{DepTarget, Dependency};
+    let mgr = MetadataManager::new(VirtualClock::shared());
+    let reg = NodeRegistry::new(NodeId(0));
+    reg.define(
+        ItemDef::periodic("rate_fast", TimeSpan(10))
+            .compute(|_| MetadataValue::F64(1.0))
+            .build(),
+    );
+    reg.define(
+        ItemDef::periodic("rate_slow", TimeSpan(100))
+            .compute(|_| MetadataValue::F64(0.1))
+            .build(),
+    );
+    let fast = MetadataKey::new(NodeId(0), "rate_fast");
+    let slow = MetadataKey::new(NodeId(0), "rate_slow");
+    let pick = fast.clone();
+    reg.define(
+        ItemDef::triggered("adaptive")
+            .dynamic_deps_with_alternatives(
+                move |_| vec![Dependency::new("rate", DepTarget::Remote(pick.clone()))],
+                vec![
+                    Dependency::new("rate", DepTarget::Remote(fast)),
+                    Dependency::new("rate", DepTarget::Remote(slow)),
+                ],
+            )
+            .compute(|_| MetadataValue::F64(0.0))
+            .build(),
+    );
+    mgr.attach_node(reg);
+    BuiltFixture {
+        manager: mgr,
+        _graph: None,
+        _subs: Vec::new(),
+    }
+}
+
+/// A chain of `n` triggered items, `i` depending on `i-1`.
+fn chain(n: usize) -> BuiltFixture {
+    let mgr = MetadataManager::new(VirtualClock::shared());
+    let reg = NodeRegistry::new(NodeId(0));
+    for i in 0..n {
+        let mut b = ItemDef::triggered(format!("c{i}"));
+        if i > 0 {
+            b = b.dep_local(format!("c{}", i - 1));
+        }
+        reg.define(b.compute(move |_| MetadataValue::U64(i as u64)).build());
+    }
+    mgr.attach_node(reg);
+    BuiltFixture {
+        manager: mgr,
+        _graph: None,
+        _subs: Vec::new(),
+    }
+}
+
+/// S1: a two-item dependency cycle.
+fn cycle() -> BuiltFixture {
+    let mgr = MetadataManager::new(VirtualClock::shared());
+    let reg = NodeRegistry::new(NodeId(0));
+    reg.define(ItemDef::triggered("a").dep_local("b").build());
+    reg.define(ItemDef::triggered("b").dep_local("a").build());
+    mgr.attach_node(reg);
+    BuiltFixture {
+        manager: mgr,
+        _graph: None,
+        _subs: Vec::new(),
+    }
+}
+
+/// S2: a dependency on an item nobody defines.
+fn dangling() -> BuiltFixture {
+    let mgr = MetadataManager::new(VirtualClock::shared());
+    let reg = NodeRegistry::new(NodeId(0));
+    reg.define(ItemDef::triggered("orphan").dep_local("missing").build());
+    mgr.attach_node(reg);
+    BuiltFixture {
+        manager: mgr,
+        _graph: None,
+        _subs: Vec::new(),
+    }
+}
+
+/// S3: a stateful periodic item refreshing 10x faster than its
+/// periodic input.
+fn period_inversion() -> BuiltFixture {
+    let mgr = MetadataManager::new(VirtualClock::shared());
+    let reg = NodeRegistry::new(NodeId(0));
+    reg.define(
+        ItemDef::periodic("slow", TimeSpan(100))
+            .compute(|_| MetadataValue::F64(0.1))
+            .build(),
+    );
+    reg.define(
+        ItemDef::periodic("fast_avg", TimeSpan(10))
+            .dep_local("slow")
+            .stateful()
+            .compute(|_| MetadataValue::F64(0.1))
+            .build(),
+    );
+    mgr.attach_node(reg);
+    BuiltFixture {
+        manager: mgr,
+        _graph: None,
+        _subs: Vec::new(),
+    }
+}
+
+/// S4: a periodic item reading a triggered one mid-window.
+fn isolation() -> BuiltFixture {
+    let mgr = MetadataManager::new(VirtualClock::shared());
+    let reg = NodeRegistry::new(NodeId(0));
+    reg.define(
+        ItemDef::triggered("count")
+            .compute(|_| MetadataValue::U64(0))
+            .build(),
+    );
+    reg.define(
+        ItemDef::periodic("windowed", TimeSpan(50))
+            .dep_local("count")
+            .compute(|_| MetadataValue::U64(0))
+            .build(),
+    );
+    mgr.attach_node(reg);
+    BuiltFixture {
+        manager: mgr,
+        _graph: None,
+        _subs: Vec::new(),
+    }
+}
+
+/// The full fixture registry, in id order.
+pub fn all() -> &'static [Fixture] {
+    &[
+        Fixture {
+            id: "E1",
+            name: "metadata taxonomy: one item per update mechanism",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: taxonomy,
+        },
+        Fixture {
+            id: "E2",
+            name: "Figure 3 cascade: join query with cost model",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: healthy_join,
+        },
+        Fixture {
+            id: "E3",
+            name: "Figure 4: shared reset-on-access on-demand rate",
+            expected_errors: &["A1"],
+            expected_warnings: &[],
+            build: fig4_shared_reset,
+        },
+        Fixture {
+            id: "E4",
+            name: "Figure 5: on-demand aggregate over a periodic input",
+            expected_errors: &["A2"],
+            expected_warnings: &[],
+            build: fig5_on_demand_avg,
+        },
+        Fixture {
+            id: "E5",
+            name: "scalability: parallel filter queries",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: healthy_parallel,
+        },
+        Fixture {
+            id: "E6",
+            name: "freshness: join query under periodic refresh",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: healthy_join,
+        },
+        Fixture {
+            id: "E10",
+            name: "window resize: join query with window handles",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: healthy_join,
+        },
+        Fixture {
+            id: "E11",
+            name: "concurrency: parallel queries on one manager",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: healthy_parallel,
+        },
+        Fixture {
+            id: "E12",
+            name: "dynamic dependencies with declared alternatives",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: dynamic_deps,
+        },
+        Fixture {
+            id: "E13",
+            name: "trigger chain within the propagation budget",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: || chain(6),
+        },
+        Fixture {
+            id: "E14",
+            name: "load shedding: join query with QoS metadata",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: healthy_join,
+        },
+        Fixture {
+            id: "E15",
+            name: "selectivity tracking: parallel filter queries",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: healthy_parallel,
+        },
+        Fixture {
+            id: "E16",
+            name: "optimizer feed: join query with cost model",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: healthy_join,
+        },
+        Fixture {
+            id: "E17",
+            name: "QoS monitoring: join query",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: healthy_join,
+        },
+        Fixture {
+            id: "E18",
+            name: "observability: join query with trace bus",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: healthy_join,
+        },
+        Fixture {
+            id: "E19",
+            name: "read contention: parallel queries, all rates live",
+            expected_errors: &[],
+            expected_warnings: &[],
+            build: healthy_parallel,
+        },
+        Fixture {
+            id: "S1",
+            name: "synthetic: two-item dependency cycle",
+            expected_errors: &["A3"],
+            expected_warnings: &[],
+            build: cycle,
+        },
+        Fixture {
+            id: "S2",
+            name: "synthetic: dangling dependency",
+            expected_errors: &["A4"],
+            expected_warnings: &[],
+            build: dangling,
+        },
+        Fixture {
+            id: "S3",
+            name: "synthetic: stateful period inversion",
+            expected_errors: &["A5"],
+            expected_warnings: &[],
+            build: period_inversion,
+        },
+        Fixture {
+            id: "S4",
+            name: "synthetic: periodic over triggered (isolation)",
+            expected_errors: &[],
+            expected_warnings: &["A6"],
+            build: isolation,
+        },
+        Fixture {
+            id: "S5",
+            name: "synthetic: trigger chain past the depth budget",
+            expected_errors: &[],
+            expected_warnings: &["B1"],
+            build: || chain(12),
+        },
+    ]
+}
+
+/// Looks a fixture up by id (case-insensitive).
+pub fn by_id(id: &str) -> Option<&'static Fixture> {
+    all().iter().find(|f| f.id.eq_ignore_ascii_case(id))
+}

@@ -4,5 +4,6 @@
 //! binaries (`src/bin/exp_*.rs`, one per paper figure/claim — see
 //! DESIGN.md's experiment index) and the Criterion benchmarks.
 
+pub mod fixtures;
 pub mod scenarios;
 pub mod table;

@@ -1,0 +1,66 @@
+//! Every checked-in fixture must match its recorded analyzer baseline —
+//! the same comparison the `metalint` binary performs, run as a plain
+//! test so `cargo test --workspace` catches rule regressions without
+//! invoking the binary.
+
+use streammeta_analyze::{analyze, Severity};
+use streammeta_bench::fixtures;
+
+#[test]
+fn all_fixtures_match_their_baselines() {
+    for fixture in fixtures::all() {
+        let built = fixture.build();
+        let diags = analyze(&built.manager);
+        let mut errors: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.code.code())
+            .collect();
+        errors.sort_unstable();
+        let mut expected: Vec<&str> = fixture.expected_errors.to_vec();
+        expected.sort_unstable();
+        assert_eq!(
+            errors, expected,
+            "fixture {} ({}) error baseline mismatch: {diags:#?}",
+            fixture.id, fixture.name
+        );
+        let warnings: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .map(|d| d.code.code())
+            .collect();
+        for w in fixture.expected_warnings {
+            assert!(
+                warnings.contains(w),
+                "fixture {} ({}) missing expected warning {w}: {diags:#?}",
+                fixture.id,
+                fixture.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fixture_ids_are_unique_and_resolvable() {
+    let mut seen = std::collections::BTreeSet::new();
+    for fixture in fixtures::all() {
+        assert!(
+            seen.insert(fixture.id),
+            "duplicate fixture id {}",
+            fixture.id
+        );
+        assert!(fixtures::by_id(fixture.id).is_some());
+        assert!(fixtures::by_id(&fixture.id.to_lowercase()).is_some());
+    }
+}
+
+#[test]
+fn healthy_e19_graph_is_error_free() {
+    // The acceptance graph: all read-contention rates live, zero errors.
+    let built = fixtures::by_id("E19").unwrap().build();
+    let errors = analyze(&built.manager)
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    assert_eq!(errors, 0);
+}

@@ -20,6 +20,9 @@ pub enum MetadataError {
     /// An item definition cannot be replaced while a handler for it is
     /// live (redefinition requires exclusion first, Section 4.4.2).
     ItemInUse(MetadataKey),
+    /// The subscription was denied by an installed validator (static
+    /// analysis under a deny policy); the strings are the violations.
+    ValidationFailed(MetadataKey, Vec<String>),
 }
 
 impl fmt::Display for MetadataError {
@@ -46,6 +49,16 @@ impl fmt::Display for MetadataError {
             }
             MetadataError::ItemInUse(k) => {
                 write!(f, "metadata item {k} cannot be redefined while included")
+            }
+            MetadataError::ValidationFailed(k, violations) => {
+                write!(f, "subscription to {k} denied by validator: ")?;
+                for (i, v) in violations.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
             }
         }
     }

@@ -141,14 +141,25 @@ pub enum DepSpec {
     Fixed(Vec<Dependency>),
     /// A resolver run at inclusion time. It must not call back into the
     /// metadata manager; it decides only from the [`ResolveCtx`].
-    Dynamic(Arc<DepResolverFn>),
+    Dynamic {
+        /// The resolver evaluated at inclusion time (Section 4.4.3).
+        resolver: Arc<DepResolverFn>,
+        /// The declared superset of dependencies the resolver may ever
+        /// return. Static analysis treats every alternative as a
+        /// potential edge (cycles that are only reachable through an
+        /// alternative are still cycles); the runtime ignores this list.
+        alternatives: Vec<Dependency>,
+    },
 }
 
 impl std::fmt::Debug for DepSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DepSpec::Fixed(d) => f.debug_tuple("Fixed").field(d).finish(),
-            DepSpec::Dynamic(_) => f.write_str("Dynamic(..)"),
+            DepSpec::Dynamic { alternatives, .. } => f
+                .debug_struct("Dynamic")
+                .field("alternatives", alternatives)
+                .finish_non_exhaustive(),
         }
     }
 }
@@ -263,6 +274,19 @@ pub struct ItemDef {
     pub(crate) on_include: Option<Arc<HookFn>>,
     pub(crate) on_exclude: Option<Arc<HookFn>>,
     pub(crate) doc: Option<Arc<str>>,
+    /// The compute function carries state across evaluations (a running
+    /// aggregate, a counter delta). Declarative only: the runtime treats
+    /// stateful and stateless computes identically, but static analysis
+    /// uses the flag to find sampling anomalies (paper Figure 5).
+    pub(crate) stateful: bool,
+    /// Every evaluation resets the underlying measurement (an interval
+    /// rate that restarts its window on access). Declarative only; flags
+    /// the shared-consumer interference of the paper's Figure 4.
+    pub(crate) reset_on_read: bool,
+    /// For stateful aggregates: the sampling interval the aggregate was
+    /// designed for (how often its consumer is expected to access it).
+    /// Compared against dependency update periods by static analysis.
+    pub(crate) implied_window: Option<TimeSpan>,
 }
 
 impl std::fmt::Debug for ItemDef {
@@ -315,6 +339,69 @@ impl ItemDef {
         self.doc.as_deref()
     }
 
+    /// The item's dependency declaration.
+    pub fn deps(&self) -> &DepSpec {
+        &self.deps
+    }
+
+    /// Whether the compute function carries state across evaluations.
+    pub fn is_stateful(&self) -> bool {
+        self.stateful
+    }
+
+    /// Whether an evaluation resets the underlying measurement.
+    pub fn resets_on_read(&self) -> bool {
+        self.reset_on_read
+    }
+
+    /// The declared sampling interval of a stateful aggregate, if any.
+    pub fn implied_window(&self) -> Option<TimeSpan> {
+        self.implied_window
+    }
+
+    /// Every dependency static analysis should consider when the item is
+    /// defined at `node`, paired with whether the edge is *certain*
+    /// (declared fixed) or an *alternative* (a dynamic resolver may or
+    /// may not pick it at inclusion time).
+    ///
+    /// Fixed declarations are returned as-is. For dynamic resolvers the
+    /// set is the union of the declared alternatives and the resolutions
+    /// under the two extreme inclusion states (nothing included /
+    /// everything included) — resolvers are pure functions of the
+    /// [`ResolveCtx`], so probing them executes no compute function.
+    pub fn analysis_deps(&self, node: NodeId) -> Vec<(Dependency, bool)> {
+        match &self.deps {
+            DepSpec::Fixed(d) => d.iter().map(|d| (d.clone(), true)).collect(),
+            DepSpec::Dynamic {
+                resolver,
+                alternatives,
+            } => {
+                let mut out: Vec<(Dependency, bool)> = Vec::new();
+                let mut push = |d: Dependency| {
+                    if !out
+                        .iter()
+                        .any(|(e, _)| e.role == d.role && e.target == d.target)
+                    {
+                        out.push((d, false));
+                    }
+                };
+                for d in alternatives {
+                    push(d.clone());
+                }
+                for probe in [false, true] {
+                    let ctx = ResolveCtx {
+                        node,
+                        is_included: &|_| probe,
+                    };
+                    for d in resolver(&ctx) {
+                        push(d);
+                    }
+                }
+                out
+            }
+        }
+    }
+
     /// Resolves the declared dependencies for inclusion at `node`.
     pub(crate) fn resolve_deps(
         &self,
@@ -323,7 +410,7 @@ impl ItemDef {
     ) -> Vec<ResolvedDep> {
         let deps = match &self.deps {
             DepSpec::Fixed(d) => d.clone(),
-            DepSpec::Dynamic(f) => f(&ResolveCtx { node, is_included }),
+            DepSpec::Dynamic { resolver, .. } => resolver(&ResolveCtx { node, is_included }),
         };
         deps.into_iter()
             .map(|d| ResolvedDep {
@@ -358,6 +445,9 @@ impl ItemDefBuilder {
                 on_include: None,
                 on_exclude: None,
                 doc: None,
+                stateful: false,
+                reset_on_read: false,
+                implied_window: None,
             },
         }
     }
@@ -366,7 +456,7 @@ impl ItemDefBuilder {
     pub fn dep(mut self, role: impl AsRef<str>, target: DepTarget) -> Self {
         match &mut self.def.deps {
             DepSpec::Fixed(v) => v.push(Dependency::new(role, target)),
-            DepSpec::Dynamic(_) => {
+            DepSpec::Dynamic { .. } => {
                 panic!("cannot mix fixed dependencies with a dynamic resolver")
             }
         }
@@ -405,7 +495,51 @@ impl ItemDefBuilder {
         mut self,
         f: impl Fn(&ResolveCtx<'_>) -> Vec<Dependency> + Send + Sync + 'static,
     ) -> Self {
-        self.def.deps = DepSpec::Dynamic(Arc::new(f));
+        self.def.deps = DepSpec::Dynamic {
+            resolver: Arc::new(f),
+            alternatives: Vec::new(),
+        };
+        self
+    }
+
+    /// Like [`Self::dynamic_deps`], with the declared superset of
+    /// dependencies the resolver may return. Static analysis considers
+    /// every alternative a potential edge; the runtime only uses the
+    /// resolver.
+    pub fn dynamic_deps_with_alternatives(
+        mut self,
+        f: impl Fn(&ResolveCtx<'_>) -> Vec<Dependency> + Send + Sync + 'static,
+        alternatives: Vec<Dependency>,
+    ) -> Self {
+        self.def.deps = DepSpec::Dynamic {
+            resolver: Arc::new(f),
+            alternatives,
+        };
+        self
+    }
+
+    /// Declares the compute function stateful (a running aggregate or
+    /// delta that carries state across evaluations). Purely declarative:
+    /// static analysis uses it to find sampling anomalies (Figure 5).
+    pub fn stateful(mut self) -> Self {
+        self.def.stateful = true;
+        self
+    }
+
+    /// Declares that every evaluation resets the underlying measurement
+    /// (reset-on-access interval rates). Purely declarative: static
+    /// analysis uses it to find shared-consumer interference (Figure 4).
+    pub fn reset_on_read(mut self) -> Self {
+        self.def.reset_on_read = true;
+        self.def.stateful = true;
+        self
+    }
+
+    /// Declares the sampling interval a stateful aggregate was designed
+    /// for. Implies [`Self::stateful`].
+    pub fn implied_window(mut self, window: TimeSpan) -> Self {
+        self.def.implied_window = Some(window);
+        self.def.stateful = true;
         self
     }
 
@@ -601,5 +735,63 @@ mod tests {
     fn with_path_rewrites_path() {
         let def = ItemDef::static_value("size", 4u64).with_path("state.size");
         assert_eq!(def.path().as_str(), "state.size");
+    }
+
+    #[test]
+    fn declarative_flags_default_off_and_round_trip() {
+        let plain = ItemDef::on_demand("x").build();
+        assert!(!plain.is_stateful());
+        assert!(!plain.resets_on_read());
+        assert_eq!(plain.implied_window(), None);
+
+        let flagged = ItemDef::on_demand("rate_naive")
+            .reset_on_read()
+            .implied_window(TimeSpan(50))
+            .build();
+        assert!(flagged.is_stateful(), "reset_on_read implies stateful");
+        assert!(flagged.resets_on_read());
+        assert_eq!(flagged.implied_window(), Some(TimeSpan(50)));
+        // Flags survive path rewriting (module scoping).
+        let scoped = flagged.with_path("probe.rate_naive");
+        assert!(scoped.resets_on_read());
+    }
+
+    #[test]
+    fn analysis_deps_of_fixed_items_are_certain() {
+        let def = ItemDef::triggered("a")
+            .dep_local("b")
+            .dep_local("c")
+            .build();
+        let deps = def.analysis_deps(NodeId(1));
+        assert_eq!(deps.len(), 2);
+        assert!(deps.iter().all(|(_, certain)| *certain));
+    }
+
+    #[test]
+    fn analysis_deps_union_alternatives_and_probes() {
+        let b = MetadataKey::new(NodeId(1), "b");
+        let c = MetadataKey::new(NodeId(1), "c");
+        let d = MetadataKey::new(NodeId(1), "d");
+        let (b2, c2) = (b.clone(), c.clone());
+        let def = ItemDef::triggered("a")
+            .dynamic_deps_with_alternatives(
+                move |ctx| {
+                    let pick = if ctx.is_included(&c2) { &c2 } else { &b2 };
+                    vec![Dependency::new("src", DepTarget::Remote(pick.clone()))]
+                },
+                // Declared alternative never returned by the probes.
+                vec![Dependency::new("extra", DepTarget::Remote(d.clone()))],
+            )
+            .compute(|ctx| ctx.dep("src"))
+            .build();
+        let deps = def.analysis_deps(NodeId(1));
+        let targets: Vec<_> = deps.iter().map(|(dep, _)| dep.target.clone()).collect();
+        assert!(targets.contains(&DepTarget::Remote(b)), "empty-graph probe");
+        assert!(targets.contains(&DepTarget::Remote(c)), "full-graph probe");
+        assert!(
+            targets.contains(&DepTarget::Remote(d)),
+            "declared alternative"
+        );
+        assert!(deps.iter().all(|(_, certain)| !*certain));
     }
 }

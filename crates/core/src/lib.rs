@@ -68,6 +68,8 @@
 //! assert_eq!(rate.get_f64(), Some(1.0));
 //! ```
 
+#![warn(missing_docs)]
+
 mod error;
 mod estimators;
 mod handler;
@@ -92,7 +94,7 @@ pub use item::{
     ItemDefBuilder, Mechanism, ResolveCtx, ResolvedDep,
 };
 pub use key::{EventKey, ItemPath, MetadataKey, NodeId};
-pub use manager::{ManagerStats, MetadataManager};
+pub use manager::{ManagerStats, MetadataManager, ValidationPolicy, ValidatorFn};
 pub use meta::META_NODE;
 pub use monitor::{Counter, Gauge};
 pub use registry::{MetadataModule, NodeRegistry, RegistryScope};

@@ -132,7 +132,37 @@ pub struct MetadataManager {
     /// Gates the per-compute latency measurement (two `Instant` reads per
     /// evaluation when on).
     profile_latency: AtomicBool,
+    /// Subscription-time validation hook (static analysis integration):
+    /// consulted by `subscribe` before any inclusion happens.
+    validator: RwLock<Option<ValidatorHook>>,
+    /// Violations reported by a `Warn`-policy validator, drained by
+    /// [`Self::take_validation_warnings`].
+    validation_warnings: Mutex<Vec<String>>,
     self_weak: Weak<MetadataManager>,
+}
+
+/// How the manager reacts when an installed validator reports
+/// violations for a subscription (see [`MetadataManager::set_validator`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValidationPolicy {
+    /// Record the violations (see
+    /// [`MetadataManager::take_validation_warnings`]) and proceed.
+    Warn,
+    /// Refuse the subscription with
+    /// [`MetadataError::ValidationFailed`].
+    Deny,
+}
+
+/// Validator signature: inspects the manager (definitions, current
+/// inclusions) and the key about to be subscribed, and returns the
+/// violations found — an empty vector means the subscription is clean.
+/// Runs *before* any inclusion bookkeeping, so it may freely use the
+/// manager's read-side introspection APIs, but it must not subscribe.
+pub type ValidatorFn = dyn Fn(&MetadataManager, &MetadataKey) -> Vec<String> + Send + Sync;
+
+struct ValidatorHook {
+    f: Arc<ValidatorFn>,
+    policy: ValidationPolicy,
 }
 
 impl MetadataManager {
@@ -163,6 +193,8 @@ impl MetadataManager {
             trace_sink: RwLock::new(None),
             trace_seq: AtomicU64::new(0),
             profile_latency: AtomicBool::new(false),
+            validator: RwLock::new(None),
+            validation_warnings: Mutex::new(Vec::new()),
             self_weak: weak.clone(),
         })
     }
@@ -282,6 +314,27 @@ impl MetadataManager {
         v
     }
 
+    /// Removes an item definition with the same consistency guard as
+    /// [`Self::redefine`]: removal is refused while the item has a live
+    /// handler. Without the guard, a raw
+    /// [`NodeRegistry::undefine`] + [`NodeRegistry::define`] pair would
+    /// silently bypass the redefinition check — existing consumers would
+    /// keep the old semantics while new dependents resolved against the
+    /// new definition. Returns the removed definition, if any.
+    pub fn undefine(&self, node: NodeId, path: &ItemPath) -> Result<Option<ItemDef>> {
+        let key = MetadataKey::new(node, path.clone());
+        let reg = self
+            .registry(node)
+            .ok_or(MetadataError::NodeUnknown(node))?;
+        let inner = self.inner.lock();
+        if inner.handlers.contains_key(&key) {
+            return Err(MetadataError::ItemInUse(key));
+        }
+        // Holding `inner` prevents a concurrent inclusion from racing the
+        // removal (inclusion takes `inner` first).
+        Ok(reg.undefine(path))
+    }
+
     /// Redefines an item (inheritance/overriding, Section 4.4.2) with a
     /// consistency guard: redefinition is refused while the item has a
     /// live handler, because existing consumers would silently keep the
@@ -318,6 +371,7 @@ impl MetadataManager {
     /// returned [`Subscription`] unsubscribes on drop.
     pub fn subscribe(self: &Arc<Self>, key: MetadataKey) -> Result<Subscription> {
         self.trace(|| TraceEvent::Subscribe { key: key.clone() });
+        self.run_validator(&key)?;
         let mut created: Vec<Arc<Handler>> = Vec::new();
         let mut log: Vec<MetadataKey> = Vec::new();
         let result = {
@@ -338,6 +392,48 @@ impl MetadataManager {
                 self.rollback(&log);
                 Err(e)
             }
+        }
+    }
+
+    /// Installs a subscription-time validator (or removes it with
+    /// `None`). The validator is consulted by [`Self::subscribe`] before
+    /// any inclusion happens; under [`ValidationPolicy::Deny`] a
+    /// subscription with violations is refused, under
+    /// [`ValidationPolicy::Warn`] the violations are recorded and the
+    /// subscription proceeds. The static-analysis crate installs its
+    /// rule engine through this hook.
+    pub fn set_validator(&self, f: Option<Arc<ValidatorFn>>, policy: ValidationPolicy) {
+        *self.validator.write() = f.map(|f| ValidatorHook { f, policy });
+    }
+
+    /// Drains the violations recorded by a `Warn`-policy validator.
+    pub fn take_validation_warnings(&self) -> Vec<String> {
+        std::mem::take(&mut self.validation_warnings.lock())
+    }
+
+    /// Runs the installed validator for a pending subscription to `key`.
+    /// Called before the bookkeeping mutex is taken, so the validator can
+    /// use the manager's read-side introspection freely.
+    fn run_validator(&self, key: &MetadataKey) -> Result<()> {
+        // Clone the hook out so the validator runs without the slot lock
+        // held (it may itself be replaced from another thread).
+        let hook = {
+            let guard = self.validator.read();
+            guard.as_ref().map(|h| (h.f.clone(), h.policy))
+        };
+        let Some((f, policy)) = hook else {
+            return Ok(());
+        };
+        let violations = f(self, key);
+        if violations.is_empty() {
+            return Ok(());
+        }
+        match policy {
+            ValidationPolicy::Warn => {
+                self.validation_warnings.lock().extend(violations);
+                Ok(())
+            }
+            ValidationPolicy::Deny => Err(MetadataError::ValidationFailed(key.clone(), violations)),
         }
     }
 

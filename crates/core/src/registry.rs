@@ -57,6 +57,15 @@ impl NodeRegistry {
     }
 
     /// Removes an item definition, returning it if it existed.
+    ///
+    /// Like [`Self::define`], this is the *unguarded* registry-level
+    /// operation: a live handler for the removed item keeps the
+    /// definition it was created with and continues to be maintained;
+    /// only new inclusions are affected. Use
+    /// [`crate::MetadataManager::undefine`] for the consistency-checked
+    /// variant that refuses to remove an item while it has a handler —
+    /// without the guard, an `undefine` + `define` pair silently
+    /// bypasses the manager's redefinition check (Section 4.4.2).
     pub fn undefine(&self, path: &ItemPath) -> Option<ItemDef> {
         self.items.write().remove(path)
     }
@@ -75,6 +84,15 @@ impl NodeRegistry {
     pub fn available(&self) -> Vec<ItemPath> {
         let mut v: Vec<_> = self.items.read().keys().cloned().collect();
         v.sort();
+        v
+    }
+
+    /// Clones of all item definitions, sorted by path. Powers static
+    /// analysis: the full definition set of a node can be inspected
+    /// without subscribing to (or computing) anything.
+    pub fn definitions(&self) -> Vec<ItemDef> {
+        let mut v: Vec<_> = self.items.read().values().cloned().collect();
+        v.sort_by(|a, b| a.path().cmp(b.path()));
         v
     }
 

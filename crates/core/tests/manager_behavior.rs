@@ -563,6 +563,48 @@ fn guarded_redefinition_refuses_live_items() {
 }
 
 #[test]
+fn guarded_undefine_refuses_live_items() {
+    let (_clock, mgr) = setup();
+    mgr.attach_node(chain_registry(NodeId(1)));
+    // "a" transitively includes "c", so even the dependency is in use.
+    let sub = mgr.subscribe(key(1, "a")).unwrap();
+    let err = mgr.undefine(NodeId(1), &"c".into()).unwrap_err();
+    assert!(matches!(err, MetadataError::ItemInUse(k) if k == key(1, "c")));
+    assert_eq!(sub.get_f64(), Some(3.0), "chain still serves");
+    drop(sub);
+    // After the last unsubscribe the whole chain is excluded and the
+    // definition can be removed; the removed definition is returned.
+    let removed = mgr.undefine(NodeId(1), &"c".into()).unwrap();
+    assert!(removed.is_some());
+    // Undefine-then-define now behaves like a redefinition: the next
+    // subscription resolves against the new semantics...
+    mgr.redefine(NodeId(1), ItemDef::static_value("c", 9.0))
+        .unwrap();
+    let sub = mgr.subscribe(key(1, "c")).unwrap();
+    assert_eq!(sub.get_f64(), Some(9.0));
+    // ...and removing an item that was never defined is not an error.
+    assert!(mgr.undefine(NodeId(1), &"ghost".into()).unwrap().is_none());
+    assert!(matches!(
+        mgr.undefine(NodeId(77), &"x".into()),
+        Err(MetadataError::NodeUnknown(NodeId(77)))
+    ));
+}
+
+#[test]
+fn undefined_item_fails_new_subscriptions_but_not_live_ones() {
+    let (_clock, mgr) = setup();
+    mgr.attach_node(chain_registry(NodeId(1)));
+    let live = mgr.subscribe(key(1, "b")).unwrap();
+    // "a" is not included; its definition can be removed while b/c live.
+    assert!(mgr.undefine(NodeId(1), &"a".into()).unwrap().is_some());
+    assert!(matches!(
+        mgr.subscribe(key(1, "a")),
+        Err(MetadataError::ItemUndefined(_))
+    ));
+    assert_eq!(live.get_f64(), Some(2.0), "unrelated chain unaffected");
+}
+
+#[test]
 fn inter_node_dependencies_propagate_across_nodes() {
     let (clock, mgr) = setup();
     // Source node with a periodic output rate.

@@ -266,4 +266,64 @@ proptest! {
         }
         drop(subs);
     }
+
+    /// The declarative analysis flags (`stateful`, `reset_on_read`,
+    /// `implied_window`) survive definition, registry lookup, and a
+    /// guarded redefinition unchanged — the static analyzer's model
+    /// extraction depends on this being lossless.
+    #[test]
+    fn declarative_flags_round_trip_through_define_and_redefine(
+        combos in proptest::collection::vec(
+            (prop::bool::ANY, prop::bool::ANY, proptest::option::of(1u64..500)),
+            1..8,
+        ),
+    ) {
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock);
+        let reg = NodeRegistry::new(NodeId(0));
+        for (i, (stateful, reset, window)) in combos.iter().enumerate() {
+            let mut b = ItemDef::on_demand(format!("f{i}"));
+            if *stateful {
+                b = b.stateful();
+            }
+            if *reset {
+                b = b.reset_on_read();
+            }
+            if let Some(w) = window {
+                b = b.implied_window(TimeSpan(*w));
+            }
+            reg.define(b.compute(|_| MetadataValue::U64(0)).build());
+        }
+        mgr.attach_node(reg);
+        for (i, (stateful, reset, window)) in combos.iter().enumerate() {
+            let def = mgr
+                .registry(NodeId(0))
+                .unwrap()
+                .get(&format!("f{i}").into())
+                .unwrap();
+            // reset_on_read and implied_window both imply statefulness.
+            let expect_stateful = *stateful || *reset || window.is_some();
+            prop_assert_eq!(def.is_stateful(), expect_stateful);
+            prop_assert_eq!(def.resets_on_read(), *reset);
+            prop_assert_eq!(def.implied_window(), window.map(TimeSpan));
+        }
+        // A guarded redefinition with inverted flags replaces them fully —
+        // nothing from the old definition bleeds through.
+        for (i, (_, reset, _)) in combos.iter().enumerate() {
+            let mut b = ItemDef::on_demand(format!("f{i}"));
+            if !*reset {
+                b = b.reset_on_read();
+            }
+            mgr.redefine(NodeId(0), b.compute(|_| MetadataValue::U64(1)).build())
+                .unwrap();
+            let def = mgr
+                .registry(NodeId(0))
+                .unwrap()
+                .get(&format!("f{i}").into())
+                .unwrap();
+            prop_assert_eq!(def.resets_on_read(), !*reset);
+            prop_assert_eq!(def.is_stateful(), !*reset);
+            prop_assert_eq!(def.implied_window(), None);
+        }
+    }
 }

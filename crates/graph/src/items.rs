@@ -48,6 +48,7 @@ pub fn define_rate_item(
     reg.define(
         ItemDef::periodic(name, window)
             .counter(counter)
+            .stateful()
             .doc(doc)
             .compute(move |ctx| match delta.rate_over(ctx.window().unwrap()) {
                 Some(r) => MetadataValue::F64(r),
@@ -64,6 +65,7 @@ pub fn define_average_item(reg: &Arc<NodeRegistry>, name: &str, over: &str, doc:
     reg.define(
         ItemDef::triggered(name)
             .dep_local(over)
+            .stateful()
             .doc(doc)
             .compute(move |ctx| match ctx.dep_f64(&over_owned) {
                 Some(v) => {
@@ -93,6 +95,7 @@ pub fn define_ratio_item(
         ItemDef::periodic(name, window)
             .counter(numerator)
             .counter(denominator)
+            .stateful()
             .doc(doc)
             .compute(move |ctx| {
                 if ctx.window().unwrap_or(TimeSpan::ZERO).is_zero() {
@@ -229,6 +232,7 @@ pub fn install_standard_items(
     reg.define(
         ItemDef::on_demand("input_rate_naive")
             .counter(&monitors.input_total)
+            .reset_on_read()
             .doc("NAIVE reset-on-access rate measurement; interferes under concurrent consumers (Figure 4)")
             .compute(move |ctx| MetadataValue::F64(naive.sample(ctx.now())))
             .build(),

@@ -14,6 +14,10 @@ export CARGO_NET_OFFLINE=true
 
 cargo build --release -p streammeta-bench --bins
 
+# One experiment failing must not silence the rest: each binary runs
+# individually, its status is recorded, and the summary (plus the exit
+# code) reports every failure at the end.
+declare -a passed=() failed=()
 for exp in exp_e1_taxonomy exp_e2_fig3_cascade exp_e3_fig4_concurrent \
            exp_e4_fig5_aggregation exp_e5_scalability exp_e6_freshness \
            exp_e10_resize exp_e11_concurrency exp_e12_dyndeps \
@@ -21,9 +25,24 @@ for exp in exp_e1_taxonomy exp_e2_fig3_cascade exp_e3_fig4_concurrent \
            exp_e16_optimizer exp_e17_qos exp_e18_observability \
            exp_e19_read_contention; do
     echo "=== $exp ==="
-    RESULTS_DIR="$OUT" ./target/release/"$exp" | tee "$OUT/$exp.txt"
+    if RESULTS_DIR="$OUT" ./target/release/"$exp" | tee "$OUT/$exp.txt"; then
+        passed+=("$exp")
+        echo "--- $exp: ok"
+    else
+        status=$?
+        failed+=("$exp")
+        echo "--- $exp: FAILED (exit $status)" >&2
+    fi
     echo
 done
 
+echo "=== summary: ${#passed[@]} passed, ${#failed[@]} failed ==="
+for exp in "${passed[@]}";  do echo "  ok    $exp"; done
+for exp in "${failed[@]}";  do echo "  FAIL  $exp"; done
+echo
 echo "All experiment outputs written to $OUT/"
 echo "Recorder time series: $OUT/e18_observability.csv"
+
+if [ "${#failed[@]}" -gt 0 ]; then
+    exit 1
+fi
