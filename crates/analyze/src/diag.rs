@@ -57,6 +57,9 @@ pub enum DiagCode {
     PropagationDepth,
     /// Budget: an item has more dependents than the fan-out ceiling.
     FanOut,
+    /// Containment: a compute deadline without a fallback policy — the
+    /// overrun is counted but the late value is still served.
+    DeadlineWithoutFallback,
 }
 
 impl DiagCode {
@@ -71,6 +74,7 @@ impl DiagCode {
             DiagCode::IsolationViolation => "A6",
             DiagCode::PropagationDepth => "B1",
             DiagCode::FanOut => "B2",
+            DiagCode::DeadlineWithoutFallback => "C1",
         }
     }
 
@@ -85,6 +89,7 @@ impl DiagCode {
             DiagCode::IsolationViolation => "isolation-violation",
             DiagCode::PropagationDepth => "propagation-depth",
             DiagCode::FanOut => "fan-out",
+            DiagCode::DeadlineWithoutFallback => "deadline-without-fallback",
         }
     }
 }
@@ -226,5 +231,6 @@ mod tests {
         assert_eq!(DiagCode::IsolationViolation.code(), "A6");
         assert_eq!(DiagCode::PropagationDepth.code(), "B1");
         assert_eq!(DiagCode::FanOut.code(), "B2");
+        assert_eq!(DiagCode::DeadlineWithoutFallback.code(), "C1");
     }
 }

@@ -23,6 +23,7 @@
 //! | A6 | isolation violation: triggered item feeds a periodic one | warning |
 //! | B1 | dependency chain deeper than the propagation budget | warning |
 //! | B2 | fan-out above the budget | warning |
+//! | C1 | compute deadline without a fallback policy | warning |
 //!
 //! Three exposures: the library API ([`analyze`]), the `metalint` binary
 //! (in `streammeta-bench`, over the E1–E19 experiment graphs), and a

@@ -77,6 +77,10 @@ pub struct ItemModel {
     pub reset_on_read: bool,
     /// Declared sampling interval of a stateful aggregate.
     pub implied_window: Option<TimeSpan>,
+    /// Declared per-evaluation compute deadline, if any.
+    pub deadline: Option<TimeSpan>,
+    /// Whether a failure-containment fallback policy is declared.
+    pub has_fallback: bool,
     /// All dependency edges static analysis should consider.
     pub deps: Vec<DepEdge>,
     /// Live subscription roots currently sharing the item's handler
@@ -104,6 +108,8 @@ impl ItemModel {
             stateful: def.is_stateful(),
             reset_on_read: def.resets_on_read(),
             implied_window: def.implied_window(),
+            deadline: def.deadline(),
+            has_fallback: def.fallback().is_some(),
             deps,
             subscribers,
         }

@@ -1,4 +1,5 @@
-//! The rule engine: anomaly rules A1–A6 and graph budget checks B1/B2.
+//! The rule engine: anomaly rules A1–A6, graph budget checks B1/B2, and
+//! the containment-configuration check C1.
 //!
 //! Each rule is a pure function of the extracted [`GraphModel`] — no
 //! compute function runs, no lock is held while analysing. The rules
@@ -46,6 +47,7 @@ pub fn run(model: &GraphModel, budgets: &Budgets) -> Vec<Diagnostic> {
         rule_a5_period_inversion(model, item, &mut out);
         rule_a6_isolation(model, item, &mut out);
         rule_b2_fanout(model, item, budgets, &mut out);
+        rule_c1_deadline_without_fallback(item, &mut out);
     }
     rule_a3_cycles(model, &mut out);
     rule_b1_depth(model, budgets, &mut out);
@@ -453,6 +455,33 @@ fn rule_b2_fanout(
     });
 }
 
+/// C1: a compute deadline without a fallback policy. The runtime counts
+/// and traces the overrun but still stores the late value — almost
+/// certainly not what a deadline was declared for. With a policy, the
+/// late result is discarded and the last good value serves, degraded.
+fn rule_c1_deadline_without_fallback(item: &ItemModel, out: &mut Vec<Diagnostic>) {
+    let Some(deadline) = item.deadline else {
+        return;
+    };
+    if item.has_fallback {
+        return;
+    }
+    out.push(Diagnostic {
+        code: DiagCode::DeadlineWithoutFallback,
+        severity: Severity::Warning,
+        key: item.key.clone(),
+        message: format!(
+            "item declares a compute deadline ({deadline:?}) but no fallback policy: \
+             overruns are counted but the late value is still stored and served"
+        ),
+        hint: "add `.fallback(FallbackPolicy::conservative())` (or a tuned policy) so \
+               overrunning evaluations are discarded and the last good value serves, \
+               marked degraded — or drop the deadline if it is observation-only"
+            .into(),
+        related: Vec::new(),
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,6 +500,8 @@ mod tests {
             stateful: false,
             reset_on_read: false,
             implied_window: None,
+            deadline: None,
+            has_fallback: false,
             deps: Vec::new(),
             subscribers: 0,
         }
@@ -695,6 +726,27 @@ mod tests {
         let d = find(&diags, DiagCode::FanOut);
         assert_eq!(d.key, key("hub"));
         assert_eq!(d.related.len(), 3);
+    }
+
+    #[test]
+    fn c1_deadline_without_fallback_warns() {
+        let mut bare = item("bare", MechKind::OnDemand);
+        bare.deadline = Some(TimeSpan(5));
+        let diags = run_default(&model(vec![bare]));
+        let d = find(&diags, DiagCode::DeadlineWithoutFallback);
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.key, key("bare"));
+        assert!(d.hint.contains("fallback"));
+    }
+
+    #[test]
+    fn c1_silent_with_fallback_or_without_deadline() {
+        let mut covered = item("covered", MechKind::OnDemand);
+        covered.deadline = Some(TimeSpan(5));
+        covered.has_fallback = true;
+        let mut plain = item("plain", MechKind::OnDemand);
+        plain.has_fallback = true;
+        assert!(run_default(&model(vec![covered, plain])).is_empty());
     }
 
     #[test]

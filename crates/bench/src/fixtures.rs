@@ -282,6 +282,24 @@ fn isolation() -> BuiltFixture {
     }
 }
 
+/// S6: a compute deadline declared without a fallback policy.
+fn deadline_without_fallback() -> BuiltFixture {
+    let mgr = MetadataManager::new(VirtualClock::shared());
+    let reg = NodeRegistry::new(NodeId(0));
+    reg.define(
+        ItemDef::on_demand("slow_probe")
+            .deadline(TimeSpan(5))
+            .compute(|_| MetadataValue::U64(0))
+            .build(),
+    );
+    mgr.attach_node(reg);
+    BuiltFixture {
+        manager: mgr,
+        _graph: None,
+        _subs: Vec::new(),
+    }
+}
+
 /// The full fixture registry, in id order.
 pub fn all() -> &'static [Fixture] {
     &[
@@ -431,6 +449,13 @@ pub fn all() -> &'static [Fixture] {
             expected_errors: &[],
             expected_warnings: &["B1"],
             build: || chain(12),
+        },
+        Fixture {
+            id: "S6",
+            name: "synthetic: compute deadline without a fallback policy",
+            expected_errors: &[],
+            expected_warnings: &["C1"],
+            build: deadline_without_fallback,
         },
     ]
 }

@@ -23,6 +23,18 @@ pub enum MetadataError {
     /// The subscription was denied by an installed validator (static
     /// analysis under a deny policy); the strings are the violations.
     ValidationFailed(MetadataKey, Vec<String>),
+    /// The item's handler is quarantined: its compute function failed
+    /// repeatedly and the circuit breaker excludes it from evaluation
+    /// until the cool-down elapses. Reads still serve the last good
+    /// value (marked degraded); [`crate::MetadataManager::read_fresh`]
+    /// reports this error instead.
+    Quarantined(MetadataKey),
+    /// The item is being served from its last good value because recent
+    /// evaluations failed (panic, deadline overrun, or an unavailable
+    /// result under a fallback policy). Only
+    /// [`crate::MetadataManager::read_fresh`] surfaces this; plain reads
+    /// return the degraded-marked value.
+    Degraded(MetadataKey),
 }
 
 impl fmt::Display for MetadataError {
@@ -59,6 +71,18 @@ impl fmt::Display for MetadataError {
                     write!(f, "{v}")?;
                 }
                 Ok(())
+            }
+            MetadataError::Quarantined(k) => {
+                write!(
+                    f,
+                    "metadata item {k} is quarantined after repeated compute failures"
+                )
+            }
+            MetadataError::Degraded(k) => {
+                write!(
+                    f,
+                    "metadata item {k} is serving its last good value (degraded)"
+                )
             }
         }
     }

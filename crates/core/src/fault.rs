@@ -1,0 +1,218 @@
+//! Fault-injection harness for chaos-testing the compute path.
+//!
+//! A [`FaultPlan`] describes, per metadata key, *what* goes wrong
+//! ([`FaultAction`]: panic, error, delay) and *when*
+//! ([`FaultSchedule`]: every evaluation, every n-th, a contiguous
+//! range). Installed via [`crate::MetadataManager::set_fault_plan`], the
+//! plan is consulted once per compute evaluation — inside the manager's
+//! `catch_unwind` containment, so injected panics exercise exactly the
+//! production failure path. Schedules are counted per key, with no
+//! randomness, so chaos experiments (E20) and CI smoke runs are fully
+//! reproducible.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use streammeta_time::TimeSpan;
+
+use crate::MetadataKey;
+
+/// What an injected fault does to one compute evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The compute function panics (contained by the manager).
+    Panic,
+    /// The evaluation reports `Unavailable` without running the real
+    /// compute function (a failing probe, a dead remote source).
+    Error,
+    /// The evaluation is delayed by the given span before the real
+    /// compute runs — the "slow compute" fault that deadline budgets
+    /// exist for. How the delay passes is decided by the plan's delayer
+    /// (wall-clock sleep by default, a virtual-clock advance in
+    /// deterministic experiments; see [`FaultPlan::with_delayer`]).
+    Delay(TimeSpan),
+}
+
+/// When a fault rule fires, counted per key over that key's evaluations
+/// (the first evaluation has sequence number 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSchedule {
+    /// Every evaluation.
+    Always,
+    /// Every `n`-th evaluation (`n >= 1`; `EveryNth(10)` faults 10% of
+    /// the key's computes).
+    EveryNth(u64),
+    /// The first `n` evaluations only.
+    FirstN(u64),
+    /// Evaluations with sequence number in `[from, to)`. Lets a plan
+    /// inject failures *after* good values exist (exercising last-good
+    /// stale serving) and stop again (exercising recovery).
+    Between {
+        /// First faulted sequence number (1-based, inclusive).
+        from: u64,
+        /// First spared sequence number (exclusive).
+        to: u64,
+    },
+}
+
+impl FaultSchedule {
+    fn fires(&self, seq: u64) -> bool {
+        match *self {
+            FaultSchedule::Always => true,
+            FaultSchedule::EveryNth(n) => n > 0 && seq.is_multiple_of(n),
+            FaultSchedule::FirstN(n) => seq <= n,
+            FaultSchedule::Between { from, to } => seq >= from && seq < to,
+        }
+    }
+}
+
+struct FaultRule {
+    key: MetadataKey,
+    schedule: FaultSchedule,
+    action: FaultAction,
+}
+
+/// How a [`FaultAction::Delay`] passes time.
+pub type DelayFn = dyn Fn(TimeSpan) + Send + Sync;
+
+/// A deterministic fault-injection plan (see the module docs).
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    /// Per-key evaluation counters; only keys with at least one rule are
+    /// tracked, so the map stays bounded by the plan itself.
+    seqs: Mutex<HashMap<MetadataKey, u64>>,
+    injected: AtomicU64,
+    delayer: Arc<DelayFn>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the default wall-clock
+    /// delayer (one time unit = one microsecond, the `WallClock`
+    /// convention).
+    pub fn new() -> Self {
+        FaultPlan {
+            rules: Vec::new(),
+            seqs: Mutex::new(HashMap::new()),
+            injected: AtomicU64::new(0),
+            delayer: Arc::new(|span: TimeSpan| {
+                std::thread::sleep(std::time::Duration::from_micros(span.units()));
+            }),
+        }
+    }
+
+    /// Adds a rule: `action` on `key`'s evaluations per `schedule`.
+    /// Rules are checked in insertion order; the first match wins.
+    pub fn inject(
+        mut self,
+        key: MetadataKey,
+        schedule: FaultSchedule,
+        action: FaultAction,
+    ) -> Self {
+        self.rules.push(FaultRule {
+            key,
+            schedule,
+            action,
+        });
+        self
+    }
+
+    /// Replaces the delayer used by [`FaultAction::Delay`]. Deterministic
+    /// virtual-clock experiments pass `move |d| clock.advance(d)` so an
+    /// injected "slow compute" advances the very clock the manager
+    /// measures deadlines against.
+    pub fn with_delayer(mut self, f: impl Fn(TimeSpan) + Send + Sync + 'static) -> Self {
+        self.delayer = Arc::new(f);
+        self
+    }
+
+    /// Decides the fault for `key`'s next evaluation, advancing the
+    /// key's sequence counter. Called by the manager once per compute.
+    pub fn decide(&self, key: &MetadataKey) -> Option<FaultAction> {
+        if !self.rules.iter().any(|r| &r.key == key) {
+            return None;
+        }
+        let seq = {
+            let mut seqs = self.seqs.lock();
+            let seq = seqs.entry(key.clone()).or_insert(0);
+            *seq += 1;
+            *seq
+        };
+        let action = self
+            .rules
+            .iter()
+            .find(|r| &r.key == key && r.schedule.fires(seq))
+            .map(|r| r.action);
+        if action.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        action
+    }
+
+    /// Passes the delay of a [`FaultAction::Delay`] through the
+    /// configured delayer.
+    pub fn delay(&self, span: TimeSpan) {
+        (self.delayer)(span);
+    }
+
+    /// Total faults injected so far.
+    pub fn injected_count(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn key(p: &str) -> MetadataKey {
+        MetadataKey::new(NodeId(1), p)
+    }
+
+    #[test]
+    fn schedules_fire_deterministically() {
+        assert!(FaultSchedule::Always.fires(1));
+        assert!(FaultSchedule::EveryNth(3).fires(3));
+        assert!(!FaultSchedule::EveryNth(3).fires(4));
+        assert!(FaultSchedule::FirstN(2).fires(2));
+        assert!(!FaultSchedule::FirstN(2).fires(3));
+        assert!(FaultSchedule::Between { from: 5, to: 7 }.fires(5));
+        assert!(FaultSchedule::Between { from: 5, to: 7 }.fires(6));
+        assert!(!FaultSchedule::Between { from: 5, to: 7 }.fires(7));
+    }
+
+    #[test]
+    fn decide_counts_per_key_and_first_rule_wins() {
+        let plan = FaultPlan::new()
+            .inject(key("a"), FaultSchedule::EveryNth(2), FaultAction::Panic)
+            .inject(key("a"), FaultSchedule::Always, FaultAction::Error);
+        // seq 1: EveryNth(2) misses, Always catches.
+        assert_eq!(plan.decide(&key("a")), Some(FaultAction::Error));
+        // seq 2: first matching rule wins.
+        assert_eq!(plan.decide(&key("a")), Some(FaultAction::Panic));
+        // Unknown keys are untouched and untracked.
+        assert_eq!(plan.decide(&key("b")), None);
+        assert!(plan.seqs.lock().get(&key("b")).is_none());
+        assert_eq!(plan.injected_count(), 2);
+    }
+
+    #[test]
+    fn custom_delayer_is_used() {
+        use std::sync::atomic::AtomicU64;
+        let advanced = Arc::new(AtomicU64::new(0));
+        let a = advanced.clone();
+        let plan = FaultPlan::new().with_delayer(move |d: TimeSpan| {
+            a.fetch_add(d.units(), Ordering::SeqCst);
+        });
+        plan.delay(TimeSpan(7));
+        assert_eq!(advanced.load(Ordering::SeqCst), 7);
+    }
+}

@@ -43,6 +43,8 @@ struct ScalarCell {
     bits: AtomicU64,
     version: AtomicU64,
     updated_at: AtomicU64,
+    /// 0 = healthy, 1 = serving last good value (degraded).
+    degraded: AtomicU64,
 }
 
 const TAG_UNAVAILABLE: u64 = 0;
@@ -88,6 +90,7 @@ impl ScalarCell {
             bits: AtomicU64::new(0),
             version: AtomicU64::new(0),
             updated_at: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
         }
     }
 
@@ -103,6 +106,8 @@ impl ScalarCell {
                 self.bits.store(bits, Ordering::Relaxed);
                 self.version.store(value.version, Ordering::Relaxed);
                 self.updated_at.store(value.updated_at.0, Ordering::Relaxed);
+                self.degraded
+                    .store(value.degraded as u64, Ordering::Relaxed);
             }
             None => self.tag.store(TAG_UNCACHED, Ordering::Relaxed),
         }
@@ -120,6 +125,7 @@ impl ScalarCell {
         let bits = self.bits.load(Ordering::Relaxed);
         let version = self.version.load(Ordering::Relaxed);
         let updated_at = self.updated_at.load(Ordering::Relaxed);
+        let degraded = self.degraded.load(Ordering::Relaxed);
         fence(Ordering::Acquire);
         if self.seq.load(Ordering::Relaxed) != s1 || tag == TAG_UNCACHED {
             return None;
@@ -128,8 +134,25 @@ impl ScalarCell {
             value: unpack_value(tag, bits),
             version,
             updated_at: Timestamp(updated_at),
+            degraded: degraded != 0,
         })
     }
+}
+
+/// Failure-containment bookkeeping of one handler, guarded by its own
+/// mutex (touched only on the failure path and on recovery, never on
+/// healthy reads).
+#[derive(Default)]
+pub(crate) struct ContainmentState {
+    /// Consecutive failed evaluations (reset on success).
+    pub(crate) streak: u32,
+    /// Retries already scheduled for the current failure episode.
+    pub(crate) attempt: u32,
+    /// While `Some`, the item is quarantined until the instant given and
+    /// scheduled evaluations are skipped.
+    pub(crate) quarantined_until: Option<Timestamp>,
+    /// A pending one-shot retry/probe task, cancelled on success.
+    pub(crate) retry_task: Option<TaskId>,
 }
 
 /// One registered push observer. `last_delivered` makes delivery
@@ -167,6 +190,8 @@ pub(crate) struct Handler {
     pub(crate) compute_lock: Mutex<()>,
     /// The periodic refresh task, if the mechanism is periodic.
     pub(crate) periodic_task: Mutex<Option<TaskId>>,
+    /// Retry/quarantine state of items with a fallback policy.
+    pub(crate) containment: Mutex<ContainmentState>,
     /// Push observers, notified after every stored change (Section 2.1's
     /// consumers as listeners — e.g. a monitoring tool plotting values).
     observers: Mutex<Vec<Observer>>,
@@ -193,6 +218,7 @@ impl Handler {
             cell: ScalarCell::new(),
             compute_lock: Mutex::new(()),
             periodic_task: Mutex::new(None),
+            containment: Mutex::new(ContainmentState::default()),
             observers: Mutex::new(Vec::new()),
             next_observer: AtomicU64::new(0),
             accesses: AtomicU64::new(0),
@@ -232,11 +258,19 @@ impl Handler {
         let snapshot = {
             let mut cur = self.value.write();
             if cur.value == value {
+                // A successful evaluation that reproduced the current
+                // value still ends a degraded episode: the value is
+                // fresh again, even though nothing propagates.
+                if cur.degraded {
+                    cur.degraded = false;
+                    self.cell.publish(&cur);
+                }
                 return false;
             }
             cur.value = value;
             cur.version += 1;
             cur.updated_at = now;
+            cur.degraded = false;
             // Published while the write lock is held: publications are
             // serialized and the cell never lags a released write.
             self.cell.publish(&cur);
@@ -251,6 +285,24 @@ impl Handler {
             }
         }
         true
+    }
+
+    /// Marks the current value as degraded: the compute path failed and
+    /// consumers are now served the last good value. Neither bumps the
+    /// version nor notifies observers — the value did not change, only
+    /// its freshness did; `read_fresh` and `staleness()` expose it.
+    pub(crate) fn mark_degraded(&self) {
+        let mut cur = self.value.write();
+        if !cur.degraded {
+            cur.degraded = true;
+            self.cell.publish(&cur);
+        }
+    }
+
+    /// Whether the current value is marked degraded.
+    #[cfg(test)]
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.snapshot().degraded
     }
 
     /// Registers a push observer and synchronously delivers the current
@@ -355,6 +407,29 @@ mod tests {
         assert!(h.store_if_changed(MetadataValue::F64(0.2), Timestamp(9)));
         assert_eq!(h.snapshot().version, 2);
         assert_eq!(h.update_count(), 2);
+    }
+
+    #[test]
+    fn degraded_marking_survives_cell_and_clears_on_store() {
+        let h = handler();
+        assert!(h.store_if_changed(MetadataValue::U64(1), Timestamp(5)));
+        assert!(!h.is_degraded());
+        h.mark_degraded();
+        let v = h.snapshot();
+        assert!(v.degraded);
+        // Freshness changed, the value did not.
+        assert_eq!(v.version, 1);
+        assert_eq!(v.value, MetadataValue::U64(1));
+        // A successful store of the *same* value clears the flag without
+        // bumping the version.
+        assert!(!h.store_if_changed(MetadataValue::U64(1), Timestamp(9)));
+        let v = h.snapshot();
+        assert!(!v.degraded);
+        assert_eq!(v.version, 1);
+        // And a changed value clears it too.
+        h.mark_degraded();
+        assert!(h.store_if_changed(MetadataValue::U64(2), Timestamp(11)));
+        assert!(!h.is_degraded());
     }
 
     #[test]

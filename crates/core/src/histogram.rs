@@ -19,6 +19,7 @@ pub struct HistogramMonitor {
     /// Piggybacks activation handling on a counter (total observations).
     total: Arc<Counter>,
     lo: i64,
+    hi: i64,
     width: u64,
     buckets: Vec<AtomicU64>,
     /// Values below `lo` / at or above the upper edge.
@@ -36,6 +37,7 @@ impl HistogramMonitor {
         Arc::new(HistogramMonitor {
             total: Counter::new(),
             lo,
+            hi,
             width,
             buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
             underflow: AtomicU64::new(0),
@@ -76,6 +78,7 @@ impl HistogramMonitor {
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             lo: self.lo,
+            hi: self.hi,
             width: self.width,
             counts: self
                 .buckets
@@ -92,6 +95,7 @@ impl HistogramMonitor {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     lo: i64,
+    hi: i64,
     width: u64,
     counts: Arc<[u64]>,
     underflow: u64,
@@ -102,6 +106,13 @@ impl HistogramSnapshot {
     /// Total observations (including out-of-range).
     pub fn total(&self) -> u64 {
         self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The first value classified as overflow. Bucket widths round up, so
+    /// this can sit slightly above the configured `hi`; computed in `i128`
+    /// because `lo + buckets * width` can exceed the `i64` range.
+    fn upper_edge(&self) -> i128 {
+        self.lo as i128 + (self.counts.len() as u128 * self.width as u128) as i128
     }
 
     /// The bucket counts.
@@ -130,6 +141,14 @@ impl HistogramSnapshot {
                 break;
             }
         }
+        // Overflow holds everything at or above the upper bucket edge; once
+        // `bound` clears that edge the tail mass counts as below it (the
+        // mirror of the underflow term above). Without this the estimate
+        // never reaches 1.0 after an out-of-range observation, even for
+        // `bound == i64::MAX`.
+        if bound as i128 > self.upper_edge() {
+            below += self.overflow as f64;
+        }
         Some(below / total as f64)
     }
 
@@ -145,7 +164,11 @@ impl HistogramSnapshot {
         }
         let idx = ((v - self.lo) as u64 / self.width) as usize;
         let Some(&count) = self.counts.get(idx) else {
-            return Some(0.0);
+            // Above the upper edge: attribute the overflow mass, spread over
+            // one bucket width (the same uniformity convention as in-range
+            // buckets). Returning 0.0 here would hide every observation that
+            // landed above `hi`.
+            return Some(self.overflow as f64 / self.width as f64 / total as f64);
         };
         Some(count as f64 / self.width as f64 / total as f64)
     }
@@ -167,10 +190,14 @@ impl HistogramSnapshot {
         for (i, &count) in self.counts.iter().enumerate() {
             cum += count;
             if rank <= cum {
-                return Some(self.lo + ((i as u64 + 1) * self.width) as i64);
+                // Bucket edges are spaced by the rounded-up width, so the
+                // last edge can exceed the configured domain top when the
+                // span is not divisible by the bucket count; clamp so the
+                // reported percentile stays within `[lo, hi]`.
+                return Some((self.lo + ((i as u64 + 1) * self.width) as i64).min(self.hi));
             }
         }
-        Some(self.lo + (self.counts.len() as u64 * self.width) as i64)
+        Some(self.hi)
     }
 
     /// Renders `bucket_lo:count` pairs, for textual metadata export.
@@ -289,6 +316,53 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.percentile(0.25), Some(0));
         assert_eq!(s.percentile(1.0), Some(10));
+    }
+
+    #[test]
+    fn selectivity_lt_counts_overflow_tail() {
+        let h = active(0, 100, 10);
+        for v in 0..100 {
+            h.observe(v);
+        }
+        h.observe(150);
+        h.observe(10_000);
+        let s = h.snapshot();
+        // Regression: the overflow mass used to be in the denominator but
+        // never in the numerator, so no bound could reach 1.0.
+        assert_eq!(s.selectivity_lt(i64::MAX), Some(1.0));
+        assert_eq!(s.selectivity_lt(100), Some(100.0 / 102.0));
+        let sel = s.selectivity_lt(50).unwrap();
+        assert!((sel - 50.0 / 102.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_eq_counts_overflow_mass() {
+        let h = active(0, 10, 10);
+        for v in 0..10 {
+            h.observe(v);
+        }
+        h.observe(10);
+        h.observe(999);
+        let s = h.snapshot();
+        // Regression: values at or above `hi` used to report 0.0 even with
+        // overflow observations present.
+        let eq = s.selectivity_eq(50).unwrap();
+        assert!((eq - 2.0 / 12.0).abs() < 1e-9);
+        assert_eq!(s.selectivity_eq(-5), Some(0.0));
+    }
+
+    #[test]
+    fn percentile_clamped_to_hi_for_indivisible_span() {
+        // Span 10 over 3 buckets -> width 4, raw top edge 12 > hi.
+        let h = active(0, 10, 3);
+        for v in 0..10 {
+            h.observe(v);
+        }
+        h.observe(11);
+        let s = h.snapshot();
+        // Regression: the upper-bucket edge used to leak out unclamped.
+        assert_eq!(s.percentile(1.0), Some(10));
+        assert!(s.percentile(0.99).unwrap() <= 10);
     }
 
     #[test]

@@ -56,6 +56,49 @@ impl Mechanism {
     }
 }
 
+/// Failure-containment policy of one item: bounded retry with
+/// exponential backoff, then quarantine with stale serving.
+///
+/// While an item with a policy is failing (panic, deadline overrun, or an
+/// `Unavailable` result), the manager keeps serving the last good value —
+/// marked degraded, with an explicit staleness bound
+/// ([`crate::VersionedValue::staleness`]) — instead of overwriting it
+/// with `Unavailable`. After `quarantine_after` consecutive failures the
+/// item is quarantined: evaluations stop entirely for `cool_down`, after
+/// which a single probe evaluation decides between recovery and another
+/// quarantine round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FallbackPolicy {
+    /// Retries scheduled per failure episode (beyond the failing
+    /// evaluation itself). Zero disables retries.
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles on each further retry.
+    pub backoff: TimeSpan,
+    /// Consecutive failures that trip the quarantine circuit breaker.
+    pub quarantine_after: u32,
+    /// How long a quarantined item rests before the recovery probe.
+    pub cool_down: TimeSpan,
+}
+
+impl FallbackPolicy {
+    /// A conservative default: 3 retries starting at 10 time units,
+    /// quarantine after 5 consecutive failures, cool down for 1000 units.
+    pub fn conservative() -> Self {
+        FallbackPolicy {
+            max_retries: 3,
+            backoff: TimeSpan(10),
+            quarantine_after: 5,
+            cool_down: TimeSpan(1000),
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based): `backoff`
+    /// doubled `attempt` times, saturating.
+    pub fn retry_delay(&self, attempt: u32) -> TimeSpan {
+        TimeSpan(self.backoff.0.saturating_mul(1u64 << attempt.min(63)))
+    }
+}
+
 /// Target of a declared dependency, relative to the defining node.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum DepTarget {
@@ -287,6 +330,14 @@ pub struct ItemDef {
     /// designed for (how often its consumer is expected to access it).
     /// Compared against dependency update periods by static analysis.
     pub(crate) implied_window: Option<TimeSpan>,
+    /// Per-evaluation compute budget. An evaluation that takes longer
+    /// counts as a deadline overrun: with a fallback policy it is treated
+    /// as a failure (its result is discarded); without one it is only
+    /// counted and traced — static analysis flags that combination.
+    pub(crate) deadline: Option<TimeSpan>,
+    /// Failure-containment policy (retry, backoff, quarantine). `None`
+    /// keeps the pre-containment behaviour: failures store `Unavailable`.
+    pub(crate) fallback: Option<FallbackPolicy>,
 }
 
 impl std::fmt::Debug for ItemDef {
@@ -357,6 +408,16 @@ impl ItemDef {
     /// The declared sampling interval of a stateful aggregate, if any.
     pub fn implied_window(&self) -> Option<TimeSpan> {
         self.implied_window
+    }
+
+    /// The per-evaluation compute budget, if any.
+    pub fn deadline(&self) -> Option<TimeSpan> {
+        self.deadline
+    }
+
+    /// The failure-containment policy, if any.
+    pub fn fallback(&self) -> Option<FallbackPolicy> {
+        self.fallback
     }
 
     /// Every dependency static analysis should consider when the item is
@@ -448,6 +509,8 @@ impl ItemDefBuilder {
                 stateful: false,
                 reset_on_read: false,
                 implied_window: None,
+                deadline: None,
+                fallback: None,
             },
         }
     }
@@ -540,6 +603,22 @@ impl ItemDefBuilder {
     pub fn implied_window(mut self, window: TimeSpan) -> Self {
         self.def.implied_window = Some(window);
         self.def.stateful = true;
+        self
+    }
+
+    /// Sets a per-evaluation compute budget. Pair it with
+    /// [`Self::fallback`]: a deadline without a fallback policy is
+    /// observation-only (overruns are counted and traced, late results
+    /// still stored) and static analysis warns about it.
+    pub fn deadline(mut self, budget: TimeSpan) -> Self {
+        assert!(!budget.is_zero(), "zero compute deadline");
+        self.def.deadline = Some(budget);
+        self
+    }
+
+    /// Sets the failure-containment policy (see [`FallbackPolicy`]).
+    pub fn fallback(mut self, policy: FallbackPolicy) -> Self {
+        self.def.fallback = Some(policy);
         self
     }
 
@@ -754,6 +833,41 @@ mod tests {
         // Flags survive path rewriting (module scoping).
         let scoped = flagged.with_path("probe.rate_naive");
         assert!(scoped.resets_on_read());
+    }
+
+    #[test]
+    fn containment_knobs_round_trip_and_backoff_doubles() {
+        let plain = ItemDef::on_demand("x").build();
+        assert_eq!(plain.deadline(), None);
+        assert_eq!(plain.fallback(), None);
+
+        let policy = FallbackPolicy {
+            max_retries: 2,
+            backoff: TimeSpan(3),
+            quarantine_after: 4,
+            cool_down: TimeSpan(100),
+        };
+        let def = ItemDef::periodic("rate", TimeSpan(10))
+            .deadline(TimeSpan(5))
+            .fallback(policy)
+            .build();
+        assert_eq!(def.deadline(), Some(TimeSpan(5)));
+        assert_eq!(def.fallback(), Some(policy));
+        // Containment knobs survive path rewriting (module scoping).
+        let scoped = def.with_path("probe.rate");
+        assert_eq!(scoped.deadline(), Some(TimeSpan(5)));
+
+        assert_eq!(policy.retry_delay(0), TimeSpan(3));
+        assert_eq!(policy.retry_delay(1), TimeSpan(6));
+        assert_eq!(policy.retry_delay(2), TimeSpan(12));
+        // Saturates instead of overflowing for absurd attempts.
+        assert_eq!(policy.retry_delay(80), TimeSpan(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero compute deadline")]
+    fn zero_deadline_rejected() {
+        let _ = ItemDef::on_demand("x").deadline(TimeSpan::ZERO);
     }
 
     #[test]

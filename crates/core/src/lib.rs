@@ -72,6 +72,7 @@
 
 mod error;
 mod estimators;
+mod fault;
 mod handler;
 mod histogram;
 mod item;
@@ -87,11 +88,12 @@ mod value;
 
 pub use error::{MetadataError, Result};
 pub use estimators::{Ewma, IntervalRate, OnlineAverage, OnlineVariance, WindowDelta};
+pub use fault::{DelayFn, FaultAction, FaultPlan, FaultSchedule};
 pub use handler::HandlerStats;
 pub use histogram::{HistogramMonitor, HistogramSnapshot};
 pub use item::{
-    Activatable, ComputeFn, DepSource, DepSpec, DepTarget, Dependency, EvalCtx, HookFn, ItemDef,
-    ItemDefBuilder, Mechanism, ResolveCtx, ResolvedDep,
+    Activatable, ComputeFn, DepSource, DepSpec, DepTarget, Dependency, EvalCtx, FallbackPolicy,
+    HookFn, ItemDef, ItemDefBuilder, Mechanism, ResolveCtx, ResolvedDep,
 };
 pub use key::{EventKey, ItemPath, MetadataKey, NodeId};
 pub use manager::{ManagerStats, MetadataManager, ValidationPolicy, ValidatorFn};

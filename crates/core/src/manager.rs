@@ -40,6 +40,7 @@ use std::sync::{Arc, Weak};
 use parking_lot::{Mutex, RwLock};
 use streammeta_time::{ClockRef, PeriodicRegistry, PeriodicTask, TimeSpan, Timestamp};
 
+use crate::fault::{FaultAction, FaultPlan};
 use crate::handler::{Handler, HandlerStats};
 use crate::item::{DepReader, DepSource, EvalCtx, ItemDef, Mechanism};
 use crate::monitor::Counter;
@@ -59,6 +60,15 @@ struct Inner {
     handlers: HashMap<MetadataKey, Arc<Handler>>,
     /// Inverted dependency edges: source -> items that depend on it.
     dependents: HashMap<DepSource, Vec<MetadataKey>>,
+}
+
+/// Result of one contained compute evaluation.
+struct ComputeOutcome {
+    value: MetadataValue,
+    /// The compute function (or an injected fault) panicked.
+    panicked: bool,
+    /// The evaluation overran the item's declared deadline.
+    overran: bool,
 }
 
 /// Aggregate counters of the manager, used by the scalability experiments.
@@ -88,6 +98,14 @@ pub struct ManagerStats {
     /// Key-based handler lookups served by the sharded index (one shard
     /// read lock).
     pub shard_reads: u64,
+    /// Evaluations that overran their declared compute deadline.
+    pub deadline_overruns: u64,
+    /// Backoff retries scheduled after failed evaluations.
+    pub retries: u64,
+    /// Times the quarantine circuit breaker tripped.
+    pub quarantine_trips: u64,
+    /// Reads that were served a degraded (stale last-good) value.
+    pub stale_serves: u64,
 }
 
 /// The central coordinator of dynamic metadata management.
@@ -121,6 +139,14 @@ pub struct MetadataManager {
     propagations: AtomicU64,
     compute_failures: AtomicU64,
     deadline_misses: AtomicU64,
+    deadline_overruns: AtomicU64,
+    retries: AtomicU64,
+    quarantine_trips: AtomicU64,
+    stale_serves: AtomicU64,
+    /// Gates fault injection the same way `trace_enabled` gates tracing:
+    /// one relaxed load per evaluation when no plan is installed.
+    fault_enabled: AtomicBool,
+    fault_plan: RwLock<Option<Arc<FaultPlan>>>,
     /// BFS depth of the deepest handler recomputed in the last
     /// propagation round.
     last_propagation_depth: AtomicU64,
@@ -188,6 +214,12 @@ impl MetadataManager {
             propagations: AtomicU64::new(0),
             compute_failures: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
+            deadline_overruns: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            quarantine_trips: AtomicU64::new(0),
+            stale_serves: AtomicU64::new(0),
+            fault_enabled: AtomicBool::new(false),
+            fault_plan: RwLock::new(None),
             last_propagation_depth: AtomicU64::new(0),
             trace_enabled: AtomicBool::new(false),
             trace_sink: RwLock::new(None),
@@ -258,9 +290,64 @@ impl MetadataManager {
         self.self_weak.clone()
     }
 
+    /// Installs (or, with `None`, removes) a fault-injection plan. While
+    /// installed, the plan is consulted once per compute evaluation and
+    /// may panic, fail or delay it (inside the containment machinery, so
+    /// injected faults exercise the production failure path). Chaos
+    /// experiments only; without a plan each evaluation pays one relaxed
+    /// atomic load.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        // On removal, clear the gate before the slot so evaluation sites
+        // stop checking for the plan first.
+        let enabled = plan.is_some();
+        if !enabled {
+            self.fault_enabled.store(false, Ordering::Relaxed);
+        }
+        *self.fault_plan.write() = plan;
+        if enabled {
+            self.fault_enabled.store(true, Ordering::Relaxed);
+        }
+    }
+
     /// Periodic refreshes that completed a full window late.
     pub fn deadline_miss_count(&self) -> u64 {
         self.deadline_misses.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations that overran their declared compute deadline.
+    pub fn deadline_overrun_count(&self) -> u64 {
+        self.deadline_overruns.load(Ordering::Relaxed)
+    }
+
+    /// Backoff retries scheduled after failed evaluations.
+    pub fn retry_count(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Times the quarantine circuit breaker tripped (re-trips after a
+    /// failed recovery probe count again).
+    pub fn quarantine_trip_count(&self) -> u64 {
+        self.quarantine_trips.load(Ordering::Relaxed)
+    }
+
+    /// Reads that were served a degraded (stale last-good) value.
+    pub fn stale_serve_count(&self) -> u64 {
+        self.stale_serves.load(Ordering::Relaxed)
+    }
+
+    /// Number of currently quarantined items.
+    pub fn quarantined_count(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .handlers
+            .values()
+            .filter(|h| self.is_quarantined(h))
+            .count()
+    }
+
+    /// Whether `key` is currently quarantined.
+    pub fn is_key_quarantined(&self, key: &MetadataKey) -> bool {
+        self.handler(key).is_some_and(|h| self.is_quarantined(&h))
     }
 
     /// BFS depth of the deepest handler recomputed by the most recent
@@ -351,6 +438,32 @@ impl MetadataManager {
         // Holding `inner` prevents a concurrent inclusion from racing the
         // definition swap (inclusion takes `inner` first).
         reg.define(def);
+        Ok(())
+    }
+
+    /// Batch variant of [`Self::redefine`] with the same consistency
+    /// guard, checked atomically for the *whole* batch: if any definition
+    /// would replace an item with a live handler, the entire batch is
+    /// refused with [`MetadataError::ItemInUse`] and nothing is
+    /// installed. The raw [`NodeRegistry::define_all`] has no such guard
+    /// (see its documentation) — this is the checked path for replacing
+    /// definitions at runtime.
+    pub fn redefine_all(&self, node: NodeId, defs: Vec<ItemDef>) -> Result<()> {
+        let reg = self
+            .registry(node)
+            .ok_or(MetadataError::NodeUnknown(node))?;
+        let inner = self.inner.lock();
+        for def in &defs {
+            let key = MetadataKey::new(node, def.path().clone());
+            if inner.handlers.contains_key(&key) {
+                return Err(MetadataError::ItemInUse(key));
+            }
+        }
+        // Holding `inner` prevents a concurrent inclusion from racing the
+        // batch swap (inclusion takes `inner` first).
+        for def in defs {
+            reg.define(def);
+        }
         Ok(())
     }
 
@@ -545,17 +658,15 @@ impl MetadataManager {
             }
             match h.mechanism() {
                 Mechanism::Static => {
-                    let v = self.compute_value(h, None, now);
-                    h.store_if_changed(v, now);
+                    self.refresh_handler(h, None, now);
                 }
                 Mechanism::OnDemand => {} // computed on access
                 Mechanism::Periodic { window } => {
                     // Initial evaluation over an empty window lets stateful
                     // compute functions initialise; then schedule refreshes.
-                    let _guard = h.compute_lock.lock();
-                    let v = self.compute_value(h, Some(TimeSpan::ZERO), now);
-                    h.store_if_changed(v, now);
-                    drop(_guard);
+                    let guard = h.compute_lock.lock();
+                    self.refresh_handler(h, Some(TimeSpan::ZERO), now);
+                    drop(guard);
                     let task = PeriodicRefresh {
                         manager: self.self_weak.clone(),
                         key: h.key.clone(),
@@ -569,8 +680,7 @@ impl MetadataManager {
                     *h.periodic_task.lock() = Some(id);
                 }
                 Mechanism::Triggered => {
-                    let v = self.compute_value(h, None, now);
-                    h.store_if_changed(v, now);
+                    self.refresh_handler(h, None, now);
                 }
             }
         }
@@ -703,14 +813,51 @@ impl MetadataManager {
         Ok(self.access_handler(&handler))
     }
 
+    /// Like [`Self::read_versioned`], but refuses to serve stale values:
+    /// a quarantined item reports [`MetadataError::Quarantined`] and a
+    /// degraded (last-good) value reports [`MetadataError::Degraded`].
+    /// For consumers that cannot tolerate staleness; everyone else uses
+    /// [`Self::read`] / [`Self::read_versioned`] and checks
+    /// [`VersionedValue::degraded`] when they care.
+    pub fn read_fresh(&self, key: &MetadataKey) -> Result<VersionedValue> {
+        let handler = self
+            .handler(key)
+            .ok_or_else(|| MetadataError::NotIncluded(key.clone()))?;
+        handler.record_access();
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        if self.is_quarantined(&handler) {
+            return Err(MetadataError::Quarantined(key.clone()));
+        }
+        let v = self.access_handler(&handler);
+        if v.degraded {
+            return Err(MetadataError::Degraded(key.clone()));
+        }
+        Ok(v)
+    }
+
     fn access_handler(&self, handler: &Arc<Handler>) -> VersionedValue {
         if handler.on_demand {
-            let now = self.clock.now();
-            let _guard = handler.compute_lock.lock();
-            let v = self.compute_value(handler, None, now);
-            handler.store_if_changed(v, now);
+            let contained = handler.def.deadline().is_some() || handler.def.fallback().is_some();
+            if !contained {
+                let now = self.clock.now();
+                let _guard = handler.compute_lock.lock();
+                self.refresh_handler(handler, None, now);
+            } else if !self.is_quarantined(handler) {
+                // No-hang guarantee for contained items: if another
+                // consumer is already stuck inside a slow compute, serve
+                // the current (possibly degraded) snapshot instead of
+                // queueing behind it past the deadline.
+                if let Some(_guard) = handler.compute_lock.try_lock() {
+                    let now = self.clock.now();
+                    self.refresh_handler(handler, None, now);
+                }
+            }
         }
-        handler.snapshot()
+        let snapshot = handler.snapshot();
+        if snapshot.degraded {
+            self.stale_serves.fetch_add(1, Ordering::Relaxed);
+        }
+        snapshot
     }
 
     /// Whether `key` currently has a handler. One shard read lock.
@@ -784,6 +931,10 @@ impl MetadataManager {
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
             fast_reads: total_accesses.saturating_sub(key_accesses),
             shard_reads: self.shard_reads.load(Ordering::Relaxed),
+            deadline_overruns: self.deadline_overruns.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            quarantine_trips: self.quarantine_trips.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
         }
     }
 
@@ -873,19 +1024,34 @@ impl MetadataManager {
     // Updates and trigger propagation (Section 3.2.3)
     // ------------------------------------------------------------------
 
+    /// Whether a handler's circuit breaker is currently open. Only items
+    /// with a fallback policy ever pay the containment-lock check.
+    fn is_quarantined(&self, handler: &Handler) -> bool {
+        handler.def.fallback().is_some() && handler.containment.lock().quarantined_until.is_some()
+    }
+
     /// Evaluates a handler's compute function. Panics in user compute
     /// code are contained: the evaluation reports `Unavailable` and the
     /// failure is counted, so one faulty metadata item cannot take down
     /// query processing or leave the framework's locks poisoned (all
-    /// bookkeeping locks are released while user code runs).
-    fn compute_value(
+    /// bookkeeping locks are released while user code runs). An installed
+    /// fault plan is consulted here — inside the containment — and a
+    /// declared deadline is measured against the manager's clock, so
+    /// overruns are detected identically under wall and virtual time.
+    fn compute_raw(
         &self,
         handler: &Arc<Handler>,
         window: Option<TimeSpan>,
         now: Timestamp,
-    ) -> MetadataValue {
+    ) -> ComputeOutcome {
         handler.record_compute();
         self.computes.record();
+        let fault = if self.fault_enabled.load(Ordering::Relaxed) {
+            let plan = self.fault_plan.read().clone();
+            plan.and_then(|p| p.decide(&handler.key).map(|a| (p, a)))
+        } else {
+            None
+        };
         let ctx = EvalCtx {
             now,
             window,
@@ -897,20 +1063,196 @@ impl MetadataManager {
             .profile_latency
             .load(Ordering::Relaxed)
             .then(std::time::Instant::now);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compute(&ctx)));
+        let deadline = handler.def.deadline();
+        let clock_start = deadline.map(|_| self.clock.now());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &fault {
+            Some((_, FaultAction::Panic)) => panic!("injected fault: {}", handler.key),
+            Some((_, FaultAction::Error)) => MetadataValue::Unavailable,
+            Some((plan, FaultAction::Delay(d))) => {
+                plan.delay(*d);
+                compute(&ctx)
+            }
+            None => compute(&ctx),
+        }));
         if let Some(started) = started {
             let ns = started.elapsed().as_nanos().min(i64::MAX as u128) as i64;
             handler.latency.observe(ns);
         }
+        let overran = match (deadline, clock_start) {
+            (Some(budget), Some(t0)) => {
+                let elapsed = self.clock.now().since(t0);
+                if elapsed > budget {
+                    self.deadline_overruns.fetch_add(1, Ordering::Relaxed);
+                    self.trace(|| TraceEvent::DeadlineExceeded {
+                        key: handler.key.clone(),
+                        budget,
+                        elapsed,
+                    });
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
         match result {
-            Ok(v) => v,
+            Ok(v) => ComputeOutcome {
+                value: v,
+                panicked: false,
+                overran,
+            },
             Err(_) => {
                 self.compute_failures.fetch_add(1, Ordering::Relaxed);
                 self.trace(|| TraceEvent::ComputeFailed {
                     key: handler.key.clone(),
                 });
-                MetadataValue::Unavailable
+                ComputeOutcome {
+                    value: MetadataValue::Unavailable,
+                    panicked: true,
+                    overran,
+                }
             }
+        }
+    }
+
+    /// Evaluates and stores one handler, applying its failure-containment
+    /// policy. Returns whether the stored value changed. The caller holds
+    /// the handler's compute lock where required (matching the
+    /// pre-containment call sites); manager-level `updates` accounting
+    /// stays with the caller too.
+    ///
+    /// * No deadline, no policy: exactly the pre-containment behaviour —
+    ///   the result (including `Unavailable` after a panic) is stored.
+    /// * Deadline without policy: overruns are counted and traced, but
+    ///   observation-only — the late result is still stored. Static
+    ///   analysis flags this combination (rule C1).
+    /// * With a policy, a failed evaluation (panic, overrun, or an
+    ///   `Unavailable` result) is discarded: the last good value keeps
+    ///   serving, marked degraded, and the failure feeds the retry /
+    ///   quarantine state machine.
+    fn refresh_handler(
+        &self,
+        handler: &Arc<Handler>,
+        window: Option<TimeSpan>,
+        now: Timestamp,
+    ) -> bool {
+        let deadline = handler.def.deadline();
+        let policy = handler.def.fallback();
+        if deadline.is_none() && policy.is_none() {
+            let out = self.compute_raw(handler, window, now);
+            return handler.store_if_changed(out.value, now);
+        }
+        let out = self.compute_raw(handler, window, now);
+        let failed =
+            out.panicked || (policy.is_some() && (out.overran || !out.value.is_available()));
+        if !failed {
+            if policy.is_some() {
+                let (pending, recovered) = {
+                    let mut st = handler.containment.lock();
+                    st.streak = 0;
+                    st.attempt = 0;
+                    (st.retry_task.take(), st.quarantined_until.take().is_some())
+                };
+                if let Some(task) = pending {
+                    self.periodic.cancel(task);
+                }
+                if recovered {
+                    self.trace(|| TraceEvent::QuarantineRecovered {
+                        key: handler.key.clone(),
+                    });
+                }
+            }
+            return handler.store_if_changed(out.value, now);
+        }
+        let Some(policy) = policy else {
+            // Deadline-only item: observation, not containment.
+            return handler.store_if_changed(out.value, now);
+        };
+        handler.mark_degraded();
+        // Follow-ups are scheduled from the evaluation's *scheduled* time
+        // (`now`), like periodic boundaries — so a coarse virtual-clock
+        // step drives a whole retry chain to completion deterministically.
+        let scheduled_at = now;
+        let mut st = handler.containment.lock();
+        st.streak = st.streak.saturating_add(1);
+        if st.streak >= policy.quarantine_after {
+            let until = scheduled_at + policy.cool_down;
+            st.quarantined_until = Some(until);
+            st.attempt = 0;
+            let task = ContainmentTask {
+                manager: self.self_weak.clone(),
+                key: handler.key.clone(),
+                probe: true,
+            };
+            st.retry_task = Some(
+                self.periodic
+                    .register_once(until, Arc::new(task) as Arc<dyn PeriodicTask>),
+            );
+            drop(st);
+            self.quarantine_trips.fetch_add(1, Ordering::Relaxed);
+            self.trace(|| TraceEvent::QuarantineTripped {
+                key: handler.key.clone(),
+                until,
+            });
+        } else if st.attempt < policy.max_retries {
+            let delay = policy.retry_delay(st.attempt);
+            st.attempt += 1;
+            let attempt = st.attempt;
+            let task = ContainmentTask {
+                manager: self.self_weak.clone(),
+                key: handler.key.clone(),
+                probe: false,
+            };
+            st.retry_task = Some(self.periodic.register_once(
+                scheduled_at + delay,
+                Arc::new(task) as Arc<dyn PeriodicTask>,
+            ));
+            drop(st);
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            self.trace(|| TraceEvent::RetryScheduled {
+                key: handler.key.clone(),
+                attempt,
+                delay,
+            });
+        }
+        false
+    }
+
+    /// A scheduled backoff retry for `key`. Skipped if the item was
+    /// excluded or quarantined in the meantime; a successful retry
+    /// propagates like any other update.
+    fn retry_refresh(&self, key: &MetadataKey, now: Timestamp) {
+        let Some(handler) = self.handler(key) else {
+            return; // excluded between scheduling and firing
+        };
+        if self.is_quarantined(&handler) {
+            return;
+        }
+        let changed = {
+            let _guard = handler.compute_lock.lock();
+            self.refresh_handler(&handler, None, now)
+        };
+        if changed {
+            self.updates.fetch_add(1, Ordering::Relaxed);
+            self.propagate(DepSource::Item(key.clone()), now);
+        }
+    }
+
+    /// The recovery probe at the end of a quarantine cool-down: one
+    /// evaluation while the circuit is still open. Success clears the
+    /// quarantine (inside [`Self::refresh_handler`], which also traces
+    /// the recovery); failure re-trips it for another cool-down.
+    fn quarantine_probe(&self, key: &MetadataKey, now: Timestamp) {
+        let Some(handler) = self.handler(key) else {
+            return;
+        };
+        let changed = {
+            let _guard = handler.compute_lock.lock();
+            self.refresh_handler(&handler, None, now)
+        };
+        if changed {
+            self.updates.fetch_add(1, Ordering::Relaxed);
+            self.propagate(DepSource::Item(key.clone()), now);
         }
     }
 
@@ -919,10 +1261,14 @@ impl MetadataManager {
         let Some(handler) = self.handler(key) else {
             return; // unsubscribed between scheduling and firing
         };
+        if self.is_quarantined(&handler) {
+            // Circuit open: scheduled evaluations stop entirely until the
+            // recovery probe; consumers keep the degraded last-good value.
+            return;
+        }
         let changed = {
             let _guard = handler.compute_lock.lock();
-            let v = self.compute_value(&handler, Some(window), boundary);
-            let changed = handler.store_if_changed(v, boundary);
+            let changed = self.refresh_handler(&handler, Some(window), boundary);
             if changed {
                 self.updates.fetch_add(1, Ordering::Relaxed);
             }
@@ -1013,9 +1359,14 @@ impl MetadataManager {
             if !affected {
                 continue;
             }
+            if self.is_quarantined(&handler) {
+                // Quarantined dependents are not recomputed; they keep
+                // serving their degraded last-good value and do not
+                // propagate further.
+                continue;
+            }
             let _guard = handler.compute_lock.lock();
-            let v = self.compute_value(&handler, None, now);
-            let stored = handler.store_if_changed(v, now);
+            let stored = self.refresh_handler(&handler, None, now);
             if stored {
                 self.updates.fetch_add(1, Ordering::Relaxed);
                 changed.insert(DepSource::Item(handler.key.clone()));
@@ -1095,6 +1446,26 @@ impl PeriodicTask for PeriodicRefresh {
     fn run(&self, fired_at: Timestamp) {
         if let Some(mgr) = self.manager.upgrade() {
             mgr.periodic_refresh(&self.key, fired_at, self.window);
+        }
+    }
+}
+
+/// One-shot containment task: a backoff retry or, at the end of a
+/// quarantine cool-down, the recovery probe.
+struct ContainmentTask {
+    manager: Weak<MetadataManager>,
+    key: MetadataKey,
+    probe: bool,
+}
+
+impl PeriodicTask for ContainmentTask {
+    fn run(&self, fired_at: Timestamp) {
+        if let Some(mgr) = self.manager.upgrade() {
+            if self.probe {
+                mgr.quarantine_probe(&self.key, fired_at);
+            } else {
+                mgr.retry_refresh(&self.key, fired_at);
+            }
         }
     }
 }

@@ -6,7 +6,8 @@
 //! observing. [`MetadataManager::install_meta_node`] attaches a synthetic
 //! node ([`META_NODE`]) whose items describe the manager: handler counts,
 //! compute/update/access totals, the compute rate over a window, trigger
-//! propagation depth, deadline misses, and contained compute failures.
+//! propagation depth, deadline misses, contained compute failures, and the
+//! failure-containment state (retries, quarantined items, stale serves).
 //! Consumers — a profiler's `Recorder`, a load shedder, an optimizer —
 //! subscribe to them through the normal pub-sub API, with the usual
 //! tailored-provision guarantee: nothing is maintained until subscribed.
@@ -82,6 +83,31 @@ impl MetadataManager {
             "meta.compute_failures",
             "contained compute-function panics",
             |m| MetadataValue::U64(m.stats().compute_failures),
+        ));
+        reg.define(stat(
+            "meta.deadline_overruns",
+            "evaluations that overran their declared compute deadline",
+            |m| MetadataValue::U64(m.deadline_overrun_count()),
+        ));
+        reg.define(stat(
+            "meta.retries",
+            "backoff retries scheduled after failed evaluations",
+            |m| MetadataValue::U64(m.retry_count()),
+        ));
+        reg.define(stat(
+            "meta.quarantined",
+            "currently quarantined metadata items",
+            |m| MetadataValue::U64(m.quarantined_count() as u64),
+        ));
+        reg.define(stat(
+            "meta.quarantine_trips",
+            "times the quarantine circuit breaker tripped",
+            |m| MetadataValue::U64(m.quarantine_trip_count()),
+        ));
+        reg.define(stat(
+            "meta.stale_serves",
+            "reads served a degraded (stale last-good) value",
+            |m| MetadataValue::U64(m.stale_serve_count()),
         ));
         reg.define(stat(
             "meta.fast_reads",

@@ -48,7 +48,17 @@ impl NodeRegistry {
         self.items.write().insert(def.path().clone(), def)
     }
 
-    /// Defines several items at once.
+    /// Defines several items at once, replacing any previous definitions
+    /// of the same paths.
+    ///
+    /// Like [`Self::define`], this is the *unguarded* registry-level
+    /// operation: it performs no live-handler check, so a batch that
+    /// replaces an included item silently leaves existing consumers on
+    /// the old semantics while new dependents resolve against the new
+    /// one. Intended for initial registry population (before anything
+    /// subscribes); to replace definitions at runtime use
+    /// [`crate::MetadataManager::redefine_all`], which refuses the whole
+    /// batch if any item in it has a live handler.
     pub fn define_all(&self, defs: impl IntoIterator<Item = ItemDef>) {
         let mut items = self.items.write();
         for def in defs {

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use streammeta_time::Timestamp;
+use streammeta_time::{TimeSpan, Timestamp};
 
 use crate::MetadataKey;
 
@@ -75,6 +75,36 @@ pub enum TraceEvent {
         /// The failing item.
         key: MetadataKey,
     },
+    /// An evaluation overran its declared compute budget.
+    DeadlineExceeded {
+        /// The slow item.
+        key: MetadataKey,
+        /// The declared budget.
+        budget: TimeSpan,
+        /// The measured evaluation time.
+        elapsed: TimeSpan,
+    },
+    /// A failed evaluation scheduled a backoff retry.
+    RetryScheduled {
+        /// The failing item.
+        key: MetadataKey,
+        /// Retry number within the current failure episode (1-based).
+        attempt: u32,
+        /// Delay until the retry fires.
+        delay: TimeSpan,
+    },
+    /// Repeated failures tripped the quarantine circuit breaker.
+    QuarantineTripped {
+        /// The quarantined item.
+        key: MetadataKey,
+        /// When the cool-down ends and the recovery probe runs.
+        until: Timestamp,
+    },
+    /// A quarantined item's recovery probe succeeded.
+    QuarantineRecovered {
+        /// The recovered item.
+        key: MetadataKey,
+    },
 }
 
 impl TraceEvent {
@@ -89,6 +119,10 @@ impl TraceEvent {
             TraceEvent::PropagationStep { .. } => "propagation_step",
             TraceEvent::PeriodicFired { .. } => "periodic_fired",
             TraceEvent::ComputeFailed { .. } => "compute_failed",
+            TraceEvent::DeadlineExceeded { .. } => "deadline_exceeded",
+            TraceEvent::RetryScheduled { .. } => "retry_scheduled",
+            TraceEvent::QuarantineTripped { .. } => "quarantine_tripped",
+            TraceEvent::QuarantineRecovered { .. } => "quarantine_recovered",
         }
     }
 
@@ -101,7 +135,11 @@ impl TraceEvent {
             | TraceEvent::Exclude { key, .. }
             | TraceEvent::PropagationStep { key, .. }
             | TraceEvent::PeriodicFired { key, .. }
-            | TraceEvent::ComputeFailed { key } => key,
+            | TraceEvent::ComputeFailed { key }
+            | TraceEvent::DeadlineExceeded { key, .. }
+            | TraceEvent::RetryScheduled { key, .. }
+            | TraceEvent::QuarantineTripped { key, .. }
+            | TraceEvent::QuarantineRecovered { key } => key,
         }
     }
 }
@@ -138,6 +176,25 @@ impl fmt::Display for TraceEvent {
                 "periodic {key} boundary={boundary} fired_at={fired_at} missed={missed}"
             ),
             TraceEvent::ComputeFailed { key } => write!(f, "compute_failed {key}"),
+            TraceEvent::DeadlineExceeded {
+                key,
+                budget,
+                elapsed,
+            } => write!(
+                f,
+                "deadline_exceeded {key} budget={budget} elapsed={elapsed}"
+            ),
+            TraceEvent::RetryScheduled {
+                key,
+                attempt,
+                delay,
+            } => write!(f, "retry_scheduled {key} attempt={attempt} delay={delay}"),
+            TraceEvent::QuarantineTripped { key, until } => {
+                write!(f, "quarantine_tripped {key} until={until}")
+            }
+            TraceEvent::QuarantineRecovered { key } => {
+                write!(f, "quarantine_recovered {key}")
+            }
         }
     }
 }
@@ -205,9 +262,28 @@ impl TraceRecord {
                 out.push_str(",\"missed\":");
                 out.push_str(if *missed { "true" } else { "false" });
             }
+            TraceEvent::DeadlineExceeded {
+                budget, elapsed, ..
+            } => {
+                out.push_str(",\"budget\":");
+                out.push_str(&budget.units().to_string());
+                out.push_str(",\"elapsed\":");
+                out.push_str(&elapsed.units().to_string());
+            }
+            TraceEvent::RetryScheduled { attempt, delay, .. } => {
+                out.push_str(",\"attempt\":");
+                out.push_str(&attempt.to_string());
+                out.push_str(",\"delay\":");
+                out.push_str(&delay.units().to_string());
+            }
+            TraceEvent::QuarantineTripped { until, .. } => {
+                out.push_str(",\"until\":");
+                out.push_str(&until.units().to_string());
+            }
             TraceEvent::Subscribe { .. }
             | TraceEvent::Unsubscribe { .. }
-            | TraceEvent::ComputeFailed { .. } => {}
+            | TraceEvent::ComputeFailed { .. }
+            | TraceEvent::QuarantineRecovered { .. } => {}
         }
         out.push('}');
         out
@@ -371,6 +447,41 @@ mod tests {
         assert!(lines[0].contains("\"depth\":2"));
         assert!(lines[1].contains("\"boundary\":100"));
         assert!(lines[1].contains("\"missed\":false"));
+    }
+
+    #[test]
+    fn containment_events_render() {
+        let e = TraceEvent::DeadlineExceeded {
+            key: key("rate"),
+            budget: TimeSpan(5),
+            elapsed: TimeSpan(9),
+        };
+        assert_eq!(e.kind(), "deadline_exceeded");
+        let json = rec(0, e).to_json();
+        assert!(json.contains("\"budget\":5"));
+        assert!(json.contains("\"elapsed\":9"));
+
+        let e = TraceEvent::RetryScheduled {
+            key: key("rate"),
+            attempt: 2,
+            delay: TimeSpan(12),
+        };
+        let json = rec(1, e).to_json();
+        assert!(json.contains("\"attempt\":2"));
+        assert!(json.contains("\"delay\":12"));
+
+        let e = TraceEvent::QuarantineTripped {
+            key: key("rate"),
+            until: Timestamp(400),
+        };
+        assert_eq!(format!("{e}"), "quarantine_tripped n1/rate until=400");
+        assert!(rec(2, e).to_json().contains("\"until\":400"));
+
+        let e = TraceEvent::QuarantineRecovered { key: key("rate") };
+        assert_eq!(e.key(), &key("rate"));
+        assert!(rec(3, e)
+            .to_json()
+            .contains("\"event\":\"quarantine_recovered\""));
     }
 
     #[test]

@@ -198,6 +198,12 @@ pub struct VersionedValue {
     pub version: u64,
     /// When the value was last stored.
     pub updated_at: Timestamp,
+    /// The item's compute path is failing (or quarantined) and this is
+    /// the *last good* value, served instead of a fresh one. `false` on
+    /// healthy items. Consumers that cannot tolerate staleness check
+    /// this flag (or use [`crate::MetadataManager::read_fresh`]); the
+    /// staleness bound is explicit via [`Self::staleness`].
+    pub degraded: bool,
 }
 
 impl VersionedValue {
@@ -207,7 +213,15 @@ impl VersionedValue {
             value: MetadataValue::Unavailable,
             version: 0,
             updated_at: Timestamp::ZERO,
+            degraded: false,
         }
+    }
+
+    /// The explicit staleness bound of a degraded value: how long ago the
+    /// last good value was stored. `None` while the item is healthy —
+    /// the value is as fresh as its mechanism promises, not stale.
+    pub fn staleness(&self, now: Timestamp) -> Option<TimeSpan> {
+        self.degraded.then(|| now.since(self.updated_at))
     }
 }
 
@@ -258,5 +272,20 @@ mod tests {
         let v = VersionedValue::unavailable();
         assert_eq!(v.version, 0);
         assert!(!v.value.is_available());
+        assert!(!v.degraded);
+        assert_eq!(v.staleness(Timestamp(100)), None);
+    }
+
+    #[test]
+    fn staleness_bound_only_when_degraded() {
+        let mut v = VersionedValue {
+            value: MetadataValue::U64(7),
+            version: 3,
+            updated_at: Timestamp(40),
+            degraded: false,
+        };
+        assert_eq!(v.staleness(Timestamp(100)), None);
+        v.degraded = true;
+        assert_eq!(v.staleness(Timestamp(100)), Some(TimeSpan(60)));
     }
 }

@@ -1,0 +1,111 @@
+//! Property tests for histogram invariants, driven by a small deterministic
+//! pseudo-random generator (no external property-testing dependency).
+//!
+//! Invariants checked over randomized domains and observation sets:
+//! * every selectivity estimate lies in `[0, 1]`
+//! * `percentile(p)` stays within the configured `[lo, hi]`
+//! * `selectivity_lt` is monotone in `bound`
+//! * `selectivity_lt(i64::MAX)` is exactly 1.0 once anything was observed
+
+use streammeta_core::HistogramMonitor;
+
+/// Minimal xorshift-style generator: deterministic across runs/platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform-ish value in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+}
+
+#[test]
+fn selectivities_stay_in_unit_interval() {
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..50 {
+        let lo = rng.range_i64(-1_000, 1_000);
+        let hi = lo + 1 + rng.below(5_000) as i64;
+        let buckets = 1 + rng.below(32) as usize;
+        let h = HistogramMonitor::new(lo, hi, buckets);
+        h.activation().activate();
+        for _ in 0..200 {
+            // Deliberately observe well outside the domain too.
+            h.observe(rng.range_i64(lo - 2_000, hi + 2_000));
+        }
+        let s = h.snapshot();
+        for _ in 0..50 {
+            let v = rng.range_i64(lo - 3_000, hi + 3_000);
+            let lt = s.selectivity_lt(v).unwrap();
+            assert!((0.0..=1.0).contains(&lt), "selectivity_lt({v}) = {lt}");
+            let eq = s.selectivity_eq(v).unwrap();
+            assert!((0.0..=1.0).contains(&eq), "selectivity_eq({v}) = {eq}");
+        }
+        assert_eq!(s.selectivity_lt(i64::MAX), Some(1.0));
+    }
+}
+
+#[test]
+fn percentile_within_configured_domain() {
+    let mut rng = Rng(0xd1b5_4a32_d192_ed03);
+    for _ in 0..50 {
+        let lo = rng.range_i64(-500, 500);
+        // Spans indivisible by the bucket count are the interesting case.
+        let hi = lo + 1 + rng.below(997) as i64;
+        let buckets = 1 + rng.below(13) as usize;
+        let h = HistogramMonitor::new(lo, hi, buckets);
+        h.activation().activate();
+        for _ in 0..100 {
+            h.observe(rng.range_i64(lo - 100, hi + 100));
+        }
+        let s = h.snapshot();
+        for p in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = s.percentile(p).unwrap();
+            assert!(
+                (lo..=hi).contains(&v),
+                "percentile({p}) = {v} outside [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn selectivity_lt_monotone_in_bound() {
+    let mut rng = Rng(0x853c_49e6_748f_ea9b);
+    for _ in 0..50 {
+        let lo = rng.range_i64(-200, 200);
+        let hi = lo + 1 + rng.below(2_000) as i64;
+        let buckets = 1 + rng.below(16) as usize;
+        let h = HistogramMonitor::new(lo, hi, buckets);
+        h.activation().activate();
+        for _ in 0..150 {
+            h.observe(rng.range_i64(lo - 500, hi + 500));
+        }
+        let s = h.snapshot();
+        let mut bounds: Vec<i64> = (0..40).map(|_| rng.range_i64(lo - 800, hi + 800)).collect();
+        bounds.push(i64::MIN);
+        bounds.push(i64::MAX);
+        bounds.sort_unstable();
+        let mut prev = -1.0;
+        for b in bounds {
+            let sel = s.selectivity_lt(b).unwrap();
+            assert!(
+                sel >= prev - 1e-12,
+                "selectivity_lt not monotone at bound {b}: {sel} < {prev}"
+            );
+            prev = sel;
+        }
+    }
+}

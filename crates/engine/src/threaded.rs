@@ -6,7 +6,7 @@
 //! their own mutexes) while metadata consumers read concurrently through
 //! the manager, and a periodic worker pool fires the due updates.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -23,6 +23,15 @@ struct WorkItem {
     node: NodeId,
     port: usize,
     element: Element,
+}
+
+/// What flows through the work channel: an element delivery, or a
+/// shutdown sentinel. The feeder enqueues one sentinel per worker at the
+/// deadline, which lets workers block on `recv` while idle instead of
+/// polling a stop flag on a timeout.
+enum Work {
+    Item(WorkItem),
+    Shutdown,
 }
 
 /// Counters of one threaded run.
@@ -64,8 +73,7 @@ pub fn run_threaded_with(
     let queue_gauge = probes.map(|p| p.queue_elements.clone());
     let busy_gauge = probes.map(|p| p.busy_workers.clone());
     let processed_counter = probes.map(|p| p.processed.clone());
-    let (tx, rx): (Sender<WorkItem>, Receiver<WorkItem>) = unbounded();
-    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx): (Sender<Work>, Receiver<Work>) = unbounded();
     let processed = Arc::new(AtomicU64::new(0));
     let source_elements = Arc::new(AtomicU64::new(0));
     // Items taken off the channel but not yet fanned back into it. An
@@ -82,7 +90,6 @@ pub fn run_threaded_with(
             let graph = graph.clone();
             let clock = clock.clone();
             let tx = tx.clone();
-            let stop = stop.clone();
             let source_elements = source_elements.clone();
             let queue_gauge = queue_gauge.clone();
             scope.spawn(move || {
@@ -101,11 +108,11 @@ pub fn run_threaded_with(
                         source_elements.fetch_add(buf.len() as u64, Ordering::Relaxed);
                         for e in buf.drain(..) {
                             for (node, port) in graph.downstream(src) {
-                                let _ = tx.send(WorkItem {
+                                let _ = tx.send(Work::Item(WorkItem {
                                     node,
                                     port,
                                     element: e.clone(),
-                                });
+                                }));
                             }
                         }
                     }
@@ -114,7 +121,13 @@ pub fn run_threaded_with(
                     }
                     std::thread::sleep(Duration::from_micros(200));
                 }
-                stop.store(true, Ordering::SeqCst);
+                // A single relayed sentinel: the worker that finds the
+                // run drained re-sends it for the next one before
+                // exiting, so it passes through every worker exactly
+                // once. (One sentinel per worker would livelock: each
+                // worker would see the others' sentinels still queued
+                // and never observe an empty channel.)
+                let _ = tx.send(Work::Shutdown);
             });
         }
         // Workers: process items, fanning results back into the channel.
@@ -123,7 +136,6 @@ pub fn run_threaded_with(
             let clock = clock.clone();
             let rx = rx.clone();
             let tx = tx.clone();
-            let stop = stop.clone();
             let processed = processed.clone();
             let in_flight = in_flight.clone();
             let busy_gauge = busy_gauge.clone();
@@ -131,8 +143,8 @@ pub fn run_threaded_with(
             scope.spawn(move || {
                 let mut out = Vec::new();
                 loop {
-                    match rx.recv_timeout(Duration::from_millis(1)) {
-                        Ok(item) => {
+                    match rx.recv() {
+                        Ok(Work::Item(item)) => {
                             in_flight.fetch_add(1, Ordering::SeqCst);
                             if let Some(g) = &busy_gauge {
                                 g.add(1.0);
@@ -151,11 +163,11 @@ pub fn run_threaded_with(
                             }
                             for e in out.drain(..) {
                                 for (node, port) in graph.downstream(item.node) {
-                                    let _ = tx.send(WorkItem {
+                                    let _ = tx.send(Work::Item(WorkItem {
                                         node,
                                         port,
                                         element: e.clone(),
-                                    });
+                                    }));
                                 }
                             }
                             // Decremented only after the downstream
@@ -167,14 +179,22 @@ pub fn run_threaded_with(
                                 g.add(-1.0);
                             }
                         }
-                        Err(_) => {
-                            if stop.load(Ordering::SeqCst)
-                                && rx.is_empty()
-                                && in_flight.load(Ordering::SeqCst) == 0
-                            {
+                        Ok(Work::Shutdown) => {
+                            if rx.is_empty() && in_flight.load(Ordering::SeqCst) == 0 {
+                                // Drained: relay the sentinel to wake the
+                                // next blocked worker, then exit. The last
+                                // relay is dropped with the channel.
+                                let _ = tx.send(Work::Shutdown);
                                 break;
                             }
+                            // Not drained: a worker mid-`process` is about
+                            // to fan elements back in, or items are still
+                            // queued behind this sentinel. Recirculate it
+                            // and keep draining.
+                            let _ = tx.send(Work::Shutdown);
+                            std::thread::yield_now();
                         }
+                        Err(_) => break, // all senders gone; nothing can arrive
                     }
                 }
             });

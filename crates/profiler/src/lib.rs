@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use streammeta_core::{
-    MetadataKey, MetadataManager, MetadataValue, Result, Subscription, TraceRecord,
+    MetadataKey, MetadataManager, MetadataValue, Result, Subscription, TraceRecord, META_NODE,
 };
 use streammeta_time::Timestamp;
 
@@ -72,6 +72,27 @@ impl Recorder {
             samples: Vec::new(),
         });
         Ok(self.series.len() - 1)
+    }
+
+    /// Tracks the [`META_NODE`] failure-containment counters — retries,
+    /// quarantine trips, currently-quarantined items, stale serves,
+    /// deadline overruns — under `meta_*` labels in one call, for chaos
+    /// experiments and dashboards. Requires the manager's meta node
+    /// (`install_meta_node`) to be installed first. Returns the series
+    /// indices in the order listed above.
+    pub fn track_containment(&mut self) -> Result<[usize; 5]> {
+        let mut out = [0; 5];
+        for (slot, item) in out.iter_mut().zip([
+            "meta.retries",
+            "meta.quarantine_trips",
+            "meta.quarantined",
+            "meta.stale_serves",
+            "meta.deadline_overruns",
+        ]) {
+            let label = format!("meta_{}", &item["meta.".len()..]);
+            *slot = self.track(label, MetadataKey::new(META_NODE, item))?;
+        }
+        Ok(out)
     }
 
     /// Samples every tracked item at the current clock instant.
@@ -349,6 +370,49 @@ mod tests {
             .snapshot()
             .iter()
             .any(|r| matches!(r.event, TraceEvent::Include { depth: 0, .. })));
+    }
+
+    #[test]
+    fn track_containment_follows_the_meta_counters() {
+        use streammeta_core::FallbackPolicy;
+        use streammeta_time::Clock;
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock.clone());
+        let reg = NodeRegistry::new(NodeId(0));
+        reg.define(
+            ItemDef::periodic("flaky", TimeSpan(10))
+                .fallback(FallbackPolicy {
+                    max_retries: 1,
+                    backoff: TimeSpan(2),
+                    quarantine_after: 10,
+                    cool_down: TimeSpan(100),
+                })
+                .compute(|_| panic!("down"))
+                .build(),
+        );
+        mgr.attach_node(reg);
+        mgr.install_meta_node(TimeSpan(10));
+        let mut rec = Recorder::new(mgr.clone());
+        let [retries, trips, quarantined, stale, overruns] = rec.track_containment().unwrap();
+        assert_eq!(rec.label(retries), "meta_retries");
+        assert_eq!(rec.label(trips), "meta_quarantine_trips");
+        assert_eq!(rec.label(quarantined), "meta_quarantined");
+        assert_eq!(rec.label(stale), "meta_stale_serves");
+        assert_eq!(rec.label(overruns), "meta_deadline_overruns");
+        let _sub = mgr.subscribe(MetadataKey::new(NodeId(0), "flaky")).unwrap();
+        clock.advance(TimeSpan(20));
+        mgr.periodic().advance_to(clock.now());
+        rec.sample();
+        // Two boundaries, one retry each: the retry gauge follows the
+        // manager's counter, and the render includes the gauge.
+        assert_eq!(
+            rec.summary(retries).unwrap().max,
+            mgr.stats().retries as f64
+        );
+        assert!(mgr.stats().retries > 0);
+        assert!(rec
+            .render_prometheus()
+            .contains("streammeta_meta_retries{node="));
     }
 
     #[test]

@@ -37,6 +37,8 @@ struct Entry {
     due: Timestamp,
     id: u64,
     period: TimeSpan,
+    /// One-shot entries fire once and are not rescheduled.
+    once: bool,
     task: Arc<dyn PeriodicTask>,
 }
 
@@ -115,6 +117,26 @@ impl PeriodicRegistry {
         task: Arc<dyn PeriodicTask>,
     ) -> TaskId {
         assert!(!period.is_zero(), "periodic task with zero period");
+        self.push(first_due, period, false, task)
+    }
+
+    /// Registers `task` to fire once at `due` and then be forgotten. The
+    /// returned id can still cancel it before it fires. Used for the
+    /// retry/quarantine-probe scheduling of the metadata manager, which
+    /// must be deterministic under a virtual clock — a one-shot entry in
+    /// the same priority queue fires in the same deadline-then-
+    /// registration order as the periodic refreshes.
+    pub fn register_once(&self, due: Timestamp, task: Arc<dyn PeriodicTask>) -> TaskId {
+        self.push(due, TimeSpan::ZERO, true, task)
+    }
+
+    fn push(
+        &self,
+        first_due: Timestamp,
+        period: TimeSpan,
+        once: bool,
+        task: Arc<dyn PeriodicTask>,
+    ) -> TaskId {
         let mut inner = self.inner.lock();
         let id = inner.next_id;
         inner.next_id += 1;
@@ -123,6 +145,7 @@ impl PeriodicRegistry {
             due: first_due,
             id,
             period,
+            once,
             task,
         }));
         drop(inner);
@@ -188,6 +211,10 @@ impl PeriodicRegistry {
             let mut inner = self.inner.lock();
             if inner.cancelled.remove(&entry.id) {
                 // Cancelled from within `run` (or concurrently).
+                continue;
+            }
+            if entry.once {
+                inner.live.remove(&entry.id);
                 continue;
             }
             let next = Entry {
@@ -368,6 +395,83 @@ mod tests {
         );
         reg.advance_to(Timestamp(5));
         assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn one_shot_fires_once_and_is_forgotten() {
+        let reg = PeriodicRegistry::new();
+        let n = Arc::new(AtomicUsize::new(0));
+        reg.register_once(Timestamp(5), counting_task(n.clone()));
+        assert_eq!(reg.live_tasks(), 1);
+        assert_eq!(reg.next_due(), Some(Timestamp(5)));
+        reg.advance_to(Timestamp(20));
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+        assert_eq!(reg.live_tasks(), 0);
+        assert_eq!(reg.next_due(), None);
+        reg.advance_to(Timestamp(100));
+        assert_eq!(n.load(Ordering::SeqCst), 1, "one-shot never refires");
+    }
+
+    #[test]
+    fn one_shot_can_be_cancelled_before_firing() {
+        let reg = PeriodicRegistry::new();
+        let n = Arc::new(AtomicUsize::new(0));
+        let id = reg.register_once(Timestamp(5), counting_task(n.clone()));
+        reg.cancel(id);
+        assert_eq!(reg.live_tasks(), 0);
+        reg.advance_to(Timestamp(20));
+        assert_eq!(n.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn one_shot_interleaves_with_periodic_in_deadline_order() {
+        let reg = Arc::new(PeriodicRegistry::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = order.clone();
+        reg.register(
+            Timestamp(10),
+            TimeSpan(10),
+            Arc::new(move |t: Timestamp| o.lock().push(("periodic", t))),
+        );
+        let o = order.clone();
+        reg.register_once(
+            Timestamp(15),
+            Arc::new(move |t: Timestamp| o.lock().push(("once", t))),
+        );
+        reg.advance_to(Timestamp(30));
+        assert_eq!(
+            *order.lock(),
+            vec![
+                ("periodic", Timestamp(10)),
+                ("once", Timestamp(15)),
+                ("periodic", Timestamp(20)),
+                ("periodic", Timestamp(30)),
+            ]
+        );
+    }
+
+    #[test]
+    fn one_shot_may_register_followups_while_running() {
+        // The backoff pattern: a firing retry schedules the next attempt.
+        let reg = Arc::new(PeriodicRegistry::new());
+        let n = Arc::new(AtomicUsize::new(0));
+        let (r2, n2) = (reg.clone(), n.clone());
+        reg.register_once(
+            Timestamp(1),
+            Arc::new(move |t: Timestamp| {
+                n2.fetch_add(1, Ordering::SeqCst);
+                let n3 = n2.clone();
+                r2.register_once(
+                    t + TimeSpan(2),
+                    Arc::new(move |_t: Timestamp| {
+                        n3.fetch_add(1, Ordering::SeqCst);
+                    }),
+                );
+            }),
+        );
+        reg.advance_to(Timestamp(10));
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+        assert_eq!(reg.live_tasks(), 0);
     }
 
     #[test]

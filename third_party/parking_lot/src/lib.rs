@@ -37,6 +37,18 @@ impl<T: ?Sized> Mutex<T> {
         }
     }
 
+    /// Attempts to acquire the mutex without blocking; `None` if it is
+    /// held by another thread.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Returns a mutable reference to the underlying data.
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
@@ -241,6 +253,17 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_try_lock_contended_and_free() {
+        let m = Mutex::new(5);
+        {
+            let _held = m.lock();
+            assert!(m.try_lock().is_none());
+        }
+        let guard = m.try_lock().expect("uncontended");
+        assert_eq!(*guard, 5);
     }
 
     #[test]
