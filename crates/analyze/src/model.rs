@@ -14,7 +14,9 @@
 
 use std::collections::BTreeMap;
 
-use streammeta_core::{DepSource, ItemDef, Mechanism, MetadataKey, MetadataManager, NodeId};
+use streammeta_core::{
+    DepSource, ItemDef, Mechanism, MetadataKey, MetadataManager, MetadataValue, NodeId,
+};
 use streammeta_time::TimeSpan;
 
 /// The update mechanism of a modelled item, with the period made
@@ -178,6 +180,38 @@ impl GraphModel {
             .collect()
     }
 
+    /// The model's dependency edges rendered as rows of the
+    /// `sys.dependencies` system relation (columns `source`,
+    /// `source_kind`, `dependent`, `role`, `certain` — see
+    /// [`streammeta_core::SystemRelation::Dependencies`]).
+    ///
+    /// This is the *static* view: it covers every defined item, included
+    /// or not, and marks dynamic-resolver alternatives `certain =
+    /// false`. The runtime catalog
+    /// ([`MetadataManager::catalog_rows`]) covers only live handlers and
+    /// knows which alternative each inclusion actually picked; on a
+    /// graph with only fixed dependencies the two views agree row for
+    /// row over the included items (see the parity test).
+    pub fn dependency_rows(&self) -> Vec<Vec<MetadataValue>> {
+        let mut rows = Vec::new();
+        for item in self.items.values() {
+            for edge in &item.deps {
+                let (src, kind) = match &edge.source {
+                    DepSource::Item(k) => (k.to_string(), "item"),
+                    DepSource::Event(e) => (e.to_string(), "event"),
+                };
+                rows.push(vec![
+                    MetadataValue::text(src),
+                    MetadataValue::text(kind),
+                    MetadataValue::text(item.key.to_string()),
+                    MetadataValue::text(&*edge.role),
+                    MetadataValue::Bool(!edge.alternative),
+                ]);
+            }
+        }
+        rows
+    }
+
     /// The keys (transitively) reachable from `root` over item
     /// dependency edges, including `root` itself — the subtree a new
     /// subscription to `root` would include.
@@ -254,6 +288,56 @@ mod tests {
         assert_eq!(model.items[&key].subscribers, 2);
         let pending = GraphModel::extract_with_pending(&mgr, &key);
         assert_eq!(pending.items[&key].subscribers, 3);
+    }
+
+    #[test]
+    fn dependency_rows_agree_with_the_runtime_catalog() {
+        use streammeta_core::SystemRelation;
+        let mgr = manager_with(vec![
+            ItemDef::periodic("rate", TimeSpan(10))
+                .compute(|_| MetadataValue::F64(1.0))
+                .build(),
+            ItemDef::triggered("cost")
+                .dep_local("rate")
+                .compute(|ctx| ctx.dep("rate"))
+                .build(),
+        ]);
+        // Include everything so the runtime relation covers the whole
+        // graph; with only fixed dependencies both views must agree.
+        let _sub = mgr.subscribe(MetadataKey::new(NodeId(0), "cost")).unwrap();
+        let render = |rows: Vec<Vec<MetadataValue>>| -> Vec<String> {
+            let mut v: Vec<String> = rows
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join("|")
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        let static_rows = render(GraphModel::extract(&mgr).dependency_rows());
+        let runtime_rows = render(mgr.catalog_rows(SystemRelation::Dependencies));
+        assert!(!static_rows.is_empty());
+        assert_eq!(static_rows, runtime_rows);
+    }
+
+    #[test]
+    fn dependency_rows_mark_alternatives_uncertain() {
+        let alt = MetadataKey::new(NodeId(0), "b");
+        let mgr = manager_with(vec![
+            ItemDef::static_value("b", 1u64),
+            ItemDef::triggered("a")
+                .dynamic_deps(move |_| vec![Dependency::new("src", DepTarget::Remote(alt.clone()))])
+                .build(),
+        ]);
+        let rows = GraphModel::extract(&mgr).dependency_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1].as_text(), Some("item"));
+        assert_eq!(rows[0][3].as_text(), Some("src"));
+        assert_eq!(rows[0][4].as_bool(), Some(false));
     }
 
     #[test]

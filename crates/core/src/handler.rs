@@ -151,6 +151,9 @@ pub(crate) struct ContainmentState {
     /// While `Some`, the item is quarantined until the instant given and
     /// scheduled evaluations are skipped.
     pub(crate) quarantined_until: Option<Timestamp>,
+    /// Total quarantine entries over the handler's lifetime (never
+    /// reset) — surfaced by the `sys.quarantine` catalog relation.
+    pub(crate) trips: u64,
     /// A pending one-shot retry/probe task, cancelled on success.
     pub(crate) retry_task: Option<TaskId>,
 }

@@ -70,6 +70,7 @@
 
 #![warn(missing_docs)]
 
+mod catalog;
 mod error;
 mod estimators;
 mod fault;
@@ -86,6 +87,7 @@ mod subscription;
 mod trace;
 mod value;
 
+pub use catalog::{RelationColumn, SystemRelation, CATALOG_NODE};
 pub use error::{MetadataError, Result};
 pub use estimators::{Ewma, IntervalRate, OnlineAverage, OnlineVariance, WindowDelta};
 pub use fault::{DelayFn, FaultAction, FaultPlan, FaultSchedule};

@@ -164,6 +164,11 @@ pub struct MetadataManager {
     /// Violations reported by a `Warn`-policy validator, drained by
     /// [`Self::take_validation_warnings`].
     validation_warnings: Mutex<Vec<String>>,
+    /// Ring buffer backing the `sys.trace` catalog relation, installed
+    /// by [`Self::enable_catalog_trace`]. Kept separately from
+    /// `trace_sink` so the catalog can always find it (the trace sink
+    /// slot holds a type-erased `dyn TraceSink`).
+    catalog_trace: RwLock<Option<Arc<crate::trace::RingBufferSink>>>,
     self_weak: Weak<MetadataManager>,
 }
 
@@ -227,6 +232,7 @@ impl MetadataManager {
             profile_latency: AtomicBool::new(false),
             validator: RwLock::new(None),
             validation_warnings: Mutex::new(Vec::new()),
+            catalog_trace: RwLock::new(None),
             self_weak: weak.clone(),
         })
     }
@@ -283,6 +289,33 @@ impl MetadataManager {
     /// node's `meta.computes_rate`).
     pub(crate) fn computes_counter(&self) -> &Arc<Counter> {
         &self.computes
+    }
+
+    /// Installs a bounded ring-buffer trace sink of `capacity` records
+    /// and makes it the manager's trace sink. The returned (and
+    /// internally remembered) buffer backs the `sys.trace` catalog
+    /// relation: its tail is what `catalog_rows(SystemRelation::Trace)`
+    /// materialises. Replaces any previously installed trace sink.
+    pub fn enable_catalog_trace(&self, capacity: usize) -> Arc<crate::trace::RingBufferSink> {
+        let sink = crate::trace::RingBufferSink::new(capacity);
+        *self.catalog_trace.write() = Some(sink.clone());
+        self.set_trace_sink(Some(sink.clone()));
+        sink
+    }
+
+    /// The ring buffer installed by [`Self::enable_catalog_trace`], if
+    /// any.
+    pub fn catalog_trace(&self) -> Option<Arc<crate::trace::RingBufferSink>> {
+        self.catalog_trace.read().clone()
+    }
+
+    /// A stable snapshot of all live handlers, sorted by key — the raw
+    /// material of the catalog relations.
+    pub(crate) fn handlers_snapshot(&self) -> Vec<Arc<Handler>> {
+        let mut handlers: Vec<Arc<Handler>> =
+            self.inner.lock().handlers.values().cloned().collect();
+        handlers.sort_by(|a, b| a.key.cmp(&b.key));
+        handlers
     }
 
     /// A weak self-reference for compute closures of the meta node.
@@ -1179,6 +1212,7 @@ impl MetadataManager {
             let until = scheduled_at + policy.cool_down;
             st.quarantined_until = Some(until);
             st.attempt = 0;
+            st.trips = st.trips.saturating_add(1);
             let task = ContainmentTask {
                 manager: self.self_weak.clone(),
                 key: handler.key.clone(),

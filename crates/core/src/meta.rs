@@ -110,6 +110,14 @@ impl MetadataManager {
             |m| MetadataValue::U64(m.stale_serve_count()),
         ));
         reg.define(stat(
+            "meta.trace_dropped",
+            "records evicted from the catalog trace ring buffer",
+            |m| match m.catalog_trace() {
+                Some(sink) => MetadataValue::U64(sink.dropped()),
+                None => MetadataValue::Unavailable,
+            },
+        ));
+        reg.define(stat(
             "meta.fast_reads",
             "reads served through cached subscription handlers (no manager lock)",
             |m| MetadataValue::U64(m.fast_read_count()),

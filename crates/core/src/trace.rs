@@ -348,6 +348,13 @@ impl RingBufferSink {
         self.buf.lock().iter().cloned().collect()
     }
 
+    /// The most recent `n` retained records, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceRecord> {
+        let buf = self.buf.lock();
+        let skip = buf.len().saturating_sub(n);
+        buf.iter().skip(skip).cloned().collect()
+    }
+
     /// Number of retained records.
     pub fn len(&self) -> usize {
         self.buf.lock().len()

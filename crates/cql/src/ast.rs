@@ -4,12 +4,17 @@
 //! query        := SELECT select_list FROM stream_clause
 //!                 (JOIN stream_clause ON qualified = qualified)?
 //!                 (WHERE predicate (AND predicate)*)?
-//! predicate    := qualified op int
+//! predicate    := qualified op (int | qualified)
 //! select_list  := '*' | aggregate | qualified (',' qualified)*
 //! aggregate    := COUNT '(' '*' ')' | (SUM|AVG|MIN|MAX) '(' qualified ')'
-//! stream_clause:= ident ('[' RANGE int ']')? (AS ident)?
-//! op           := '<' | '='
+//! stream_clause:= stream_name ('[' RANGE int ']')? (AS ident)?
+//! stream_name  := ident ('.' ident)*
+//! op           := '<' | '=' | '>'
 //! ```
+//!
+//! Dotted stream names address the system catalog (`sys.handlers`, …);
+//! a predicate's right-hand side may be another column of the same
+//! scope (`WHERE p99 > period`).
 
 /// A possibly stream-qualified column reference (`price` or `t.price`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,17 +108,28 @@ pub enum CmpOp {
     Lt,
     /// `=`.
     Eq,
+    /// `>`.
+    Gt,
 }
 
-/// The WHERE clause: `column op literal`.
+/// The right-hand side of a WHERE comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredicateRhs {
+    /// An integer literal (`p99 > 100000`).
+    Literal(i64),
+    /// Another column of the same scope (`p99 > period`).
+    Column(ColumnRef),
+}
+
+/// One WHERE comparison: `column op (literal | column)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Predicate {
     /// Compared column.
     pub column: ColumnRef,
     /// Operator.
     pub op: CmpOp,
-    /// Integer literal.
-    pub value: i64,
+    /// Right-hand side.
+    pub rhs: PredicateRhs,
 }
 
 /// The JOIN clause.

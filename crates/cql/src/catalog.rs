@@ -1,0 +1,482 @@
+//! CQL over the framework's own state: the `sys.*` system relations.
+//!
+//! `streammeta-core` materialises the metadata graph as typed relations
+//! ([`SystemRelation`]); this module makes them *queryable* three ways:
+//!
+//! 1. **Stream sources** — [`register_system_sources`] installs one
+//!    graph source per relation, each periodically re-snapshotting its
+//!    relation as a batch of tuples, so ordinary [`crate::compile`] /
+//!    [`crate::install`] queries can range over `sys.handlers` exactly
+//!    like over a data stream.
+//! 2. **One-shot queries** — [`query_once`] evaluates a query directly
+//!    against a relation snapshot, without touching the graph (the
+//!    dashboard/CLI path).
+//! 3. **Continuous queries** — [`install_continuous`] turns a query
+//!    into a periodic metadata item on [`CATALOG_NODE`]; its matches
+//!    re-evaluate on the manager's own update machinery and observers
+//!    fire through normal observer delivery. This is the alerting
+//!    primitive: `SELECT key FROM sys.handlers WHERE p99 > period`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+use streammeta_core::{
+    ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeRegistry, Subscription,
+    SystemRelation, CATALOG_NODE,
+};
+use streammeta_graph::QueryGraph;
+use streammeta_streams::{tuple, Element, Generator, Schema, Value, ValueType};
+use streammeta_time::{TimeSpan, Timestamp};
+
+use crate::ast::{AggFn, CmpOp, PredicateRhs, Query, SelectList};
+use crate::compile::{Catalog, Scope};
+use crate::error::CqlError;
+use crate::parser::parse;
+
+/// The stream schema of a system relation: text-like columns map to
+/// `Str`, flags to `Bool`, everything else (counts, spans, instants) to
+/// `Int`.
+pub fn relation_schema(relation: SystemRelation) -> Schema {
+    Schema::new(relation.columns().iter().map(|c| {
+        let ty = match c.name {
+            "degraded" | "certain" => ValueType::Bool,
+            "key" | "item" | "mechanism" | "source" | "source_kind" | "dependent" | "role"
+            | "state" | "kind" | "detail" => ValueType::Str,
+            _ => ValueType::Int,
+        };
+        streammeta_streams::Field::new(c.name, ty)
+    }))
+}
+
+/// Converts one catalog cell to a stream value. Spans and instants
+/// flatten to their integer time units so predicates can compare them
+/// (`p99 > period`); unavailable cells and histograms become `Null`,
+/// which no comparison matches.
+pub fn cell_to_value(cell: &MetadataValue) -> Value {
+    match cell {
+        MetadataValue::Unavailable | MetadataValue::Histogram(_) => Value::Null,
+        MetadataValue::F64(v) => Value::Float(*v),
+        MetadataValue::I64(v) => Value::Int(*v),
+        MetadataValue::U64(v) => Value::Int(*v as i64),
+        MetadataValue::Bool(b) => Value::Bool(*b),
+        MetadataValue::Text(s) => Value::Str(s.clone()),
+        MetadataValue::Span(s) => Value::Int(s.0 as i64),
+        MetadataValue::Time(t) => Value::Int(t.0 as i64),
+    }
+}
+
+/// Numeric view of a catalog cell for predicate evaluation. Text,
+/// unavailable cells and histograms are non-numeric: predicates over
+/// them never match.
+fn cell_f64(cell: &MetadataValue) -> Option<f64> {
+    match cell {
+        MetadataValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+        other => other.as_f64(),
+    }
+}
+
+/// A live stream source materialising one system relation: every
+/// `refresh` units of manager time it snapshots the relation and emits
+/// its rows as one batch of tuples stamped with the boundary time.
+struct CatalogSource {
+    manager: Weak<MetadataManager>,
+    relation: SystemRelation,
+    schema: Schema,
+    refresh: TimeSpan,
+    next_at: Timestamp,
+    batch: VecDeque<Element>,
+}
+
+impl CatalogSource {
+    fn new(manager: &Arc<MetadataManager>, relation: SystemRelation, refresh: TimeSpan) -> Self {
+        CatalogSource {
+            manager: Arc::downgrade(manager),
+            relation,
+            schema: relation_schema(relation),
+            refresh: TimeSpan(refresh.0.max(1)),
+            next_at: manager.clock().now(),
+            batch: VecDeque::new(),
+        }
+    }
+}
+
+impl Generator for CatalogSource {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_element(&mut self) -> Option<Element> {
+        if let Some(e) = self.batch.pop_front() {
+            return Some(e);
+        }
+        // Manager gone: the relation stream genuinely ends.
+        let manager = self.manager.upgrade()?;
+        let now = manager.clock().now();
+        while self.batch.is_empty() {
+            if self.next_at > now {
+                // Nothing yet — being live, the engine will ask again.
+                return None;
+            }
+            let at = self.next_at;
+            self.next_at = at + self.refresh;
+            for row in manager.catalog_rows(self.relation) {
+                let payload = tuple(row.iter().map(cell_to_value));
+                self.batch.push_back(Element::new(payload, at));
+            }
+        }
+        self.batch.pop_front()
+    }
+
+    fn live(&self) -> bool {
+        true
+    }
+}
+
+/// Attaches `manager` as the catalog's system side: [`query_once`] and
+/// [`install_continuous`] evaluate against its relations.
+pub fn attach_system(catalog: &mut Catalog, manager: Arc<MetadataManager>) {
+    catalog.system = Some(manager);
+}
+
+/// Registers all six `sys.*` relations as live stream sources on
+/// `graph`, refreshed every `refresh` units of manager time, so stream
+/// queries (including joins and windows) can range over them. Requires
+/// [`attach_system`] first; fails with [`CqlError::DuplicateSource`] if
+/// a `sys.*` name is already taken.
+pub fn register_system_sources(
+    graph: &QueryGraph,
+    catalog: &mut Catalog,
+    refresh: TimeSpan,
+) -> Result<(), CqlError> {
+    let manager = catalog
+        .system()
+        .cloned()
+        .ok_or_else(|| CqlError::Compile("attach_system before register_system_sources".into()))?;
+    for relation in SystemRelation::ALL {
+        let src = graph.source(
+            relation.name(),
+            Box::new(CatalogSource::new(&manager, relation, refresh)),
+        );
+        catalog.register(relation.name(), src)?;
+    }
+    Ok(())
+}
+
+/// How a relation query's matched rows project.
+enum PlanOutput {
+    Star,
+    Columns(Vec<usize>),
+    Aggregate { func: AggFn, col: Option<usize> },
+}
+
+/// Right-hand side of one resolved predicate.
+enum RhsIx {
+    Lit(i64),
+    Col(usize),
+}
+
+/// A query resolved against one system relation's schema.
+struct RelationPlan {
+    relation: SystemRelation,
+    predicates: Vec<(usize, CmpOp, RhsIx)>,
+    output: PlanOutput,
+    /// Output column labels.
+    columns: Vec<String>,
+}
+
+impl RelationPlan {
+    fn build(query: &Query) -> Result<RelationPlan, CqlError> {
+        let relation = SystemRelation::by_name(&query.from.stream).ok_or_else(|| {
+            CqlError::Compile(format!("unknown system relation {}", query.from.stream))
+        })?;
+        if query.join.is_some() {
+            return Err(CqlError::Compile(
+                "joins over system relations need stream sources (register_system_sources)".into(),
+            ));
+        }
+        if query.from.range.is_some() {
+            return Err(CqlError::Compile(
+                "RANGE windows do not apply to relation snapshots".into(),
+            ));
+        }
+        let schema = relation_schema(relation);
+        let scope = Scope::single(query.from.binding(), schema.clone());
+        let mut predicates = Vec::new();
+        for pred in &query.predicates {
+            let col = scope.resolve(&pred.column)?;
+            let rhs = match &pred.rhs {
+                PredicateRhs::Literal(v) => RhsIx::Lit(*v),
+                PredicateRhs::Column(c) => RhsIx::Col(scope.resolve(c)?),
+            };
+            predicates.push((col, pred.op, rhs));
+        }
+        let all_names = || {
+            relation
+                .columns()
+                .iter()
+                .map(|c| c.name.to_string())
+                .collect::<Vec<_>>()
+        };
+        let (output, columns) = match &query.select {
+            SelectList::Star => (PlanOutput::Star, all_names()),
+            SelectList::Columns(cols) => {
+                let mut indices = Vec::new();
+                let mut names = Vec::new();
+                for c in cols {
+                    indices.push(scope.resolve(c)?);
+                    names.push(c.column.clone());
+                }
+                (PlanOutput::Columns(indices), names)
+            }
+            SelectList::Aggregate { func, arg } => {
+                let col = match (func, arg) {
+                    (AggFn::Count, None) => None,
+                    (AggFn::Count, Some(_)) | (_, None) => {
+                        return Err(CqlError::Compile("malformed aggregate".into()))
+                    }
+                    (_, Some(c)) => Some(scope.resolve(c)?),
+                };
+                let label = match func {
+                    AggFn::Count => "count",
+                    AggFn::Sum => "sum",
+                    AggFn::Avg => "avg",
+                    AggFn::Min => "min",
+                    AggFn::Max => "max",
+                };
+                (
+                    PlanOutput::Aggregate { func: *func, col },
+                    vec![label.to_string()],
+                )
+            }
+        };
+        Ok(RelationPlan {
+            relation,
+            predicates,
+            output,
+            columns,
+        })
+    }
+
+    fn matches(&self, row: &[MetadataValue]) -> bool {
+        self.predicates.iter().all(|(col, op, rhs)| {
+            let Some(l) = row.get(*col).and_then(cell_f64) else {
+                return false;
+            };
+            let r = match rhs {
+                RhsIx::Lit(v) => Some(*v as f64),
+                RhsIx::Col(j) => row.get(*j).and_then(cell_f64),
+            };
+            let Some(r) = r else { return false };
+            match op {
+                CmpOp::Lt => l < r,
+                CmpOp::Eq => l == r,
+                CmpOp::Gt => l > r,
+            }
+        })
+    }
+
+    /// Filters and projects a relation snapshot.
+    fn evaluate(&self, rows: Vec<Vec<MetadataValue>>) -> Vec<Vec<MetadataValue>> {
+        let matched = rows.into_iter().filter(|r| self.matches(r));
+        match &self.output {
+            PlanOutput::Star => matched.collect(),
+            PlanOutput::Columns(indices) => matched
+                .map(|row| {
+                    indices
+                        .iter()
+                        .map(|&i| row.get(i).cloned().unwrap_or(MetadataValue::Unavailable))
+                        .collect()
+                })
+                .collect(),
+            PlanOutput::Aggregate { func, col } => {
+                let cells: Vec<f64> = match col {
+                    None => matched.map(|_| 1.0).collect(),
+                    Some(i) => matched
+                        .filter_map(|r| r.get(*i).and_then(cell_f64))
+                        .collect(),
+                };
+                let value = match func {
+                    AggFn::Count => Some(cells.len() as f64),
+                    AggFn::Sum => Some(cells.iter().sum()),
+                    AggFn::Avg if cells.is_empty() => None,
+                    AggFn::Avg => Some(cells.iter().sum::<f64>() / cells.len() as f64),
+                    AggFn::Min => cells.iter().copied().reduce(f64::min),
+                    AggFn::Max => cells.iter().copied().reduce(f64::max),
+                };
+                vec![vec![
+                    value.map_or(MetadataValue::Unavailable, MetadataValue::F64)
+                ]]
+            }
+        }
+    }
+}
+
+/// Result of a one-shot relation query: labelled rows of catalog cells.
+#[derive(Debug)]
+pub struct RelationResult {
+    /// Output column labels.
+    pub columns: Vec<String>,
+    /// Matched (and projected) rows.
+    pub rows: Vec<Vec<MetadataValue>>,
+}
+
+/// Evaluates `text` once against the current snapshot of a system
+/// relation — no graph, no continuous execution. The catalog must have
+/// a system side ([`attach_system`]).
+pub fn query_once(catalog: &Catalog, text: &str) -> Result<RelationResult, CqlError> {
+    let query = parse(text)?;
+    let plan = RelationPlan::build(&query)?;
+    let manager = catalog
+        .system()
+        .ok_or_else(|| CqlError::Compile("catalog has no system side (attach_system)".into()))?;
+    let rows = plan.evaluate(manager.catalog_rows(plan.relation));
+    Ok(RelationResult {
+        columns: plan.columns,
+        rows,
+    })
+}
+
+/// Counter naming installed continuous catalog queries (`catalog.q0`,
+/// `catalog.q1`, …) uniquely across the process.
+static NEXT_QUERY: AtomicU64 = AtomicU64::new(0);
+
+/// A continuous query installed over a system relation.
+///
+/// The query lives as a periodic metadata item on [`CATALOG_NODE`]:
+/// every `period` the item re-evaluates the relation snapshot, stores
+/// the matched rows, and publishes a digest value. Because the digest
+/// only changes when the *result set* changes, observers registered via
+/// [`Self::observe`] fire exactly on result transitions — the normal
+/// observer-delivery path of the metadata manager.
+pub struct ContinuousQuery {
+    manager: Arc<MetadataManager>,
+    key: MetadataKey,
+    columns: Vec<String>,
+    matches: Arc<Mutex<Vec<Vec<MetadataValue>>>>,
+    /// Keeps the item included for the query's lifetime.
+    subscription: Subscription,
+}
+
+impl ContinuousQuery {
+    /// The metadata key of the query's item on [`CATALOG_NODE`].
+    pub fn key(&self) -> &MetadataKey {
+        &self.key
+    }
+
+    /// Output column labels.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The rows matched by the most recent evaluation.
+    pub fn matches(&self) -> Vec<Vec<MetadataValue>> {
+        self.matches.lock().expect("matches lock").clone()
+    }
+
+    /// The current digest value (or aggregate result) of the query.
+    pub fn current(&self) -> MetadataValue {
+        self.subscription.get()
+    }
+
+    /// Registers a push observer on the query item: `callback` fires
+    /// through normal observer delivery whenever the result set
+    /// changes. Returns the observing subscription; dropping it
+    /// deregisters the observer.
+    pub fn observe(
+        &self,
+        callback: impl Fn(&streammeta_core::VersionedValue) + Send + Sync + 'static,
+    ) -> Result<Subscription, CqlError> {
+        self.manager
+            .subscribe_with(self.key.clone(), callback)
+            .map_err(|e| CqlError::Compile(format!("observer subscription failed: {e}")))
+    }
+}
+
+impl std::fmt::Debug for ContinuousQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContinuousQuery")
+            .field("key", &self.key)
+            .field("columns", &self.columns)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Installs `text` as a continuous query over a system relation,
+/// re-evaluated every `period` of manager time. See [`ContinuousQuery`].
+pub fn install_continuous(
+    catalog: &Catalog,
+    text: &str,
+    period: TimeSpan,
+) -> Result<ContinuousQuery, CqlError> {
+    let query = parse(text)?;
+    let plan = RelationPlan::build(&query)?;
+    let manager = catalog
+        .system()
+        .cloned()
+        .ok_or_else(|| CqlError::Compile("catalog has no system side (attach_system)".into()))?;
+
+    let registry = match manager.registry(CATALOG_NODE) {
+        Some(r) => r,
+        None => {
+            let r = NodeRegistry::new(CATALOG_NODE);
+            manager.attach_node(r.clone());
+            r
+        }
+    };
+    let path = format!("catalog.q{}", NEXT_QUERY.fetch_add(1, Ordering::Relaxed));
+    let matches: Arc<Mutex<Vec<Vec<MetadataValue>>>> = Arc::new(Mutex::new(Vec::new()));
+    let columns = plan.columns.clone();
+    let aggregate = matches!(plan.output, PlanOutput::Aggregate { .. });
+    let weak = Arc::downgrade(&manager);
+    let matches_w = matches.clone();
+    registry.define(
+        ItemDef::periodic(path.as_str(), period)
+            .doc(format!("continuous catalog query: {text}"))
+            .compute(move |_ctx| {
+                let Some(mgr) = weak.upgrade() else {
+                    return MetadataValue::Unavailable;
+                };
+                let rows = plan.evaluate(mgr.catalog_rows(plan.relation));
+                let value = if aggregate {
+                    rows.first()
+                        .and_then(|r| r.first())
+                        .cloned()
+                        .unwrap_or(MetadataValue::Unavailable)
+                } else {
+                    MetadataValue::text(digest(&rows))
+                };
+                *matches_w.lock().expect("matches lock") = rows;
+                value
+            })
+            .build(),
+    );
+    let key = MetadataKey::new(CATALOG_NODE, path.as_str());
+    let subscription = manager
+        .subscribe(key.clone())
+        .map_err(|e| CqlError::Compile(format!("installing {path} failed: {e}")))?;
+    Ok(ContinuousQuery {
+        manager,
+        key,
+        columns,
+        matches,
+        subscription,
+    })
+}
+
+/// Digest of a result set: row count plus every projected cell, so any
+/// change in the matched rows changes the stored value (and wakes
+/// observers), while identical consecutive evaluations do not.
+fn digest(rows: &[Vec<MetadataValue>]) -> String {
+    let mut out = format!("{} rows", rows.len());
+    for row in rows {
+        out.push(';');
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push('|');
+            }
+            out.push_str(&cell.to_string());
+        }
+    }
+    out
+}

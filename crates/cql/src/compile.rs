@@ -8,20 +8,27 @@
 
 use std::collections::HashMap;
 
-use streammeta_core::NodeId;
+use std::sync::Arc;
+
+use streammeta_core::{MetadataManager, NodeId};
 use streammeta_graph::{
-    AggKind, CollectHandle, FilterPredicate, JoinPredicate, QueryGraph, StateImpl, WindowHandle,
+    AggKind, Cmp, CollectHandle, FilterPredicate, JoinPredicate, QueryGraph, StateImpl,
+    WindowHandle,
 };
 use streammeta_streams::Schema;
 use streammeta_time::TimeSpan;
 
-use crate::ast::{AggFn, CmpOp, ColumnRef, Query, SelectList, StreamClause};
+use crate::ast::{AggFn, CmpOp, ColumnRef, PredicateRhs, Query, SelectList, StreamClause};
 use crate::error::CqlError;
 
 /// Maps stream names to registered source nodes.
 #[derive(Default)]
 pub struct Catalog {
     streams: HashMap<String, NodeId>,
+    /// The manager whose system relations (`sys.*`) this catalog can
+    /// query directly (see [`crate::query_once`]); installed by
+    /// [`crate::attach_system`].
+    pub(crate) system: Option<Arc<MetadataManager>>,
 }
 
 impl Catalog {
@@ -30,9 +37,28 @@ impl Catalog {
         Self::default()
     }
 
-    /// Registers (or replaces) a stream name for a source node.
-    pub fn register(&mut self, name: impl Into<String>, source: NodeId) {
-        self.streams.insert(name.into(), source);
+    /// Registers a stream name for a source node. Refuses to overwrite:
+    /// a name that is already bound yields
+    /// [`CqlError::DuplicateSource`] naming the existing binding, so a
+    /// mis-typed re-registration cannot silently redirect running
+    /// queries. Use [`Self::register_replacing`] for replace semantics.
+    pub fn register(&mut self, name: impl Into<String>, source: NodeId) -> Result<(), CqlError> {
+        let name = name.into();
+        if let Some(&existing) = self.streams.get(&name) {
+            return Err(CqlError::DuplicateSource { name, existing });
+        }
+        self.streams.insert(name, source);
+        Ok(())
+    }
+
+    /// Registers a stream name, replacing any existing binding and
+    /// returning the node the name previously pointed at.
+    pub fn register_replacing(
+        &mut self,
+        name: impl Into<String>,
+        source: NodeId,
+    ) -> Option<NodeId> {
+        self.streams.insert(name.into(), source)
     }
 
     /// Looks a stream up.
@@ -45,6 +71,11 @@ impl Catalog {
         let mut v: Vec<&str> = self.streams.keys().map(String::as_str).collect();
         v.sort();
         v
+    }
+
+    /// The manager attached by [`crate::attach_system`], if any.
+    pub fn system(&self) -> Option<&Arc<MetadataManager>> {
+        self.system.as_ref()
     }
 }
 
@@ -78,13 +109,14 @@ impl std::fmt::Debug for CompiledQuery {
 }
 
 /// Name-resolution scope: one binding per input stream with its column
-/// offset in the (possibly concatenated) schema.
-struct Scope {
+/// offset in the (possibly concatenated) schema. Shared with the
+/// catalog query path, which resolves against relation schemas.
+pub(crate) struct Scope {
     bindings: Vec<(String, Schema, usize)>,
 }
 
 impl Scope {
-    fn single(binding: &str, schema: Schema) -> Self {
+    pub(crate) fn single(binding: &str, schema: Schema) -> Self {
         Scope {
             bindings: vec![(binding.to_owned(), schema, 0)],
         }
@@ -103,7 +135,7 @@ impl Scope {
         Ok(Scope { bindings })
     }
 
-    fn resolve(&self, col: &ColumnRef) -> Result<usize, CqlError> {
+    pub(crate) fn resolve(&self, col: &ColumnRef) -> Result<usize, CqlError> {
         let mut matches = Vec::new();
         for (binding, schema, offset) in &self.bindings {
             if let Some(q) = &col.qualifier {
@@ -205,15 +237,25 @@ pub fn compile(
     let mut filter_node = None;
     for pred in &query.predicates {
         let col = scope.resolve(&pred.column)?;
-        let predicate = match pred.op {
-            CmpOp::Lt => FilterPredicate::AttrLt {
-                col,
-                bound: pred.value,
+        let predicate = match &pred.rhs {
+            PredicateRhs::Literal(value) => match pred.op {
+                CmpOp::Lt => FilterPredicate::AttrLt { col, bound: *value },
+                CmpOp::Eq => FilterPredicate::AttrEq { col, value: *value },
+                CmpOp::Gt => FilterPredicate::AttrGt { col, bound: *value },
             },
-            CmpOp::Eq => FilterPredicate::AttrEq {
-                col,
-                value: pred.value,
-            },
+            PredicateRhs::Column(rhs_col) => {
+                let right = scope.resolve(rhs_col)?;
+                let cmp = match pred.op {
+                    CmpOp::Lt => Cmp::Lt,
+                    CmpOp::Eq => Cmp::Eq,
+                    CmpOp::Gt => Cmp::Gt,
+                };
+                FilterPredicate::AttrCmpCol {
+                    left: col,
+                    right,
+                    cmp,
+                }
+            }
         };
         head = graph.filter(&format!("where-{}", pred.column), head, predicate, 0);
         filter_node = Some(head);

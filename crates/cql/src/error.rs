@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use streammeta_core::NodeId;
+
 /// Errors raised while lexing, parsing or compiling a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CqlError {
@@ -11,6 +13,15 @@ pub enum CqlError {
     Parse(String),
     /// Compilation error (unknown stream/column, type mismatch, …).
     Compile(String),
+    /// [`crate::Catalog::register`] refused to overwrite an existing
+    /// stream name (use [`crate::Catalog::register_replacing`] for
+    /// replace semantics).
+    DuplicateSource {
+        /// The already-registered stream name.
+        name: String,
+        /// The source node the name is currently bound to.
+        existing: NodeId,
+    },
 }
 
 impl CqlError {
@@ -31,6 +42,10 @@ impl fmt::Display for CqlError {
             CqlError::Lex(m) => write!(f, "lex error: {m}"),
             CqlError::Parse(m) => write!(f, "parse error: {m}"),
             CqlError::Compile(m) => write!(f, "compile error: {m}"),
+            CqlError::DuplicateSource { name, existing } => write!(
+                f,
+                "duplicate source: {name} is already registered for node {existing}"
+            ),
         }
     }
 }

@@ -31,18 +31,36 @@
 //! let src = graph.source("s", Box::new(ConstantRate::new(
 //!     Timestamp(0), TimeSpan(10), TupleGen::Sequence, 1)));
 //! let mut catalog = Catalog::new();
-//! catalog.register("s", src);
+//! catalog.register("s", src).unwrap();
 //! let plan = install(&graph, &catalog, "SELECT COUNT(*) FROM s[RANGE 50]").unwrap();
 //! assert_eq!(plan.windows.len(), 1);
 //! ```
+//!
+//! ## Querying the framework itself
+//!
+//! The manager's system catalog (`sys.items`, `sys.handlers`,
+//! `sys.dependencies`, `sys.subscriptions`, `sys.quarantine`,
+//! `sys.trace`) is queryable too: [`attach_system`] binds a manager to
+//! the catalog, [`query_once`] evaluates one-shot snapshot queries,
+//! [`register_system_sources`] exposes the relations as live stream
+//! sources, and [`install_continuous`] installs an alerting query such
+//! as `SELECT key FROM sys.handlers WHERE p99 > period` that fires
+//! through normal observer delivery.
 
 mod ast;
+mod catalog;
 mod compile;
 mod error;
 mod lexer;
 mod parser;
 
-pub use ast::{AggFn, CmpOp, ColumnRef, JoinClause, Predicate, Query, SelectList, StreamClause};
+pub use ast::{
+    AggFn, CmpOp, ColumnRef, JoinClause, Predicate, PredicateRhs, Query, SelectList, StreamClause,
+};
+pub use catalog::{
+    attach_system, cell_to_value, install_continuous, query_once, register_system_sources,
+    relation_schema, ContinuousQuery, RelationResult,
+};
 pub use compile::{compile, install, Catalog, CompiledQuery};
 pub use error::CqlError;
 pub use lexer::{tokenize, Token};

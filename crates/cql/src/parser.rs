@@ -1,6 +1,8 @@
 //! Recursive-descent parser for the CQL subset.
 
-use crate::ast::{AggFn, CmpOp, ColumnRef, JoinClause, Predicate, Query, SelectList, StreamClause};
+use crate::ast::{
+    AggFn, CmpOp, ColumnRef, JoinClause, Predicate, PredicateRhs, Query, SelectList, StreamClause,
+};
 use crate::error::CqlError;
 use crate::lexer::{tokenize, Token};
 
@@ -159,7 +161,13 @@ impl Parser {
     }
 
     fn stream_clause(&mut self) -> Result<StreamClause, CqlError> {
-        let stream = self.ident()?;
+        // Stream names may be dotted (`sys.handlers` addresses the
+        // system catalog); the segments join back into one name.
+        let mut stream = self.ident()?;
+        while self.eat_symbol('.') {
+            stream.push('.');
+            stream.push_str(&self.ident()?);
+        }
         let range = if self.eat_symbol('[') {
             self.expect_keyword("RANGE")?;
             let n = self.int()?;
@@ -188,14 +196,23 @@ impl Parser {
         let op = match self.next() {
             Token::Symbol('<') => CmpOp::Lt,
             Token::Symbol('=') => CmpOp::Eq,
+            Token::Symbol('>') => CmpOp::Gt,
             other => {
                 return Err(CqlError::parse(format!(
-                    "expected '<' or '=', found {other}"
+                    "expected '<', '=' or '>', found {other}"
                 )))
             }
         };
-        let value = self.int()?;
-        Ok(Predicate { column, op, value })
+        let rhs = match self.peek() {
+            Token::Int(_) => PredicateRhs::Literal(self.int()?),
+            Token::Ident(_) => PredicateRhs::Column(self.column_ref()?),
+            other => {
+                return Err(CqlError::parse(format!(
+                    "expected integer or column after comparison, found {other}"
+                )))
+            }
+        };
+        Ok(Predicate { column, op, rhs })
     }
 
     fn column_ref(&mut self) -> Result<ColumnRef, CqlError> {
@@ -238,7 +255,27 @@ mod tests {
         let p = &q.predicates[0];
         assert_eq!(p.column, ColumnRef::qualified("t", "price"));
         assert_eq!(p.op, CmpOp::Lt);
-        assert_eq!(p.value, 100);
+        assert_eq!(p.rhs, PredicateRhs::Literal(100));
+    }
+
+    #[test]
+    fn parses_gt_and_column_rhs() {
+        let q = parse("SELECT key FROM sys.handlers WHERE p99 > period").unwrap();
+        assert_eq!(q.from.stream, "sys.handlers");
+        let p = &q.predicates[0];
+        assert_eq!(p.op, CmpOp::Gt);
+        assert_eq!(p.rhs, PredicateRhs::Column(ColumnRef::bare("period")));
+        let q = parse("SELECT * FROM s WHERE x > 10").unwrap();
+        assert_eq!(q.predicates[0].op, CmpOp::Gt);
+        assert_eq!(q.predicates[0].rhs, PredicateRhs::Literal(10));
+    }
+
+    #[test]
+    fn parses_dotted_stream_names() {
+        let q = parse("SELECT * FROM sys.quarantine AS q WHERE q.trips > 0").unwrap();
+        assert_eq!(q.from.stream, "sys.quarantine");
+        assert_eq!(q.from.binding(), "q");
+        assert!(parse("SELECT * FROM sys.").is_err());
     }
 
     #[test]
@@ -294,7 +331,8 @@ mod tests {
             "FROM s",
             "SELECT",
             "SELECT * FROM",
-            "SELECT * FROM s WHERE x > 1", // '>' unsupported
+            "SELECT * FROM s WHERE x >",   // missing right-hand side
+            "SELECT * FROM s WHERE x > *", // bad right-hand side
             "SELECT * FROM s[RANGE 0]",
             "SELECT * FROM s JOIN t ON a = ",
             "SELECT COUNT(price) FROM s",

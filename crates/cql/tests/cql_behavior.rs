@@ -48,7 +48,7 @@ fn trades(env: &mut Env, name: &str, rows: &[(i64, i64, u64)]) {
     let src = env
         .graph
         .source(name, Box::new(Replay::new(schema, elements)));
-    env.catalog.register(name, src);
+    env.catalog.register(name, src).unwrap();
 }
 
 fn run(env: &Env, until: u64) {
@@ -141,7 +141,7 @@ fn windowed_count_aggregate() {
             1,
         )),
     );
-    e.catalog.register("s", src);
+    e.catalog.register("s", src).unwrap();
     let plan = install(&e.graph, &e.catalog, "SELECT COUNT(*) FROM s[RANGE 30]").unwrap();
     run(&e, 100);
     let rows = plan.results.snapshot();

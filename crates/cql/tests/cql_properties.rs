@@ -3,7 +3,9 @@
 //! parser never panics on arbitrary input.
 
 use proptest::prelude::*;
-use streammeta_cql::{parse, AggFn, CmpOp, ColumnRef, Query, SelectList, StreamClause};
+use streammeta_cql::{
+    parse, AggFn, CmpOp, ColumnRef, PredicateRhs, Query, SelectList, StreamClause,
+};
 
 fn ident() -> impl Strategy<Value = String> {
     // Avoid keywords: prefix with a letter not starting any keyword.
@@ -57,8 +59,11 @@ fn query() -> impl Strategy<Value = Query> {
         proptest::collection::vec(
             (
                 column_ref(),
-                prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Eq)],
-                0i64..1000,
+                prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Eq), Just(CmpOp::Gt)],
+                prop_oneof![
+                    (0i64..1000).prop_map(PredicateRhs::Literal),
+                    column_ref().prop_map(PredicateRhs::Column),
+                ],
             ),
             0..3,
         ),
@@ -69,7 +74,7 @@ fn query() -> impl Strategy<Value = Query> {
             join: join.map(|(stream, l, r)| streammeta_cql::JoinClause { stream, on: (l, r) }),
             predicates: preds
                 .into_iter()
-                .map(|(column, op, value)| streammeta_cql::Predicate { column, op, value })
+                .map(|(column, op, rhs)| streammeta_cql::Predicate { column, op, rhs })
                 .collect(),
         })
 }
@@ -125,9 +130,14 @@ fn render(q: &Query) -> String {
         let op = match p.op {
             CmpOp::Lt => "<",
             CmpOp::Eq => "=",
+            CmpOp::Gt => ">",
         };
         let kw = if i == 0 { "WHERE" } else { "AND" };
-        out.push_str(&format!(" {kw} {} {op} {}", p.column, p.value));
+        let rhs = match &p.rhs {
+            PredicateRhs::Literal(v) => v.to_string(),
+            PredicateRhs::Column(c) => c.to_string(),
+        };
+        out.push_str(&format!(" {kw} {} {op} {}", p.column, rhs));
     }
     out
 }
@@ -167,6 +177,8 @@ proptest! {
                 Just(")".to_string()),
                 Just("<".to_string()),
                 Just("=".to_string()),
+                Just(">".to_string()),
+                Just(".".to_string()),
                 Just("5".to_string()),
                 ident(),
             ],

@@ -669,7 +669,12 @@ impl QueryGraph {
         loop {
             if src.lookahead.is_none() && !src.exhausted {
                 src.lookahead = src.generator.next_element();
+                // A live generator may produce more later; only
+                // non-live generators are latched as exhausted.
                 if src.lookahead.is_none() {
+                    if src.generator.live() {
+                        break;
+                    }
                     src.exhausted = true;
                 }
             }
@@ -692,7 +697,7 @@ impl QueryGraph {
         let mut src = slot.source.as_ref()?.lock();
         if src.lookahead.is_none() && !src.exhausted {
             src.lookahead = src.generator.next_element();
-            if src.lookahead.is_none() {
+            if src.lookahead.is_none() && !src.generator.live() {
                 src.exhausted = true;
             }
         }

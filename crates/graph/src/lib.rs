@@ -31,8 +31,8 @@ pub use items::{
 pub use monitors::NodeMonitors;
 pub use node::{NodeBehavior, NodeKind};
 pub use ops::{
-    AggKind, CollectHandle, CollectSink, CountHandle, CountSink, CountWindowApprox, DiscardSink,
-    Filter, FilterPredicate, HashState, JoinPredicate, JoinState, ListState, MapFn, Project,
-    SelectivityHandle, SharedJoinState, SlidingWindowJoin, StateImpl, TimeWindow, Union,
+    AggKind, Cmp, CollectHandle, CollectSink, CountHandle, CountSink, CountWindowApprox,
+    DiscardSink, Filter, FilterPredicate, HashState, JoinPredicate, JoinState, ListState, MapFn,
+    Project, SelectivityHandle, SharedJoinState, SlidingWindowJoin, StateImpl, TimeWindow, Union,
     WindowAggregate, WindowHandle, HASH_OP_OVERHEAD,
 };

@@ -38,6 +38,17 @@ impl SelectivityHandle {
     }
 }
 
+/// Comparison operator for column-vs-column predicates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cmp {
+    /// Strictly less than.
+    Lt,
+    /// Equal to.
+    Eq,
+    /// Strictly greater than.
+    Gt,
+}
+
 /// Filter predicates.
 #[derive(Clone)]
 pub enum FilterPredicate {
@@ -54,6 +65,22 @@ pub enum FilterPredicate {
         col: usize,
         /// Value to match.
         value: i64,
+    },
+    /// `payload[col] > bound` over integers.
+    AttrGt {
+        /// Column index.
+        col: usize,
+        /// Exclusive lower bound.
+        bound: i64,
+    },
+    /// `payload[left] <cmp> payload[right]` over integers.
+    AttrCmpCol {
+        /// Left-hand column index.
+        left: usize,
+        /// Right-hand column index.
+        right: usize,
+        /// Comparison applied between the two columns.
+        cmp: Cmp,
     },
     /// Passes with the handle's probability (seeded, reproducible).
     Prob(SelectivityHandle),
@@ -88,6 +115,22 @@ impl Filter {
                 .get(*col)
                 .and_then(|v| v.as_int())
                 .is_some_and(|v| v == *value),
+            FilterPredicate::AttrGt { col, bound } => payload
+                .get(*col)
+                .and_then(|v| v.as_int())
+                .is_some_and(|v| v > *bound),
+            FilterPredicate::AttrCmpCol { left, right, cmp } => {
+                let l = payload.get(*left).and_then(|v| v.as_int());
+                let r = payload.get(*right).and_then(|v| v.as_int());
+                match (l, r) {
+                    (Some(l), Some(r)) => match cmp {
+                        Cmp::Lt => l < r,
+                        Cmp::Eq => l == r,
+                        Cmp::Gt => l > r,
+                    },
+                    _ => false,
+                }
+            }
             FilterPredicate::Prob(h) => self.rng.gen::<f64>() < h.get(),
             FilterPredicate::Custom(f) => f(payload),
         }
@@ -148,6 +191,56 @@ mod tests {
         );
         assert!(run(&mut eq, 3));
         assert!(!run(&mut eq, 4));
+        let mut gt = Filter::new(
+            FilterPredicate::AttrGt { col: 0, bound: 5 },
+            Schema::default(),
+            0,
+        );
+        assert!(run(&mut gt, 6));
+        assert!(!run(&mut gt, 5));
+    }
+
+    #[test]
+    fn column_vs_column_predicates() {
+        let run2 = |f: &mut Filter, a: i64, b: i64| {
+            let mut out = Vec::new();
+            f.process(
+                0,
+                &Element::new(tuple([Value::Int(a), Value::Int(b)]), Timestamp(0)),
+                Timestamp(0),
+                &mut out,
+            );
+            !out.is_empty()
+        };
+        for (cmp, lt, eq, gt) in [
+            (Cmp::Lt, true, false, false),
+            (Cmp::Eq, false, true, false),
+            (Cmp::Gt, false, false, true),
+        ] {
+            let mut f = Filter::new(
+                FilterPredicate::AttrCmpCol {
+                    left: 0,
+                    right: 1,
+                    cmp,
+                },
+                Schema::default(),
+                0,
+            );
+            assert_eq!(run2(&mut f, 1, 2), lt, "{cmp:?} on 1<2");
+            assert_eq!(run2(&mut f, 2, 2), eq, "{cmp:?} on 2=2");
+            assert_eq!(run2(&mut f, 3, 2), gt, "{cmp:?} on 3>2");
+        }
+        // A missing column never matches.
+        let mut f = Filter::new(
+            FilterPredicate::AttrCmpCol {
+                left: 0,
+                right: 9,
+                cmp: Cmp::Eq,
+            },
+            Schema::default(),
+            0,
+        );
+        assert!(!run2(&mut f, 1, 1));
     }
 
     #[test]

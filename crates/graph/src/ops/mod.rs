@@ -12,7 +12,7 @@ pub mod window;
 
 pub use aggregate::{AggKind, WindowAggregate};
 pub use count_window::CountWindowApprox;
-pub use filter::{Filter, FilterPredicate, SelectivityHandle};
+pub use filter::{Cmp, Filter, FilterPredicate, SelectivityHandle};
 pub use join::{JoinPredicate, SlidingWindowJoin};
 pub use map::{MapFn, Project};
 pub use sink::{CollectHandle, CollectSink, CountHandle, CountSink, DiscardSink};

@@ -12,7 +12,8 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use streammeta_core::{
-    MetadataKey, MetadataManager, MetadataValue, Result, Subscription, TraceRecord, META_NODE,
+    MetadataKey, MetadataManager, MetadataValue, Result, Subscription, SystemRelation, TraceRecord,
+    META_NODE,
 };
 use streammeta_time::Timestamp;
 
@@ -199,7 +200,9 @@ impl Recorder {
 
     /// The tracked items in Prometheus text exposition format: one gauge
     /// per series with `node`/`item` labels, read at call time (what a
-    /// scrape would see). Non-numeric and unavailable values are skipped.
+    /// scrape would see), followed by the manager-level failure-
+    /// containment counters (`streammeta_manager_*`). Non-numeric and
+    /// unavailable values are skipped.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for s in &self.series {
@@ -216,8 +219,93 @@ impl Recorder {
                 key.node, key.item
             );
         }
+        // Manager-level containment counters are always exported: a
+        // scrape must see them even when nothing subscribes to the
+        // META_NODE items (distinct `streammeta_manager_*` names keep
+        // them from colliding with tracked `streammeta_meta_*` series).
+        let stats = self.manager.stats();
+        let mut counter = |name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter(
+            "streammeta_manager_retries_total",
+            "backoff retries scheduled after failed metadata evaluations",
+            stats.retries,
+        );
+        counter(
+            "streammeta_manager_quarantine_trips_total",
+            "times the quarantine circuit breaker tripped",
+            stats.quarantine_trips,
+        );
+        counter(
+            "streammeta_manager_stale_serves_total",
+            "reads served a degraded (stale last-good) value",
+            stats.stale_serves,
+        );
+        counter(
+            "streammeta_manager_deadline_overruns_total",
+            "metadata computes that exceeded their declared deadline",
+            stats.deadline_overruns,
+        );
+        let quarantined = self.manager.quarantined_count();
+        let _ = writeln!(
+            out,
+            "# HELP streammeta_manager_quarantined items currently quarantined"
+        );
+        let _ = writeln!(out, "# TYPE streammeta_manager_quarantined gauge");
+        let _ = writeln!(out, "streammeta_manager_quarantined {quarantined}");
         out
     }
+}
+
+/// Renders one catalog snapshot (see
+/// [`streammeta_core::MetadataManager::catalog_rows`]) as an aligned,
+/// human-readable table: a header row of the relation's column names, a
+/// rule, then one line per row with every column left-aligned to its
+/// widest cell.
+pub fn render_relation(relation: SystemRelation, rows: &[Vec<MetadataValue>]) -> String {
+    let columns = relation.columns();
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.name.len()).collect();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .map(|(i, cell)| {
+                    // Text cells unquoted: keys and labels read better.
+                    let s = match cell.as_text() {
+                        Some(t) => t.to_string(),
+                        None => cell.to_string(),
+                    };
+                    if let Some(w) = widths.get_mut(i) {
+                        *w = (*w).max(s.len());
+                    }
+                    s
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = format!("{} ({} rows)\n", relation.name(), rows.len());
+    let mut line = |cells: &mut dyn Iterator<Item = &str>| {
+        let mut row = String::new();
+        for (i, cell) in cells.enumerate() {
+            if i > 0 {
+                row.push_str("  ");
+            }
+            let _ = write!(row, "{cell:<width$}", width = widths[i]);
+        }
+        out.push_str(row.trim_end());
+        out.push('\n');
+    };
+    line(&mut columns.iter().map(|c| c.name));
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&mut rule.iter().map(String::as_str));
+    for row in &rendered {
+        line(&mut row.iter().map(String::as_str));
+    }
+    out
 }
 
 /// Sanitizes a series label into a Prometheus metric name
@@ -413,6 +501,89 @@ mod tests {
         assert!(rec
             .render_prometheus()
             .contains("streammeta_meta_retries{node="));
+    }
+
+    #[test]
+    fn prometheus_exports_manager_containment_counters() {
+        use streammeta_core::FallbackPolicy;
+        use streammeta_time::Clock;
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock.clone());
+        let reg = NodeRegistry::new(NodeId(0));
+        reg.define(
+            ItemDef::periodic("flaky", TimeSpan(10))
+                .fallback(FallbackPolicy {
+                    max_retries: 1,
+                    backoff: TimeSpan(2),
+                    quarantine_after: 2,
+                    cool_down: TimeSpan(1000),
+                })
+                .compute(|_| panic!("down"))
+                .build(),
+        );
+        mgr.attach_node(reg);
+        let rec = Recorder::new(mgr.clone());
+        // Counters are exported even with no tracked series at all.
+        let text = rec.render_prometheus();
+        for name in [
+            "streammeta_manager_retries_total",
+            "streammeta_manager_quarantine_trips_total",
+            "streammeta_manager_stale_serves_total",
+            "streammeta_manager_deadline_overruns_total",
+        ] {
+            assert!(text.contains(&format!("# TYPE {name} counter")), "{name}");
+            assert!(text.contains(&format!("\n{name} 0\n")), "{name}");
+        }
+        assert!(text.contains("# TYPE streammeta_manager_quarantined gauge"));
+        assert!(text.contains("\nstreammeta_manager_quarantined 0\n"));
+        // Drive the flaky item into quarantine; the exposition follows.
+        let _sub = mgr.subscribe(MetadataKey::new(NodeId(0), "flaky")).unwrap();
+        clock.advance(TimeSpan(50));
+        mgr.periodic().advance_to(clock.now());
+        let stats = mgr.stats();
+        assert!(stats.retries > 0 && stats.quarantine_trips > 0);
+        let text = rec.render_prometheus();
+        assert!(text.contains(&format!(
+            "streammeta_manager_retries_total {}",
+            stats.retries
+        )));
+        assert!(text.contains(&format!(
+            "streammeta_manager_quarantine_trips_total {}",
+            stats.quarantine_trips
+        )));
+        assert!(text.contains("streammeta_manager_quarantined 1"));
+    }
+
+    #[test]
+    fn relation_rendering_aligns_columns() {
+        use streammeta_time::Clock;
+        let (clock, mgr) = setup();
+        let reg = NodeRegistry::new(NodeId(1));
+        reg.define(
+            ItemDef::periodic("rate", TimeSpan(10))
+                .compute(|_| MetadataValue::F64(1.0))
+                .build(),
+        );
+        mgr.attach_node(reg);
+        let _sub = mgr.subscribe(MetadataKey::new(NodeId(1), "rate")).unwrap();
+        clock.advance(TimeSpan(10));
+        mgr.periodic().advance_to(clock.now());
+        let rows = mgr.catalog_rows(SystemRelation::Handlers);
+        let text = render_relation(SystemRelation::Handlers, &rows);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "sys.handlers (1 rows)");
+        assert!(lines[1].starts_with("key"));
+        assert!(lines[1].contains("subscriptions"));
+        assert!(lines[2].starts_with("---"));
+        assert!(lines[3].starts_with("n1/rate"));
+        // Columns align: "key" and the first cell start at offset 0 and
+        // the second column starts at the same offset in every line.
+        let offset = lines[1].find("node").unwrap();
+        assert!(lines[3][offset..].starts_with('1'), "{:?}", lines[3]);
+        // Empty snapshots still render a header.
+        let empty = render_relation(SystemRelation::Quarantine, &[]);
+        assert!(empty.starts_with("sys.quarantine (0 rows)"));
+        assert!(empty.contains("key  state"));
     }
 
     #[test]

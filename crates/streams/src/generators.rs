@@ -31,6 +31,15 @@ pub trait Generator: Send {
     fn key_cardinality(&self) -> Option<u64> {
         None
     }
+    /// Whether the generator is *live*: a live generator may return
+    /// `None` from [`Self::next_element`] because nothing is available
+    /// *yet* and still produce elements on a later call (e.g. a source
+    /// materialising runtime state as rows). The engine must not latch
+    /// such a source as exhausted. Recorded/synthetic generators are not
+    /// live: their first `None` is the definitive end of the stream.
+    fn live(&self) -> bool {
+        false
+    }
 }
 
 /// Payload generation strategies.

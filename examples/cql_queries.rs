@@ -44,8 +44,8 @@ fn main() {
         )),
     );
     let mut catalog = Catalog::new();
-    catalog.register("trades", trades);
-    catalog.register("quotes", quotes);
+    catalog.register("trades", trades).expect("fresh name");
+    catalog.register("quotes", quotes).expect("fresh name");
 
     // Three continuous queries sharing the registered sources.
     let q1 = install(&graph, &catalog, "SELECT * FROM trades WHERE k0 < 3").expect("q1 compiles");

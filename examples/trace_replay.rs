@@ -37,7 +37,7 @@ fn main() {
     graph.add_value_histogram(trades, 1, 0, 300, 10);
 
     let mut catalog = Catalog::new();
-    catalog.register("trades", trades);
+    catalog.register("trades", trades).expect("fresh name");
     let plan = install(
         &graph,
         &catalog,

@@ -45,7 +45,7 @@ fn setup() -> Soak {
                 i as u64,
             )),
         );
-        catalog.register(*name, src);
+        catalog.register(*name, src).expect("fresh name");
     }
     Soak {
         clock,
