@@ -1,0 +1,346 @@
+//! Model-checks the epoch propagation protocol of
+//! `streammeta-core::manager` with the deterministic interleaving
+//! checker.
+//!
+//! The real code (`enqueue_update` / `flush_pending`) promises three
+//! things. (1) Coalescing: the membership check and the push into the
+//! pending queue happen in one critical section of the queue mutex, so
+//! racing updates of the same source never produce a duplicate batch
+//! entry. (2) No lost updates: a flush extracts *and* clears the batch
+//! in one critical section, so an update enqueued concurrently with a
+//! flush lands either in this batch or in the queue for the next one —
+//! never in neither. (3) Epoch ordering: `flush_serial` is held across
+//! batch extraction, epoch numbering and the sweep, so observers see
+//! epochs in strictly increasing order.
+//!
+//! Each property is checked by exhausting every interleaving of the
+//! correct protocol (no violation) and of a weakened variant that
+//! splits the corresponding critical section (the checker must find the
+//! violating schedule): a split check/push enqueue duplicates a racing
+//! update, a split copy/clear flush loses one, and flushers without the
+//! serial lock deliver epoch N+1 before epoch N.
+
+use streammeta_analyze::interleave::{Explorer, Model};
+
+const A: u8 = 0;
+const B: u8 = 1;
+
+/// Thread programs. Ops that the real code performs inside a single
+/// queue-mutex critical section are one atomic action here; the
+/// weakened variants split them across two.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Op {
+    /// Atomic check-set-and-push under the queue mutex (the correct
+    /// `enqueue_update`).
+    Enqueue(u8),
+    /// Weakened enqueue, step 1: read membership into a register,
+    /// then drop the queue mutex.
+    CheckSet(u8),
+    /// Weakened enqueue, step 2: push based on the stale register.
+    PushStale(u8),
+    /// Wait for and take the flush-serial mutex.
+    LockSerial,
+    UnlockSerial,
+    /// Atomic extract-and-clear of the batch under the queue mutex
+    /// (the correct `flush_pending`). Empty queue = the flush skips.
+    TakeBatch,
+    /// Weakened flush, step 1: copy the batch, drop the queue mutex.
+    CopyBatch,
+    /// Weakened flush, step 2: clear the queue in a second critical
+    /// section.
+    ClearQueue,
+    /// Atomic fetch-add of the epoch counter.
+    AssignEpoch,
+    /// Deliver the batch to observers (record it in sweep order).
+    Sweep,
+}
+
+/// Correct enqueuer: one atomic action under the queue mutex.
+const ENQ_A: &[Op] = &[Op::Enqueue(A)];
+const ENQ_B: &[Op] = &[Op::Enqueue(B)];
+
+/// Weakened enqueuer: membership check and push in separate critical
+/// sections — two racers can both observe "absent".
+const ENQ_A_SPLIT: &[Op] = &[Op::CheckSet(A), Op::PushStale(A)];
+
+/// Correct flusher: batch extraction, numbering and sweep all under
+/// `flush_serial`; extraction itself atomic under the queue mutex.
+const FLUSH: &[Op] = &[
+    Op::LockSerial,
+    Op::TakeBatch,
+    Op::AssignEpoch,
+    Op::Sweep,
+    Op::UnlockSerial,
+];
+
+/// Weakened flusher: the batch is copied and cleared in two separate
+/// queue-mutex sections — an enqueue that lands in between is cleared
+/// without ever being swept.
+const FLUSH_SPLIT: &[Op] = &[
+    Op::LockSerial,
+    Op::CopyBatch,
+    Op::ClearQueue,
+    Op::AssignEpoch,
+    Op::Sweep,
+    Op::UnlockSerial,
+];
+
+/// Weakened flusher: no serial lock — numbering and sweeping are
+/// separate steps, so two flushers can sweep out of epoch order.
+const FLUSH_UNSERIALIZED: &[Op] = &[Op::TakeBatch, Op::AssignEpoch, Op::Sweep];
+
+#[derive(Clone, Debug)]
+struct Thread {
+    program: &'static [Op],
+    pc: usize,
+    /// CheckSet's stale membership read.
+    saw_present: bool,
+    /// The extracted batch (flusher threads).
+    batch: Vec<u8>,
+    /// The assigned epoch number.
+    epoch: u64,
+    /// Set when TakeBatch/CopyBatch found the queue empty: the flush
+    /// skips (the real code returns before numbering an epoch).
+    skip: bool,
+}
+
+impl Thread {
+    fn new(program: &'static [Op]) -> Thread {
+        Thread {
+            program,
+            pc: 0,
+            saw_present: false,
+            batch: Vec::new(),
+            epoch: 0,
+            skip: false,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct EpochQueue {
+    /// The flush-serial mutex.
+    serial_locked: bool,
+    /// Pending origins (queue order) and the dedup set.
+    pending: Vec<u8>,
+    set: Vec<u8>,
+    epoch_counter: u64,
+    /// `(epoch, batch)` in sweep (observer-delivery) order.
+    swept: Vec<(u64, Vec<u8>)>,
+    /// Every origin actually pushed into `pending`, in push order.
+    enqueued: Vec<u8>,
+    threads: Vec<Thread>,
+}
+
+impl EpochQueue {
+    fn new(programs: &[&'static [Op]]) -> EpochQueue {
+        EpochQueue {
+            serial_locked: false,
+            pending: Vec::new(),
+            set: Vec::new(),
+            epoch_counter: 0,
+            swept: Vec::new(),
+            enqueued: Vec::new(),
+            threads: programs.iter().map(|p| Thread::new(p)).collect(),
+        }
+    }
+
+    fn push(&mut self, origin: u8) {
+        self.pending.push(origin);
+        if !self.set.contains(&origin) {
+            self.set.push(origin);
+        }
+        self.enqueued.push(origin);
+    }
+}
+
+fn has_duplicate(items: &[u8]) -> bool {
+    items
+        .iter()
+        .enumerate()
+        .any(|(i, x)| items[..i].contains(x))
+}
+
+impl Model for EpochQueue {
+    fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        let t = &self.threads[tid];
+        t.pc == t.program.len()
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        if self.is_done(tid) {
+            return false;
+        }
+        match self.threads[tid].program[self.threads[tid].pc] {
+            Op::LockSerial => !self.serial_locked,
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, tid: usize) {
+        let op = self.threads[tid].program[self.threads[tid].pc];
+        match op {
+            Op::Enqueue(origin) => {
+                if !self.set.contains(&origin) {
+                    self.push(origin);
+                }
+            }
+            Op::CheckSet(origin) => {
+                let present = self.set.contains(&origin);
+                self.threads[tid].saw_present = present;
+            }
+            Op::PushStale(origin) => {
+                if !self.threads[tid].saw_present {
+                    self.push(origin);
+                }
+            }
+            Op::LockSerial => self.serial_locked = true,
+            Op::UnlockSerial => self.serial_locked = false,
+            Op::TakeBatch => {
+                if self.pending.is_empty() {
+                    self.threads[tid].skip = true;
+                } else {
+                    let batch = std::mem::take(&mut self.pending);
+                    self.set.clear();
+                    self.threads[tid].batch = batch;
+                }
+            }
+            Op::CopyBatch => {
+                if self.pending.is_empty() {
+                    self.threads[tid].skip = true;
+                } else {
+                    let batch = self.pending.clone();
+                    self.threads[tid].batch = batch;
+                }
+            }
+            Op::ClearQueue => {
+                self.pending.clear();
+                self.set.clear();
+            }
+            Op::AssignEpoch => {
+                if !self.threads[tid].skip {
+                    self.epoch_counter += 1;
+                    let epoch = self.epoch_counter;
+                    self.threads[tid].epoch = epoch;
+                }
+            }
+            Op::Sweep => {
+                if !self.threads[tid].skip {
+                    let t = &self.threads[tid];
+                    let record = (t.epoch, t.batch.clone());
+                    self.swept.push(record);
+                }
+            }
+        }
+        self.threads[tid].pc += 1;
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if has_duplicate(&self.pending) {
+            return Err(format!(
+                "duplicate update in the pending queue: {:?}",
+                self.pending
+            ));
+        }
+        for (epoch, batch) in &self.swept {
+            if has_duplicate(batch) {
+                return Err(format!(
+                    "duplicate update inside epoch {epoch}'s batch: {batch:?}"
+                ));
+            }
+        }
+        if let Some(w) = self.swept.windows(2).find(|w| w[0].0 >= w[1].0) {
+            return Err(format!(
+                "observers saw epoch {} delivered after epoch {}",
+                w[1].0, w[0].0
+            ));
+        }
+        if (0..self.thread_count()).all(|t| self.is_done(t)) {
+            // Conservation: every pushed origin is either swept exactly
+            // once or still pending for the next flush.
+            let mut delivered: Vec<u8> = self
+                .swept
+                .iter()
+                .flat_map(|(_, batch)| batch.iter().copied())
+                .chain(self.pending.iter().copied())
+                .collect();
+            let mut expected = self.enqueued.clone();
+            delivered.sort_unstable();
+            expected.sort_unstable();
+            if delivered != expected {
+                return Err(format!(
+                    "lost update: enqueued {expected:?} but swept/pending only {delivered:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Coalescing: two racing enqueues of the same origin and a flush —
+/// the atomic check-set-and-push admits no duplicate in any schedule.
+#[test]
+fn atomic_enqueue_never_duplicates_a_racing_update() {
+    Explorer::with_max_depth(16)
+        .explore(EpochQueue::new(&[ENQ_A, ENQ_A, FLUSH]))
+        .unwrap_or_else(|v| panic!("unexpected violation: {v}"));
+}
+
+/// The weakened enqueue (membership check and push in separate
+/// critical sections) lets both racers observe "absent" and push.
+#[test]
+fn split_enqueue_duplicates_a_racing_update() {
+    let v = Explorer::with_max_depth(16)
+        .explore(EpochQueue::new(&[ENQ_A_SPLIT, ENQ_A_SPLIT, FLUSH]))
+        .expect_err("a split check/push enqueue must admit a duplicate");
+    assert!(v.message.contains("duplicate update"), "{v}");
+    assert!(!v.schedule.is_empty());
+}
+
+/// No lost updates: an enqueue racing a flush lands in this batch or
+/// stays queued for the next — the atomic extract-and-clear admits no
+/// schedule where it vanishes.
+#[test]
+fn atomic_flush_never_loses_a_concurrent_enqueue() {
+    Explorer::with_max_depth(16)
+        .explore(EpochQueue::new(&[ENQ_A, ENQ_B, FLUSH]))
+        .unwrap_or_else(|v| panic!("unexpected violation: {v}"));
+}
+
+/// The weakened flush (copy and clear in separate critical sections)
+/// clears an enqueue that landed in between without sweeping it.
+#[test]
+fn split_flush_loses_a_concurrent_enqueue() {
+    let v = Explorer::with_max_depth(16)
+        .explore(EpochQueue::new(&[ENQ_A, ENQ_B, FLUSH_SPLIT]))
+        .expect_err("a split copy/clear flush must lose a racing enqueue");
+    assert!(v.message.contains("lost update"), "{v}");
+}
+
+/// Epoch ordering: two flushers racing two enqueuers under the serial
+/// lock — no schedule delivers epoch N+1 before epoch N.
+#[test]
+fn serialized_flushes_deliver_epochs_in_order() {
+    Explorer::with_max_depth(24)
+        .explore(EpochQueue::new(&[ENQ_A, ENQ_B, FLUSH, FLUSH]))
+        .unwrap_or_else(|v| panic!("unexpected violation: {v}"));
+}
+
+/// Without the serial lock, one flusher can number its epoch, lose the
+/// race to a later-numbered flusher's sweep, and deliver out of order.
+#[test]
+fn unserialized_flushes_deliver_epochs_out_of_order() {
+    let v = Explorer::with_max_depth(24)
+        .explore(EpochQueue::new(&[
+            ENQ_A,
+            ENQ_B,
+            FLUSH_UNSERIALIZED,
+            FLUSH_UNSERIALIZED,
+        ]))
+        .expect_err("unserialized flushers must admit an out-of-order delivery");
+    assert!(v.message.contains("delivered after"), "{v}");
+}

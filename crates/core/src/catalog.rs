@@ -135,6 +135,10 @@ const HANDLERS_COLUMNS: &[RelationColumn] = &[
     ),
     col("p95", "95th-percentile compute latency (ns)"),
     col("p99", "99th-percentile compute latency (ns)"),
+    col(
+        "epoch",
+        "last epoch flush that recomputed the item (0 = never)",
+    ),
 ];
 
 const DEPENDENCIES_COLUMNS: &[RelationColumn] = &[
@@ -241,6 +245,7 @@ impl MetadataManager {
                         pct(0.50),
                         pct(0.95),
                         pct(0.99),
+                        MetadataValue::U64(h.last_epoch()),
                     ]);
                     row
                 })
@@ -345,7 +350,9 @@ impl MetadataManager {
                             MetadataValue::U64(rec.seq),
                             MetadataValue::Time(rec.at),
                             MetadataValue::text(rec.event.kind()),
-                            MetadataValue::text(rec.event.key().to_string()),
+                            rec.event.key().map_or(MetadataValue::Unavailable, |k| {
+                                MetadataValue::text(k.to_string())
+                            }),
                             MetadataValue::text(rec.event.to_string()),
                         ]
                     })

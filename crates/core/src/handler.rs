@@ -202,6 +202,9 @@ pub(crate) struct Handler {
     accesses: AtomicU64,
     updates: AtomicU64,
     computes: AtomicU64,
+    /// Id of the last epoch flush that recomputed this item (0 = never
+    /// swept in epoch mode) — surfaced by the `sys.handlers` relation.
+    last_epoch: AtomicU64,
     /// Compute-latency distribution in nanoseconds. Observed only while
     /// the manager's latency profiling switch is on.
     pub(crate) latency: Arc<HistogramMonitor>,
@@ -227,6 +230,7 @@ impl Handler {
             accesses: AtomicU64::new(0),
             updates: AtomicU64::new(0),
             computes: AtomicU64::new(0),
+            last_epoch: AtomicU64::new(0),
             latency: {
                 let h = HistogramMonitor::new(0, LATENCY_HI_NS, LATENCY_BUCKETS);
                 // The manager's profiling flag is the real gate; the
@@ -354,6 +358,16 @@ impl Handler {
 
     pub(crate) fn compute_count(&self) -> u64 {
         self.computes.load(Ordering::Relaxed)
+    }
+
+    /// Records that epoch `epoch` recomputed this item.
+    pub(crate) fn note_epoch(&self, epoch: u64) {
+        self.last_epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// The last epoch flush that recomputed this item (0 = never).
+    pub(crate) fn last_epoch(&self) -> u64 {
+        self.last_epoch.load(Ordering::Relaxed)
     }
 }
 

@@ -98,7 +98,9 @@ pub use item::{
     HookFn, ItemDef, ItemDefBuilder, Mechanism, ResolveCtx, ResolvedDep,
 };
 pub use key::{EventKey, ItemPath, MetadataKey, NodeId};
-pub use manager::{ManagerStats, MetadataManager, ValidationPolicy, ValidatorFn};
+pub use manager::{
+    EpochConfig, ManagerStats, MetadataManager, PropagationMode, ValidationPolicy, ValidatorFn,
+};
 pub use meta::META_NODE;
 pub use monitor::{Counter, Gauge};
 pub use registry::{MetadataModule, NodeRegistry, RegistryScope};

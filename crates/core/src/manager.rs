@@ -71,6 +71,60 @@ struct ComputeOutcome {
     overran: bool,
 }
 
+/// Configuration of the epoch (batch) propagation mode: updates are
+/// queued and coalesced instead of swept one event at a time.
+///
+/// An epoch flushes when either bound is reached:
+///
+/// * `max_batch` distinct pending sources — flushed synchronously by the
+///   enqueueing thread;
+/// * the oldest pending update has waited `max_delay` — flushed by
+///   whoever drives [`MetadataManager::flush_epoch_if_due`] (both
+///   executors do, once per tick / feeder iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochConfig {
+    /// Distinct pending sources that force a synchronous flush.
+    pub max_batch: usize,
+    /// Maximum time a pending update may wait before
+    /// [`MetadataManager::flush_epoch_if_due`] flushes the epoch.
+    /// `TimeSpan::ZERO` means "flush on the next tick".
+    pub max_delay: TimeSpan,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        EpochConfig {
+            max_batch: 64,
+            max_delay: TimeSpan::ZERO,
+        }
+    }
+}
+
+/// How source updates reach their triggered dependents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PropagationMode {
+    /// Every `fire_event` / `notify_changed` / periodic change runs its
+    /// own propagation sweep immediately (the default).
+    #[default]
+    PerEvent,
+    /// Updates are queued and coalesced into epochs; each epoch computes
+    /// the union of the affected subgraphs under one bookkeeping-lock
+    /// snapshot and recomputes every downstream item at most once.
+    Epoch(EpochConfig),
+}
+
+/// The pending-update queue of the epoch propagation mode. `pending`
+/// keeps arrival order (origins seed the changed-set in order), the set
+/// deduplicates, and `first_enqueued` drives the time-slice flush.
+#[derive(Default)]
+struct EpochQueue {
+    config: EpochConfig,
+    enabled: bool,
+    pending: Vec<DepSource>,
+    pending_set: HashSet<DepSource>,
+    first_enqueued: Option<Timestamp>,
+}
+
 /// Aggregate counters of the manager, used by the scalability experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ManagerStats {
@@ -106,6 +160,11 @@ pub struct ManagerStats {
     pub quarantine_trips: u64,
     /// Reads that were served a degraded (stale last-good) value.
     pub stale_serves: u64,
+    /// Epoch flushes performed in epoch propagation mode.
+    pub epochs: u64,
+    /// Source updates absorbed into an already-pending epoch entry
+    /// (duplicate origins coalesced away before the sweep).
+    pub coalesced_updates: u64,
 }
 
 /// The central coordinator of dynamic metadata management.
@@ -147,9 +206,27 @@ pub struct MetadataManager {
     /// one relaxed load per evaluation when no plan is installed.
     fault_enabled: AtomicBool,
     fault_plan: RwLock<Option<Arc<FaultPlan>>>,
-    /// BFS depth of the deepest handler recomputed in the last
-    /// propagation round.
+    /// High-water BFS depth over recent propagation rounds. A monotonic
+    /// `fetch_max` per round (not a plain store): concurrent rounds must
+    /// not let a shallow round overwrite a deeper concurrent one. Reset
+    /// per observation window via [`Self::take_propagation_depth`].
     last_propagation_depth: AtomicU64,
+    /// Gates the epoch propagation mode the same way `trace_enabled`
+    /// gates tracing: one relaxed load per `propagate` call when the
+    /// default per-event mode is active.
+    epoch_enabled: AtomicBool,
+    /// Pending-update queue of the epoch mode (holds the config too, so
+    /// mode switches and flush decisions are consistent under one lock).
+    epoch_queue: Mutex<EpochQueue>,
+    /// Serializes epoch sweeps: epoch N+1's observer notifications cannot
+    /// start before epoch N's sweep finished, and epoch ids are assigned
+    /// in delivery order. Ordered *before* `inner` (a flush holds it
+    /// while taking the phase-1 snapshot); never held while `epoch_queue`
+    /// is taken by enqueuers, so enqueues stay wait-free with respect to
+    /// a running sweep.
+    flush_serial: Mutex<()>,
+    epochs: AtomicU64,
+    coalesced_updates: AtomicU64,
     /// Trace bus: a single relaxed load gates every emission site, so an
     /// uninstalled sink costs (close to) nothing on the hot paths.
     trace_enabled: AtomicBool,
@@ -226,6 +303,11 @@ impl MetadataManager {
             fault_enabled: AtomicBool::new(false),
             fault_plan: RwLock::new(None),
             last_propagation_depth: AtomicU64::new(0),
+            epoch_enabled: AtomicBool::new(false),
+            epoch_queue: Mutex::new(EpochQueue::default()),
+            flush_serial: Mutex::new(()),
+            epochs: AtomicU64::new(0),
+            coalesced_updates: AtomicU64::new(0),
             trace_enabled: AtomicBool::new(false),
             trace_sink: RwLock::new(None),
             trace_seq: AtomicU64::new(0),
@@ -383,10 +465,20 @@ impl MetadataManager {
         self.handler(key).is_some_and(|h| self.is_quarantined(&h))
     }
 
-    /// BFS depth of the deepest handler recomputed by the most recent
-    /// trigger-propagation round (0 if the round reached nothing).
+    /// High-water BFS depth of trigger propagation: the deepest handler
+    /// recomputed by any round since the last
+    /// [`Self::take_propagation_depth`] (0 if no round reached anything).
+    /// A monotonic max, so concurrent rounds cannot make the gauge
+    /// report a stale shallow round over a live deep one.
     pub fn last_propagation_depth(&self) -> u64 {
         self.last_propagation_depth.load(Ordering::Relaxed)
+    }
+
+    /// Reads and resets the propagation-depth high-water mark — the
+    /// "per observation window" part of the gauge: a poller gets the max
+    /// depth since its previous call.
+    pub fn take_propagation_depth(&self) -> u64 {
+        self.last_propagation_depth.swap(0, Ordering::Relaxed)
     }
 
     /// The manager's clock.
@@ -968,6 +1060,8 @@ impl MetadataManager {
             retries: self.retries.load(Ordering::Relaxed),
             quarantine_trips: self.quarantine_trips.load(Ordering::Relaxed),
             stale_serves: self.stale_serves.load(Ordering::Relaxed),
+            epochs: self.epochs.load(Ordering::Relaxed),
+            coalesced_updates: self.coalesced_updates.load(Ordering::Relaxed),
         }
     }
 
@@ -1344,21 +1438,168 @@ impl MetadataManager {
         self.propagate(DepSource::Item(key), now);
     }
 
+    // ------------------------------------------------------------------
+    // Epoch (batch) propagation mode
+    // ------------------------------------------------------------------
+
+    /// Switches between per-event and epoch propagation. Entering epoch
+    /// mode affects `fire_event` / `notify_changed` / periodic changes
+    /// from here on; leaving it first flushes whatever is pending, so no
+    /// queued update is lost by the switch.
+    pub fn set_propagation_mode(&self, mode: PropagationMode) {
+        match mode {
+            PropagationMode::PerEvent => {
+                {
+                    let mut q = self.epoch_queue.lock();
+                    q.enabled = false;
+                }
+                self.epoch_enabled.store(false, Ordering::Relaxed);
+                // Drain anything enqueued before the switch.
+                self.flush_epoch();
+            }
+            PropagationMode::Epoch(config) => {
+                let mut q = self.epoch_queue.lock();
+                q.config = config;
+                q.enabled = true;
+                drop(q);
+                self.epoch_enabled.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The currently active propagation mode.
+    pub fn propagation_mode(&self) -> PropagationMode {
+        let q = self.epoch_queue.lock();
+        if q.enabled {
+            PropagationMode::Epoch(q.config)
+        } else {
+            PropagationMode::PerEvent
+        }
+    }
+
+    /// Epoch flushes performed so far (0 in per-event mode).
+    pub fn epoch_count(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Source updates absorbed into an already-pending epoch entry.
+    pub fn coalesced_update_count(&self) -> u64 {
+        self.coalesced_updates.load(Ordering::Relaxed)
+    }
+
+    /// Distinct source updates currently queued for the next epoch.
+    pub fn pending_update_count(&self) -> usize {
+        self.epoch_queue.lock().pending.len()
+    }
+
+    /// Unconditionally flushes the pending epoch (shutdown drains, mode
+    /// switches, tests). Returns the number of origins swept; 0 when
+    /// nothing was pending.
+    pub fn flush_epoch(&self) -> usize {
+        self.flush_pending(None)
+    }
+
+    /// Flushes the pending epoch if its oldest update has waited at
+    /// least the configured `max_delay` by `now`. The executors call
+    /// this once per tick (virtual) / feeder iteration (threaded), which
+    /// makes `max_delay` the epoch's time-slice bound. Returns the
+    /// number of origins swept.
+    pub fn flush_epoch_if_due(&self, now: Timestamp) -> usize {
+        self.flush_pending(Some(now))
+    }
+
+    /// Queues one source update for the next epoch. Duplicate origins
+    /// coalesce (counted, not re-queued); reaching `max_batch` distinct
+    /// origins flushes synchronously on this thread. Returns `false` if
+    /// epoch mode was switched off concurrently — the caller then falls
+    /// back to an immediate per-event sweep.
+    fn enqueue_update(&self, origin: DepSource, now: Timestamp) -> bool {
+        let full = {
+            let mut q = self.epoch_queue.lock();
+            if !q.enabled {
+                return false;
+            }
+            if q.pending_set.insert(origin.clone()) {
+                q.pending.push(origin);
+                if q.first_enqueued.is_none() {
+                    q.first_enqueued = Some(now);
+                }
+            } else {
+                self.coalesced_updates.fetch_add(1, Ordering::Relaxed);
+            }
+            q.pending.len() >= q.config.max_batch
+        };
+        if full {
+            self.flush_pending(None);
+        }
+        true
+    }
+
+    /// Takes the pending batch (under `flush_serial`, so batches are
+    /// numbered and delivered in order) and sweeps it as one epoch.
+    /// `due_at: Some(now)` only flushes when the oldest pending update
+    /// has aged past `max_delay`; `None` flushes unconditionally.
+    fn flush_pending(&self, due_at: Option<Timestamp>) -> usize {
+        let serial = self.flush_serial.lock();
+        let origins = {
+            let mut q = self.epoch_queue.lock();
+            if q.pending.is_empty() {
+                return 0;
+            }
+            if let Some(now) = due_at {
+                let due = q
+                    .first_enqueued
+                    .is_some_and(|t0| now.since(t0) >= q.config.max_delay);
+                if !due {
+                    return 0;
+                }
+            }
+            q.pending_set.clear();
+            q.first_enqueued = None;
+            std::mem::take(&mut q.pending)
+        };
+        let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
+        let swept = origins.len();
+        let stats = self.sweep(&origins, Some(epoch));
+        drop(serial);
+        self.trace(|| TraceEvent::EpochFlushed {
+            epoch,
+            origins: swept,
+            recomputed: stats.recomputed,
+            max_depth: stats.max_depth,
+        });
+        swept
+    }
+
     /// Recomputes all triggered items transitively reachable from `origin`
-    /// over the inverted dependency graph. Items are processed in
-    /// topological order of their dependencies, each at most once per
-    /// round; an item only recomputes if one of its sources actually
-    /// changed, and only propagates further if its own value changed.
+    /// over the inverted dependency graph — immediately in per-event mode,
+    /// via the coalescing queue in epoch mode.
     fn propagate(&self, origin: DepSource, now: Timestamp) {
+        if self.epoch_enabled.load(Ordering::Relaxed) && self.enqueue_update(origin.clone(), now) {
+            return;
+        }
+        self.sweep(std::slice::from_ref(&origin), None);
+    }
+
+    /// One propagation round over the union of the subgraphs reachable
+    /// from `origins`. Items are processed in topological order of their
+    /// dependencies, each at most once per round; an item only recomputes
+    /// if one of its sources actually changed, and only propagates
+    /// further if its own value changed, so each item delivers at most
+    /// one observer notification per round.
+    fn sweep(&self, origins: &[DepSource], epoch: Option<u64>) -> SweepStats {
         let round = self.propagations.fetch_add(1, Ordering::Relaxed) + 1;
-        // Phase 1: snapshot the affected subgraph, remembering each item's
-        // BFS distance from the origin for the trace.
+        // Phase 1: snapshot the affected subgraph under one bookkeeping
+        // lock, remembering each item's BFS distance from the nearest
+        // origin for the trace.
         let (plan, depths) = {
             let inner = self.inner.lock();
             let mut reach: BTreeMap<MetadataKey, Arc<Handler>> = BTreeMap::new();
             let mut depths: HashMap<MetadataKey, usize> = HashMap::new();
             let mut frontier: VecDeque<(DepSource, usize)> = VecDeque::new();
-            frontier.push_back((origin.clone(), 0));
+            for origin in origins {
+                frontier.push_back((origin.clone(), 0));
+            }
             while let Some((src, depth)) = frontier.pop_front() {
                 if let Some(deps) = inner.dependents.get(&src) {
                     for key in deps {
@@ -1382,15 +1623,26 @@ impl MetadataManager {
             (topo_order(reach), depths)
         };
         // Phase 2: recompute outside the bookkeeping lock.
-        let mut changed: HashSet<DepSource> = HashSet::new();
-        changed.insert(origin);
-        let mut max_depth = 0usize;
+        let mut changed: HashSet<DepSource> = origins.iter().cloned().collect();
+        let mut stats = SweepStats::default();
         for handler in plan {
             let affected = handler
                 .resolved_deps
                 .iter()
                 .any(|d| changed.contains(&d.source));
             if !affected {
+                continue;
+            }
+            // The snapshot is stale by the time phase 2 runs: the handler
+            // may have been excluded (and the key possibly re-included as
+            // a fresh handler) since phase 1. Recomputing the dead
+            // handler would resurrect a removed item's value, so re-check
+            // identity against the live registry before touching it.
+            let live = self
+                .shards
+                .get(&handler.key)
+                .is_some_and(|current| Arc::ptr_eq(&current, &handler));
+            if !live {
                 continue;
             }
             if self.is_quarantined(&handler) {
@@ -1400,13 +1652,22 @@ impl MetadataManager {
                 continue;
             }
             let _guard = handler.compute_lock.lock();
-            let stored = self.refresh_handler(&handler, None, now);
+            // Each refresh is stamped at its own compute time, not at the
+            // instant the sweep started: deep-chain recomputes finish
+            // later, and stamping them all at the sweep start would
+            // understate `staleness()` for everything below depth 1.
+            let at = self.clock.now();
+            let stored = self.refresh_handler(&handler, None, at);
+            stats.recomputed += 1;
+            if let Some(epoch) = epoch {
+                handler.note_epoch(epoch);
+            }
             if stored {
                 self.updates.fetch_add(1, Ordering::Relaxed);
                 changed.insert(DepSource::Item(handler.key.clone()));
             }
             let depth = depths.get(&handler.key).copied().unwrap_or(0);
-            max_depth = max_depth.max(depth);
+            stats.max_depth = stats.max_depth.max(depth);
             self.trace(|| TraceEvent::PropagationStep {
                 round,
                 key: handler.key.clone(),
@@ -1414,9 +1675,19 @@ impl MetadataManager {
                 changed: stored,
             });
         }
+        // Monotonic max, not a store: a concurrent shallow round must not
+        // overwrite a deeper round within the same observation window.
         self.last_propagation_depth
-            .store(max_depth as u64, Ordering::Relaxed);
+            .fetch_max(stats.max_depth as u64, Ordering::Relaxed);
+        stats
     }
+}
+
+/// What one propagation sweep did (per-event round or epoch flush).
+#[derive(Default, Clone, Copy)]
+struct SweepStats {
+    recomputed: usize,
+    max_depth: usize,
 }
 
 /// Sorts the affected handlers so every handler appears after all of its

@@ -71,8 +71,18 @@ impl MetadataManager {
         ));
         reg.define(stat(
             "meta.propagation_depth",
-            "BFS depth of the last propagation round",
+            "high-water BFS depth of recent propagation rounds",
             |m| MetadataValue::U64(m.last_propagation_depth()),
+        ));
+        reg.define(stat(
+            "meta.epochs",
+            "epoch flushes performed in epoch propagation mode",
+            |m| MetadataValue::U64(m.epoch_count()),
+        ));
+        reg.define(stat(
+            "meta.coalesced_updates",
+            "source updates coalesced into an already-pending epoch",
+            |m| MetadataValue::U64(m.coalesced_update_count()),
         ));
         reg.define(stat(
             "meta.deadline_misses",

@@ -105,6 +105,19 @@ pub enum TraceEvent {
         /// The recovered item.
         key: MetadataKey,
     },
+    /// An epoch flush swept a batch of coalesced source updates
+    /// (epoch propagation mode only; the per-item recomputations still
+    /// emit their own [`TraceEvent::PropagationStep`] records).
+    EpochFlushed {
+        /// Identifier of the epoch (monotone per manager).
+        epoch: u64,
+        /// Distinct source updates swept by this epoch.
+        origins: usize,
+        /// Handlers recomputed by the sweep.
+        recomputed: usize,
+        /// Deepest recomputed handler's BFS distance from its origin.
+        max_depth: usize,
+    },
 }
 
 impl TraceEvent {
@@ -123,11 +136,13 @@ impl TraceEvent {
             TraceEvent::RetryScheduled { .. } => "retry_scheduled",
             TraceEvent::QuarantineTripped { .. } => "quarantine_tripped",
             TraceEvent::QuarantineRecovered { .. } => "quarantine_recovered",
+            TraceEvent::EpochFlushed { .. } => "epoch_flushed",
         }
     }
 
-    /// The item the event concerns.
-    pub fn key(&self) -> &MetadataKey {
+    /// The item the event concerns, if any (manager-wide events like
+    /// [`TraceEvent::EpochFlushed`] have none).
+    pub fn key(&self) -> Option<&MetadataKey> {
         match self {
             TraceEvent::Subscribe { key }
             | TraceEvent::Unsubscribe { key }
@@ -139,7 +154,8 @@ impl TraceEvent {
             | TraceEvent::DeadlineExceeded { key, .. }
             | TraceEvent::RetryScheduled { key, .. }
             | TraceEvent::QuarantineTripped { key, .. }
-            | TraceEvent::QuarantineRecovered { key } => key,
+            | TraceEvent::QuarantineRecovered { key } => Some(key),
+            TraceEvent::EpochFlushed { .. } => None,
         }
     }
 }
@@ -195,6 +211,15 @@ impl fmt::Display for TraceEvent {
             TraceEvent::QuarantineRecovered { key } => {
                 write!(f, "quarantine_recovered {key}")
             }
+            TraceEvent::EpochFlushed {
+                epoch,
+                origins,
+                recomputed,
+                max_depth,
+            } => write!(
+                f,
+                "epoch_flushed epoch={epoch} origins={origins} recomputed={recomputed} max_depth={max_depth}"
+            ),
         }
     }
 }
@@ -220,9 +245,12 @@ impl TraceRecord {
         out.push_str(&self.at.units().to_string());
         out.push_str(",\"event\":\"");
         out.push_str(self.event.kind());
-        out.push_str("\",\"key\":\"");
-        push_escaped(&mut out, &self.event.key().to_string());
         out.push('"');
+        if let Some(key) = self.event.key() {
+            out.push_str(",\"key\":\"");
+            push_escaped(&mut out, &key.to_string());
+            out.push('"');
+        }
         match &self.event {
             TraceEvent::Include {
                 mechanism, depth, ..
@@ -279,6 +307,21 @@ impl TraceRecord {
             TraceEvent::QuarantineTripped { until, .. } => {
                 out.push_str(",\"until\":");
                 out.push_str(&until.units().to_string());
+            }
+            TraceEvent::EpochFlushed {
+                epoch,
+                origins,
+                recomputed,
+                max_depth,
+            } => {
+                out.push_str(",\"epoch\":");
+                out.push_str(&epoch.to_string());
+                out.push_str(",\"origins\":");
+                out.push_str(&origins.to_string());
+                out.push_str(",\"recomputed\":");
+                out.push_str(&recomputed.to_string());
+                out.push_str(",\"max_depth\":");
+                out.push_str(&max_depth.to_string());
             }
             TraceEvent::Subscribe { .. }
             | TraceEvent::Unsubscribe { .. }
@@ -485,10 +528,32 @@ mod tests {
         assert!(rec(2, e).to_json().contains("\"until\":400"));
 
         let e = TraceEvent::QuarantineRecovered { key: key("rate") };
-        assert_eq!(e.key(), &key("rate"));
+        assert_eq!(e.key(), Some(&key("rate")));
         assert!(rec(3, e)
             .to_json()
             .contains("\"event\":\"quarantine_recovered\""));
+    }
+
+    #[test]
+    fn epoch_flushed_is_keyless_and_renders() {
+        let e = TraceEvent::EpochFlushed {
+            epoch: 7,
+            origins: 3,
+            recomputed: 12,
+            max_depth: 2,
+        };
+        assert_eq!(e.kind(), "epoch_flushed");
+        assert_eq!(e.key(), None);
+        assert_eq!(
+            format!("{e}"),
+            "epoch_flushed epoch=7 origins=3 recomputed=12 max_depth=2"
+        );
+        let json = rec(0, e).to_json();
+        assert!(!json.contains("\"key\""));
+        assert!(json.contains("\"epoch\":7"));
+        assert!(json.contains("\"origins\":3"));
+        assert!(json.contains("\"recomputed\":12"));
+        assert!(json.contains("\"max_depth\":2"));
     }
 
     #[test]
@@ -498,7 +563,7 @@ mod tests {
             remaining: 3,
         };
         assert_eq!(e.kind(), "exclude");
-        assert_eq!(e.key(), &key("x"));
+        assert_eq!(e.key(), Some(&key("x")));
         assert_eq!(format!("{e}"), "exclude n1/x remaining=3");
     }
 }

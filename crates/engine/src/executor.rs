@@ -230,6 +230,10 @@ impl VirtualEngine {
             }
         }
         self.graph.manager().periodic().advance_to(now);
+        // Epoch propagation mode: the tick is the time-slice driver — a
+        // pending epoch whose oldest update aged past `max_delay` flushes
+        // here (no-op in the default per-event mode).
+        self.graph.manager().flush_epoch_if_due(now);
 
         self.stats.max_queue_elements = self
             .stats
@@ -240,11 +244,13 @@ impl VirtualEngine {
         now
     }
 
-    /// Runs whole ticks until the clock reaches (at least) `t_end`.
+    /// Runs whole ticks until the clock reaches (at least) `t_end`, then
+    /// drains any partial epoch still pending (epoch propagation mode).
     pub fn run_until(&mut self, t_end: Timestamp) {
         while self.clock.now() < t_end {
             self.tick_once();
         }
+        self.graph.manager().flush_epoch();
     }
 
     /// Runs for `span` time units from the current instant.

@@ -119,6 +119,11 @@ pub fn run_threaded_with(
                     if let Some(g) = &queue_gauge {
                         g.set(tx.len() as f64);
                     }
+                    // Epoch propagation mode: the feeder is the time-slice
+                    // driver — a pending epoch whose oldest update aged
+                    // past `max_delay` flushes here (no-op in the default
+                    // per-event mode).
+                    graph.manager().flush_epoch_if_due(clock.now());
                     std::thread::sleep(Duration::from_micros(200));
                 }
                 // A single relayed sentinel: the worker that finds the
@@ -201,6 +206,11 @@ pub fn run_threaded_with(
         }
         drop(tx);
     });
+
+    // Shutdown drain: whatever the epoch queue still holds (a partial
+    // epoch below both flush bounds) is swept now, so no update enqueued
+    // during the run is lost at exit.
+    graph.manager().flush_epoch();
 
     ThreadedRunStats {
         processed: processed.load(Ordering::Relaxed),

@@ -13,10 +13,14 @@
 //! is saturated — and asserts exact element conservation at the moment
 //! `run_threaded` returns.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use streammeta_core::MetadataManager;
+use streammeta_core::{
+    EpochConfig, EventKey, ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId,
+    NodeRegistry, PropagationMode,
+};
 use streammeta_graph::{FilterPredicate, MetadataConfig, QueryGraph};
 use streammeta_streams::{ConstantRate, TupleGen};
 use streammeta_time::{Clock, TimeSpan, Timestamp, WallClock};
@@ -39,6 +43,63 @@ fn pass_all(
         },
         1,
     )
+}
+
+/// A partial epoch pending at shutdown is flushed before `run_threaded`
+/// returns: with both flush bounds set unreachably high, only the
+/// executor's shutdown drain can sweep the queued update.
+#[test]
+fn shutdown_drains_a_partial_epoch() {
+    let clock: Arc<dyn Clock> = WallClock::shared();
+    let manager = MetadataManager::new(clock.clone());
+    let graph = Arc::new(QueryGraph::with_config(
+        manager.clone(),
+        MetadataConfig {
+            rate_window: TimeSpan(10_000),
+        },
+    ));
+    let src = graph.source(
+        "s",
+        Box::new(ConstantRate::new(
+            Timestamp(0),
+            TimeSpan(50),
+            TupleGen::Sequence,
+            1,
+        )),
+    );
+    graph.sink_count("k", src);
+
+    let meta_node = NodeId(9_000);
+    let reg = NodeRegistry::new(meta_node);
+    let state = Arc::new(AtomicU64::new(0));
+    {
+        let state = state.clone();
+        reg.define(
+            ItemDef::triggered("dep")
+                .on_event("tick")
+                .compute(move |_| MetadataValue::U64(state.load(Ordering::SeqCst)))
+                .build(),
+        );
+    }
+    manager.attach_node(reg);
+    let sub = manager
+        .subscribe(MetadataKey::new(meta_node, "dep"))
+        .unwrap();
+    manager.set_propagation_mode(PropagationMode::Epoch(EpochConfig {
+        max_batch: usize::MAX,
+        max_delay: TimeSpan(u64::MAX),
+    }));
+
+    state.store(42, Ordering::SeqCst);
+    manager.fire_event(EventKey::new(meta_node, "tick"));
+    assert_eq!(manager.pending_update_count(), 1);
+    assert_eq!(sub.get().as_u64(), Some(0), "nothing can flush mid-run");
+
+    streammeta_engine::run_threaded(&graph, &clock, Duration::from_millis(30), 2);
+
+    assert_eq!(manager.pending_update_count(), 0, "drained at shutdown");
+    assert_eq!(sub.get().as_u64(), Some(42));
+    assert_eq!(manager.epoch_count(), 1);
 }
 
 #[test]

@@ -249,6 +249,16 @@ impl Recorder {
             "metadata computes that exceeded their declared deadline",
             stats.deadline_overruns,
         );
+        counter(
+            "streammeta_manager_epochs_total",
+            "epoch flushes performed in epoch propagation mode",
+            stats.epochs,
+        );
+        counter(
+            "streammeta_manager_coalesced_updates_total",
+            "source updates coalesced into an already-pending epoch",
+            stats.coalesced_updates,
+        );
         let quarantined = self.manager.quarantined_count();
         let _ = writeln!(
             out,
@@ -530,6 +540,8 @@ mod tests {
             "streammeta_manager_quarantine_trips_total",
             "streammeta_manager_stale_serves_total",
             "streammeta_manager_deadline_overruns_total",
+            "streammeta_manager_epochs_total",
+            "streammeta_manager_coalesced_updates_total",
         ] {
             assert!(text.contains(&format!("# TYPE {name} counter")), "{name}");
             assert!(text.contains(&format!("\n{name} 0\n")), "{name}");
