@@ -52,6 +52,11 @@ pub enum DiagCode {
     /// Isolation violation: a triggered item feeds a periodic one, so
     /// the periodic snapshot can change mid-window.
     IsolationViolation,
+    /// A reset-on-read item feeds dependents while the manager batches
+    /// propagation into epochs: the flush reads (and resets) the
+    /// measurement once per round, so the coalesced intermediate
+    /// updates' intervals are silently merged.
+    EpochCoalescedReset,
     /// Budget: the dependency chain is deeper than the propagation-depth
     /// ceiling.
     PropagationDepth,
@@ -72,6 +77,7 @@ impl DiagCode {
             DiagCode::DanglingDependency => "A4",
             DiagCode::PeriodInversion => "A5",
             DiagCode::IsolationViolation => "A6",
+            DiagCode::EpochCoalescedReset => "A7",
             DiagCode::PropagationDepth => "B1",
             DiagCode::FanOut => "B2",
             DiagCode::DeadlineWithoutFallback => "C1",
@@ -87,6 +93,7 @@ impl DiagCode {
             DiagCode::DanglingDependency => "dangling-dependency",
             DiagCode::PeriodInversion => "period-inversion",
             DiagCode::IsolationViolation => "isolation-violation",
+            DiagCode::EpochCoalescedReset => "epoch-coalesced-reset",
             DiagCode::PropagationDepth => "propagation-depth",
             DiagCode::FanOut => "fan-out",
             DiagCode::DeadlineWithoutFallback => "deadline-without-fallback",
@@ -229,6 +236,7 @@ mod tests {
         assert_eq!(DiagCode::DanglingDependency.code(), "A4");
         assert_eq!(DiagCode::PeriodInversion.code(), "A5");
         assert_eq!(DiagCode::IsolationViolation.code(), "A6");
+        assert_eq!(DiagCode::EpochCoalescedReset.code(), "A7");
         assert_eq!(DiagCode::PropagationDepth.code(), "B1");
         assert_eq!(DiagCode::FanOut.code(), "B2");
         assert_eq!(DiagCode::DeadlineWithoutFallback.code(), "C1");

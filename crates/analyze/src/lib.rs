@@ -21,6 +21,7 @@
 //! | A4 | dangling / unresolvable dependency | error (warning if alternative) |
 //! | A5 | period inversion: periodic faster than its periodic input | warning (error if stateful) |
 //! | A6 | isolation violation: triggered item feeds a periodic one | warning |
+//! | A7 | reset-on-read item feeds dependents under epoch-batched propagation | error |
 //! | B1 | dependency chain deeper than the propagation budget | warning |
 //! | B2 | fan-out above the budget | warning |
 //! | C1 | compute deadline without a fallback policy | warning |
@@ -37,18 +38,41 @@
 //! protocol of `streammeta-core::handler` and the sharded key-index
 //! races of `streammeta-core::shards` — deterministically, with no real
 //! threads and no wall-clock sleeps.
+//!
+//! # Concurrency soundness
+//!
+//! Two further dynamic checkers complement the static rules (see
+//! `docs/ANALYSIS.md`, "Concurrency soundness"):
+//!
+//! * [`lockorder`] replays the acquisition log recorded by
+//!   `streammeta-core`'s tiered sync shim (feature `lock-audit`) and
+//!   reports tier-rank inversions, re-entrant acquisitions, cross-thread
+//!   nesting cycles and framework locks held across user compute
+//!   (rules `L1`–`L4`).
+//! * [`tracelint`] replays a JSONL trace export and checks the recorded
+//!   execution against the metadata semantics — version monotonicity,
+//!   epoch serialization, exclusion liveness, quarantine legality,
+//!   retry/backoff conformance and stream well-formedness (rules
+//!   `T1`–`T6`). The `tracelint` binary in `streammeta-bench` runs it
+//!   over checked-in fixture traces and experiment outputs.
 
 #![warn(missing_docs)]
 
 pub mod diag;
 pub mod interleave;
+pub mod lockorder;
 pub mod model;
 pub mod rules;
+pub mod tracelint;
 
 pub use diag::{DiagCode, Diagnostic, Severity};
 pub use interleave::{Explorer, Model, Stats, Violation};
+pub use lockorder::{check as check_lock_order, LockOrderRule, LockOrderViolation};
 pub use model::{DepEdge, GraphModel, ItemModel, MechKind};
 pub use rules::Budgets;
+pub use tracelint::{
+    lint as lint_trace, lint_jsonl as lint_trace_jsonl, TraceRule, TraceViolation,
+};
 
 use streammeta_core::{MetadataKey, MetadataManager, ValidationPolicy};
 

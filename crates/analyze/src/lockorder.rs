@@ -1,0 +1,351 @@
+//! Lock-order soundness over recorded acquisition events.
+//!
+//! `streammeta-core`'s tiered sync shim (`streammeta_core::sync`)
+//! records, under its `lock-audit` feature, every lock acquisition with
+//! the (tier, instance) stack the acquiring thread already held, plus a
+//! marker event at each entry into user compute code. This module
+//! replays such an event log and reports three violation classes:
+//!
+//! * **rank inversion** — a lock acquired while a higher-ranked tier is
+//!   held (including same-tier nesting where the tier forbids it, and
+//!   re-entrant acquisition of the very same instance, which deadlocks
+//!   outright with `parking_lot`);
+//! * **cross-thread cycle** — same-tier nesting is legal for the
+//!   compute tier (nested dependency computes), but only because the
+//!   dependency graph is acyclic; if the union of the per-thread
+//!   nesting edges contains a directed cycle over lock instances, two
+//!   threads can deadlock even though each thread's order looks fine;
+//! * **held across compute** — a tier not on the explicit allowlist
+//!   ([`LockTier::allowed_across_compute`]) held while a user compute
+//!   closure runs: user code can block indefinitely, re-enter the
+//!   manager, or panic, so framework locks must be released first.
+//!
+//! The detector is a pure function over `&[LockEvent]`; it works on
+//! synthetic streams in any build and on real recordings when the core
+//! dependency is compiled with `lock-audit`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use streammeta_core::{LockEvent, LockTier};
+
+/// The violation classes of the lock-order detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockOrderRule {
+    /// A lock acquired while a higher- or equally-ranked (non-nesting)
+    /// tier was held.
+    RankInversion,
+    /// The same lock instance acquired twice by one thread.
+    Reentry,
+    /// A directed cycle over same-tier nesting edges across threads.
+    CrossThreadCycle,
+    /// A disallowed tier held while user compute code ran.
+    HeldAcrossCompute,
+}
+
+impl LockOrderRule {
+    /// Stable rule id (`L1`..`L4`).
+    pub fn code(self) -> &'static str {
+        match self {
+            LockOrderRule::RankInversion => "L1",
+            LockOrderRule::Reentry => "L2",
+            LockOrderRule::CrossThreadCycle => "L3",
+            LockOrderRule::HeldAcrossCompute => "L4",
+        }
+    }
+
+    /// Human-readable rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockOrderRule::RankInversion => "tier rank inversion",
+            LockOrderRule::Reentry => "re-entrant acquisition",
+            LockOrderRule::CrossThreadCycle => "cross-thread nesting cycle",
+            LockOrderRule::HeldAcrossCompute => "lock held across user compute",
+        }
+    }
+}
+
+/// One detected lock-order violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockOrderViolation {
+    /// The violated rule.
+    pub rule: LockOrderRule,
+    /// Thread the offending event ran on (0 for graph-level findings).
+    pub thread: u64,
+    /// What happened, with tiers and instance ids.
+    pub message: String,
+}
+
+impl std::fmt::Display for LockOrderViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] thread {}: {}",
+            self.rule.code(),
+            self.rule.name(),
+            self.thread,
+            self.message
+        )
+    }
+}
+
+/// Replays a recorded event log and returns every violation found.
+pub fn check(events: &[LockEvent]) -> Vec<LockOrderViolation> {
+    let mut out = Vec::new();
+    // Same-tier nesting edges (held instance -> acquired instance), with
+    // the set of threads that produced each edge, for cycle detection.
+    let mut nest_edges: BTreeMap<(u64, u64), BTreeSet<u64>> = BTreeMap::new();
+    let mut edge_tier: BTreeMap<(u64, u64), LockTier> = BTreeMap::new();
+
+    for event in events {
+        match event {
+            LockEvent::Acquire {
+                thread,
+                tier,
+                id,
+                held,
+            } => {
+                for &(held_tier, held_id) in held {
+                    if held_id == *id {
+                        out.push(LockOrderViolation {
+                            rule: LockOrderRule::Reentry,
+                            thread: *thread,
+                            message: format!(
+                                "{held_tier} lock #{held_id} acquired again while already held"
+                            ),
+                        });
+                        continue;
+                    }
+                    if held_tier.rank() > tier.rank() {
+                        out.push(LockOrderViolation {
+                            rule: LockOrderRule::RankInversion,
+                            thread: *thread,
+                            message: format!(
+                                "acquired {tier} (rank {}) while holding {held_tier} (rank {})",
+                                tier.rank(),
+                                held_tier.rank()
+                            ),
+                        });
+                    } else if held_tier == *tier {
+                        if tier.allows_self_nesting() {
+                            nest_edges
+                                .entry((held_id, *id))
+                                .or_default()
+                                .insert(*thread);
+                            edge_tier.insert((held_id, *id), *tier);
+                        } else {
+                            out.push(LockOrderViolation {
+                                rule: LockOrderRule::RankInversion,
+                                thread: *thread,
+                                message: format!(
+                                    "nested two distinct {tier} locks (#{held_id} then #{id}); \
+                                     the tier does not allow self-nesting"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            LockEvent::Compute { thread, held } => {
+                for &(held_tier, held_id) in held {
+                    if !held_tier.allowed_across_compute() {
+                        out.push(LockOrderViolation {
+                            rule: LockOrderRule::HeldAcrossCompute,
+                            thread: *thread,
+                            message: format!(
+                                "{held_tier} lock #{held_id} held while user compute ran \
+                                 (only item_compute / flush_serial may be)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    out.extend(find_nesting_cycles(&nest_edges, &edge_tier));
+    out
+}
+
+/// Finds directed cycles in the union of same-tier nesting edges. Each
+/// cycle is reported once, anchored at its smallest instance id.
+fn find_nesting_cycles(
+    edges: &BTreeMap<(u64, u64), BTreeSet<u64>>,
+    edge_tier: &BTreeMap<(u64, u64), LockTier>,
+) -> Vec<LockOrderViolation> {
+    let mut adj: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for &(from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+        adj.entry(to).or_default();
+    }
+    let mut out = Vec::new();
+    let mut color: BTreeMap<u64, u8> = BTreeMap::new(); // 0 white 1 grey 2 black
+    let mut reported: BTreeSet<Vec<u64>> = BTreeSet::new();
+    for &start in adj.keys() {
+        if color.get(&start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        // Iterative DFS keeping the grey path for cycle extraction.
+        let mut stack: Vec<(u64, usize)> = vec![(start, 0)];
+        let mut path: Vec<u64> = Vec::new();
+        while let Some(&(node, next)) = stack.last() {
+            if next == 0 {
+                color.insert(node, 1);
+                path.push(node);
+            }
+            let succ = adj.get(&node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if next < succ.len() {
+                let target = succ[next];
+                stack.last_mut().unwrap().1 += 1;
+                match color.get(&target).copied().unwrap_or(0) {
+                    0 => stack.push((target, 0)),
+                    1 => {
+                        // Grey target: the path from `target` onward is a cycle.
+                        let pos = path.iter().position(|&n| n == target).unwrap();
+                        let mut cycle: Vec<u64> = path[pos..].to_vec();
+                        // Canonicalize: rotate the smallest id to front.
+                        let min_pos = cycle
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &v)| v)
+                            .map(|(i, _)| i)
+                            .unwrap();
+                        cycle.rotate_left(min_pos);
+                        if reported.insert(cycle.clone()) {
+                            let threads: BTreeSet<u64> = cycle
+                                .iter()
+                                .zip(cycle.iter().cycle().skip(1))
+                                .filter_map(|(&a, &b)| edges.get(&(a, b)))
+                                .flatten()
+                                .copied()
+                                .collect();
+                            let tier = cycle
+                                .first()
+                                .zip(cycle.get(1).or(cycle.first()))
+                                .and_then(|(&a, &b)| edge_tier.get(&(a, b)))
+                                .copied();
+                            out.push(LockOrderViolation {
+                                rule: LockOrderRule::CrossThreadCycle,
+                                thread: threads.iter().next().copied().unwrap_or(0),
+                                message: format!(
+                                    "nesting cycle over {} locks {:?} produced by threads {:?}",
+                                    tier.map(|t| t.name()).unwrap_or("same-tier"),
+                                    cycle,
+                                    threads
+                                ),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            } else {
+                color.insert(node, 2);
+                path.pop();
+                stack.pop();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acquire(thread: u64, tier: LockTier, id: u64, held: &[(LockTier, u64)]) -> LockEvent {
+        LockEvent::Acquire {
+            thread,
+            tier,
+            id,
+            held: held.to_vec(),
+        }
+    }
+
+    #[test]
+    fn clean_descending_acquisition_passes() {
+        let events = vec![
+            acquire(1, LockTier::Bookkeeping, 10, &[]),
+            acquire(1, LockTier::Graph, 11, &[(LockTier::Bookkeeping, 10)]),
+            acquire(
+                1,
+                LockTier::Shard,
+                12,
+                &[(LockTier::Bookkeeping, 10), (LockTier::Graph, 11)],
+            ),
+        ];
+        assert!(check(&events).is_empty());
+    }
+
+    #[test]
+    fn rank_inversion_fires() {
+        let events = vec![
+            acquire(1, LockTier::ItemValue, 20, &[]),
+            acquire(1, LockTier::Bookkeeping, 21, &[(LockTier::ItemValue, 20)]),
+        ];
+        let v = check(&events);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, LockOrderRule::RankInversion);
+        assert!(v[0].message.contains("item_value"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn same_tier_nesting_flagged_unless_compute() {
+        let bad = vec![acquire(
+            1,
+            LockTier::ItemState,
+            31,
+            &[(LockTier::ItemState, 30)],
+        )];
+        assert_eq!(check(&bad)[0].rule, LockOrderRule::RankInversion);
+        let ok = vec![acquire(
+            1,
+            LockTier::ItemCompute,
+            41,
+            &[(LockTier::ItemCompute, 40)],
+        )];
+        assert!(check(&ok).is_empty());
+    }
+
+    #[test]
+    fn reentry_fires() {
+        let events = vec![acquire(
+            1,
+            LockTier::Bookkeeping,
+            50,
+            &[(LockTier::Bookkeeping, 50)],
+        )];
+        let v = check(&events);
+        assert_eq!(v[0].rule, LockOrderRule::Reentry);
+    }
+
+    #[test]
+    fn cross_thread_compute_cycle_fires() {
+        // Thread 1 nests compute A -> B, thread 2 nests B -> A: each
+        // thread is locally fine, together they can deadlock.
+        let events = vec![
+            acquire(1, LockTier::ItemCompute, 60, &[]),
+            acquire(1, LockTier::ItemCompute, 61, &[(LockTier::ItemCompute, 60)]),
+            acquire(2, LockTier::ItemCompute, 61, &[]),
+            acquire(2, LockTier::ItemCompute, 60, &[(LockTier::ItemCompute, 61)]),
+        ];
+        let v = check(&events);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, LockOrderRule::CrossThreadCycle);
+        assert!(v[0].message.contains("item_compute"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn held_across_compute_fires_outside_allowlist() {
+        let ok = LockEvent::Compute {
+            thread: 1,
+            held: vec![(LockTier::FlushSerial, 1), (LockTier::ItemCompute, 70)],
+        };
+        assert!(check(&[ok]).is_empty());
+        let bad = LockEvent::Compute {
+            thread: 1,
+            held: vec![(LockTier::Bookkeeping, 71)],
+        };
+        let v = check(&[bad]);
+        assert_eq!(v[0].rule, LockOrderRule::HeldAcrossCompute);
+        assert_eq!(v[0].rule.code(), "L4");
+    }
+}

@@ -131,13 +131,23 @@ impl ItemModel {
 pub struct GraphModel {
     /// All modelled items, keyed for deterministic iteration.
     pub items: BTreeMap<MetadataKey, ItemModel>,
+    /// Whether the manager batches trigger propagation into epochs
+    /// (A7's precondition): coalesced flushes change how often
+    /// reset-on-read inputs are actually read.
+    pub epoch_mode: bool,
 }
 
 impl GraphModel {
     /// Extracts the model of every item defined in every registry
     /// attached to `manager`, without executing any compute function.
     pub fn extract(manager: &MetadataManager) -> GraphModel {
-        let mut model = GraphModel::default();
+        let mut model = GraphModel {
+            epoch_mode: matches!(
+                manager.propagation_mode(),
+                streammeta_core::PropagationMode::Epoch(_)
+            ),
+            ..GraphModel::default()
+        };
         for node in manager.nodes() {
             let Some(reg) = manager.registry(node) else {
                 continue;
@@ -274,6 +284,17 @@ mod tests {
             model.dependents_of(&MetadataKey::new(NodeId(0), "rate")),
             vec![&MetadataKey::new(NodeId(0), "avg")]
         );
+    }
+
+    #[test]
+    fn extraction_captures_the_propagation_mode() {
+        use streammeta_core::{EpochConfig, PropagationMode};
+        let mgr = manager_with(vec![ItemDef::static_value("x", 1u64)]);
+        assert!(!GraphModel::extract(&mgr).epoch_mode);
+        mgr.set_propagation_mode(PropagationMode::Epoch(EpochConfig::default()));
+        assert!(GraphModel::extract(&mgr).epoch_mode);
+        mgr.set_propagation_mode(PropagationMode::PerEvent);
+        assert!(!GraphModel::extract(&mgr).epoch_mode);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub fn run(model: &GraphModel, budgets: &Budgets) -> Vec<Diagnostic> {
         rule_a4_dangling(model, item, &mut out);
         rule_a5_period_inversion(model, item, &mut out);
         rule_a6_isolation(model, item, &mut out);
+        rule_a7_coalesced_reset(model, item, &mut out);
         rule_b2_fanout(model, item, budgets, &mut out);
         rule_c1_deadline_without_fallback(item, &mut out);
     }
@@ -368,6 +369,46 @@ fn rule_a6_isolation(model: &GraphModel, item: &ItemModel, out: &mut Vec<Diagnos
     }
 }
 
+/// A7: a reset-on-read item feeding dependents while the manager runs
+/// in epoch-batched propagation mode. The epoch flush coalesces the
+/// source updates of a batching window into one recomputation round, so
+/// the dependents read (and reset) the measurement once per flush
+/// instead of once per update: the intervals belonging to the coalesced
+/// intermediate updates are silently merged into one observation, and
+/// the per-update semantics the reset-on-read contract promises are
+/// lost. This is the Figure-4 truncation hazard re-created by the
+/// batching layer rather than by a second consumer.
+fn rule_a7_coalesced_reset(model: &GraphModel, item: &ItemModel, out: &mut Vec<Diagnostic>) {
+    if !model.epoch_mode || !item.reset_on_read {
+        return;
+    }
+    let dependents: Vec<MetadataKey> = model
+        .dependents_of(&item.key)
+        .into_iter()
+        .cloned()
+        .collect();
+    if dependents.is_empty() {
+        return;
+    }
+    out.push(Diagnostic {
+        code: DiagCode::EpochCoalescedReset,
+        severity: Severity::Error,
+        key: item.key.clone(),
+        message: format!(
+            "reset-on-read item feeds {} dependent item(s) while propagation is \
+             epoch-batched: each flush reads and resets the measurement once for a \
+             whole batch of coalesced updates, merging the intermediate intervals \
+             into one observation",
+            dependents.len()
+        ),
+        hint: "switch the manager back to per-event propagation, or replace the \
+               reset-on-access measurement with a periodic item whose window \
+               boundary — not the epoch flush — defines the interval"
+            .into(),
+        related: dependents,
+    });
+}
+
 /// B1: propagation-depth budget — the longest dependency chain in the
 /// model, compared against [`Budgets::max_depth`]. Cycle participants
 /// are skipped (A3 already reports them).
@@ -525,6 +566,7 @@ mod tests {
     fn model(items: Vec<ItemModel>) -> GraphModel {
         GraphModel {
             items: items.into_iter().map(|i| (i.key.clone(), i)).collect(),
+            epoch_mode: false,
         }
     }
 
@@ -688,6 +730,34 @@ mod tests {
         assert_eq!(d.severity, Severity::Warning);
         assert_eq!(d.key, key("win"));
         assert_eq!(d.related, vec![key("count")]);
+    }
+
+    #[test]
+    fn a7_fires_only_in_epoch_mode_with_dependents() {
+        let mut naive = item("naive", MechKind::OnDemand);
+        naive.reset_on_read = true;
+        let mut consumer = item("ratio", MechKind::Triggered);
+        consumer.deps.push(dep("naive"));
+
+        // Per-event mode: silent.
+        let m = model(vec![naive.clone(), consumer.clone()]);
+        assert!(run_default(&m).is_empty());
+
+        // Epoch mode: fires at the reset-on-read input.
+        let mut m = model(vec![naive.clone(), consumer]);
+        m.epoch_mode = true;
+        let diags = run_default(&m);
+        let d = find(&diags, DiagCode::EpochCoalescedReset);
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.key, key("naive"));
+        assert_eq!(d.related, vec![key("ratio")]);
+        assert!(d.hint.contains("per-event"));
+
+        // Epoch mode but no dependents: only direct consumers read it,
+        // per flush and per access alike — A1's territory, not A7's.
+        let mut m = model(vec![naive]);
+        m.epoch_mode = true;
+        assert!(run_default(&m).is_empty());
     }
 
     #[test]

@@ -1,0 +1,1018 @@
+//! Trace-replay invariant linter: checks a recorded JSONL trace stream
+//! against the metadata semantics the paper's correctness story depends
+//! on, without re-executing anything.
+//!
+//! The manager's trace bus (PR 1) narrates subscriptions, propagation
+//! rounds, containment transitions and epoch flushes. Those executions
+//! must satisfy a small declarative invariant set:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | T1   | per-item stored versions strictly increase |
+//! | T2   | epoch ids strictly increase; ≤ 1 recompute per item per round |
+//! | T3   | no activity for an item after its exclusion (until re-include) |
+//! | T4   | quarantine legality: trip → silence until the cool-down ends → recover or re-trip |
+//! | T5   | retry attempts count 1, 2, … with non-decreasing backoff delays |
+//! | T6   | stream well-formedness: seq strictly increases, time never goes backwards |
+//!
+//! [`lint`] replays a slice of [`TraceRecord`]s and returns every
+//! violation; [`parse_jsonl`] reconstructs records from the JSONL
+//! export, so checked-in fixture traces (and the traces the chaos/batch
+//! experiments write) can be linted offline — see the `tracelint`
+//! binary in `streammeta-bench`.
+//!
+//! The linter assumes a *serialized* trace (deterministic virtual-clock
+//! executions, or any single-threaded replay). Traces interleaved by
+//! racing threads can reorder adjacent records around an exclusion and
+//! produce false T3/T4 positives; lint the deterministic phase of an
+//! experiment instead.
+
+use std::collections::HashMap;
+
+use streammeta_core::{MetadataKey, NodeId, TraceEvent, TraceRecord};
+use streammeta_time::{TimeSpan, Timestamp};
+
+/// The invariant rules of the trace linter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceRule {
+    /// Stored versions strictly increase per item.
+    VersionMonotonicity,
+    /// Epoch ids strictly increase; one recompute per item per round.
+    EpochSerialization,
+    /// No activity for an excluded item until it is included again.
+    ExclusionLiveness,
+    /// Quarantine state-machine legality.
+    QuarantineLegality,
+    /// Retry attempts are consecutive with non-decreasing delays.
+    RetryConformance,
+    /// Sequence numbers strictly increase and time never goes backwards.
+    StreamWellFormed,
+}
+
+impl TraceRule {
+    /// Stable rule id (`T1`..`T6`).
+    pub fn code(self) -> &'static str {
+        match self {
+            TraceRule::VersionMonotonicity => "T1",
+            TraceRule::EpochSerialization => "T2",
+            TraceRule::ExclusionLiveness => "T3",
+            TraceRule::QuarantineLegality => "T4",
+            TraceRule::RetryConformance => "T5",
+            TraceRule::StreamWellFormed => "T6",
+        }
+    }
+
+    /// Human-readable rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceRule::VersionMonotonicity => "version monotonicity",
+            TraceRule::EpochSerialization => "epoch serialization",
+            TraceRule::ExclusionLiveness => "exclusion liveness",
+            TraceRule::QuarantineLegality => "quarantine legality",
+            TraceRule::RetryConformance => "retry/backoff conformance",
+            TraceRule::StreamWellFormed => "stream well-formedness",
+        }
+    }
+
+    /// All rules, in id order.
+    pub const ALL: [TraceRule; 6] = [
+        TraceRule::VersionMonotonicity,
+        TraceRule::EpochSerialization,
+        TraceRule::ExclusionLiveness,
+        TraceRule::QuarantineLegality,
+        TraceRule::RetryConformance,
+        TraceRule::StreamWellFormed,
+    ];
+}
+
+/// One invariant violation found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceViolation {
+    /// The violated rule.
+    pub rule: TraceRule,
+    /// Sequence number of the offending record.
+    pub seq: u64,
+    /// The item concerned, if the rule is per-item.
+    pub key: Option<String>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] seq {}",
+            self.rule.code(),
+            self.rule.name(),
+            self.seq
+        )?;
+        if let Some(key) = &self.key {
+            write!(f, " {key}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Per-item quarantine phase for rule T4.
+#[derive(Default)]
+struct QuarState {
+    /// Cool-down end of the open breaker, if quarantined.
+    until: Option<Timestamp>,
+}
+
+/// Per-item retry-episode state for rule T5.
+#[derive(Default)]
+struct RetryState {
+    last_attempt: u32,
+    last_delay: Option<TimeSpan>,
+}
+
+/// Replays `records` (in stream order) and returns every invariant
+/// violation, in encounter order.
+pub fn lint(records: &[TraceRecord]) -> Vec<TraceViolation> {
+    let mut out = Vec::new();
+
+    // T6 state.
+    let mut last_seq: Option<u64> = None;
+    let mut last_at: Option<Timestamp> = None;
+    // T1 state.
+    let mut versions: HashMap<String, u64> = HashMap::new();
+    // T2 state.
+    let mut last_epoch: Option<u64> = None;
+    let mut round_seen: HashMap<(u64, String), u64> = HashMap::new();
+    // T3 state.
+    let mut excluded: HashMap<String, bool> = HashMap::new();
+    // T4 / T5 state.
+    let mut quarantine: HashMap<String, QuarState> = HashMap::new();
+    let mut retries: HashMap<String, RetryState> = HashMap::new();
+
+    for rec in records {
+        let key_str = rec.event.key().map(|k| k.to_string());
+
+        // T6: stream well-formedness.
+        if let Some(prev) = last_seq {
+            if rec.seq <= prev {
+                out.push(TraceViolation {
+                    rule: TraceRule::StreamWellFormed,
+                    seq: rec.seq,
+                    key: None,
+                    message: format!("seq {} does not increase over {prev}", rec.seq),
+                });
+            }
+        }
+        if let Some(prev) = last_at {
+            if rec.at < prev {
+                out.push(TraceViolation {
+                    rule: TraceRule::StreamWellFormed,
+                    seq: rec.seq,
+                    key: None,
+                    message: format!("time went backwards: {} after {}", rec.at, prev),
+                });
+            }
+        }
+        last_seq = Some(rec.seq);
+        last_at = Some(rec.at);
+
+        // T3: activity after exclusion. Subscribe/unsubscribe/exclude
+        // records are bookkeeping, not item activity.
+        let is_activity = matches!(
+            rec.event,
+            TraceEvent::PropagationStep { .. }
+                | TraceEvent::PeriodicFired { .. }
+                | TraceEvent::ComputeFailed { .. }
+                | TraceEvent::ValueStored { .. }
+                | TraceEvent::RetryScheduled { .. }
+                | TraceEvent::DeadlineExceeded { .. }
+        );
+        if is_activity {
+            if let Some(key) = &key_str {
+                if excluded.get(key).copied().unwrap_or(false) {
+                    out.push(TraceViolation {
+                        rule: TraceRule::ExclusionLiveness,
+                        seq: rec.seq,
+                        key: Some(key.clone()),
+                        message: format!("{} after the item was excluded", rec.event.kind()),
+                    });
+                }
+            }
+        }
+
+        // T4: quarantine silence. Probes at/after the cool-down end are
+        // the legal exit path (success recovers, failure re-trips).
+        let is_quarantine_sensitive = matches!(
+            rec.event,
+            TraceEvent::PropagationStep { .. }
+                | TraceEvent::PeriodicFired { .. }
+                | TraceEvent::ComputeFailed { .. }
+                | TraceEvent::ValueStored { .. }
+                | TraceEvent::RetryScheduled { .. }
+        );
+        if is_quarantine_sensitive {
+            if let Some(key) = &key_str {
+                if let Some(until) = quarantine.get(key).and_then(|q| q.until) {
+                    if rec.at < until {
+                        out.push(TraceViolation {
+                            rule: TraceRule::QuarantineLegality,
+                            seq: rec.seq,
+                            key: Some(key.clone()),
+                            message: format!(
+                                "{} at {} inside the quarantine cool-down (until {until})",
+                                rec.event.kind(),
+                                rec.at
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        match &rec.event {
+            TraceEvent::Include { key, .. } => {
+                excluded.insert(key.to_string(), false);
+            }
+            TraceEvent::Exclude { key, .. } => {
+                // Exclusion drops the handler, ending its incarnation:
+                // a later re-inclusion starts a fresh version counter,
+                // retry episode and breaker, so all per-item state
+                // resets here.
+                let key = key.to_string();
+                versions.remove(&key);
+                retries.remove(&key);
+                quarantine.remove(&key);
+                excluded.insert(key, true);
+            }
+            TraceEvent::ValueStored { key, version } => {
+                let key = key.to_string();
+                if let Some(&prev) = versions.get(&key) {
+                    if *version <= prev {
+                        out.push(TraceViolation {
+                            rule: TraceRule::VersionMonotonicity,
+                            seq: rec.seq,
+                            key: Some(key.clone()),
+                            message: format!("version {version} not above previous {prev}"),
+                        });
+                    }
+                }
+                versions.insert(key.clone(), *version);
+                // A successful store ends any retry episode.
+                retries.remove(&key);
+            }
+            TraceEvent::EpochFlushed { epoch, .. } => {
+                if let Some(prev) = last_epoch {
+                    if *epoch <= prev {
+                        out.push(TraceViolation {
+                            rule: TraceRule::EpochSerialization,
+                            seq: rec.seq,
+                            key: None,
+                            message: format!("epoch {epoch} not above previous {prev}"),
+                        });
+                    }
+                }
+                last_epoch = Some(*epoch);
+            }
+            TraceEvent::PropagationStep { round, key, .. } => {
+                let slot = round_seen.entry((*round, key.to_string())).or_insert(0);
+                *slot += 1;
+                if *slot > 1 {
+                    out.push(TraceViolation {
+                        rule: TraceRule::EpochSerialization,
+                        seq: rec.seq,
+                        key: Some(key.to_string()),
+                        message: format!("recomputed {} times in round {round}", *slot),
+                    });
+                }
+            }
+            TraceEvent::RetryScheduled {
+                key,
+                attempt,
+                delay,
+            } => {
+                let key = key.to_string();
+                let st = retries.entry(key.clone()).or_default();
+                let expected_fresh = *attempt == 1;
+                let expected_next = *attempt == st.last_attempt + 1 && st.last_attempt > 0;
+                if !expected_fresh && !expected_next {
+                    out.push(TraceViolation {
+                        rule: TraceRule::RetryConformance,
+                        seq: rec.seq,
+                        key: Some(key.clone()),
+                        message: format!(
+                            "attempt {attempt} follows attempt {} (must be 1 or {})",
+                            st.last_attempt,
+                            st.last_attempt + 1
+                        ),
+                    });
+                }
+                if expected_next {
+                    if let Some(prev_delay) = st.last_delay {
+                        if *delay < prev_delay {
+                            out.push(TraceViolation {
+                                rule: TraceRule::RetryConformance,
+                                seq: rec.seq,
+                                key: Some(key.clone()),
+                                message: format!("backoff delay {delay} shrank from {prev_delay}"),
+                            });
+                        }
+                    }
+                }
+                st.last_attempt = *attempt;
+                st.last_delay = Some(*delay);
+            }
+            TraceEvent::QuarantineTripped { key, until } => {
+                let key = key.to_string();
+                let st = quarantine.entry(key.clone()).or_default();
+                if let Some(open_until) = st.until {
+                    // Re-trip is legal only from a failed probe, which
+                    // runs at/after the previous cool-down end.
+                    if rec.at < open_until {
+                        out.push(TraceViolation {
+                            rule: TraceRule::QuarantineLegality,
+                            seq: rec.seq,
+                            key: Some(key.clone()),
+                            message: format!(
+                                "re-tripped at {} before the cool-down ended ({open_until})",
+                                rec.at
+                            ),
+                        });
+                    }
+                }
+                st.until = Some(*until);
+                retries.remove(&key);
+            }
+            TraceEvent::QuarantineRecovered { key } => {
+                let key = key.to_string();
+                let st = quarantine.entry(key.clone()).or_default();
+                if st.until.is_none() {
+                    out.push(TraceViolation {
+                        rule: TraceRule::QuarantineLegality,
+                        seq: rec.seq,
+                        key: Some(key.clone()),
+                        message: "recovered without a preceding trip".to_string(),
+                    });
+                }
+                st.until = None;
+                retries.remove(&key);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Parses a JSONL export (as produced by
+/// [`TraceRecord::to_json`](streammeta_core::TraceRecord::to_json) /
+/// `RingBufferSink::to_jsonl`) back into records. Returns the 1-based
+/// line number and a description on the first malformed line.
+pub fn parse_jsonl(input: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| format!("line {}: {e}", idx + 1))?);
+    }
+    Ok(out)
+}
+
+/// One scalar JSON value of the flat trace schema.
+enum JsonVal {
+    Num(u64),
+    Str(String),
+    Bool(bool),
+}
+
+impl JsonVal {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonVal::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (string/number/bool values only — the
+/// trace schema is flat by construction).
+fn parse_flat_object(line: &str) -> Result<HashMap<String, JsonVal>, String> {
+    let bytes = line.as_bytes();
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return Err("not a JSON object".to_string());
+    }
+    let mut map = HashMap::new();
+    let mut i = 1usize;
+    let end = bytes.len() - 1;
+    loop {
+        while i < end && (bytes[i] == b',' || bytes[i].is_ascii_whitespace()) {
+            i += 1;
+        }
+        if i >= end {
+            break;
+        }
+        if bytes[i] != b'"' {
+            return Err(format!("expected key quote at byte {i}"));
+        }
+        let (key, next) = parse_string(line, i)?;
+        i = next;
+        while i < end && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= end || bytes[i] != b':' {
+            return Err(format!("expected ':' at byte {i}"));
+        }
+        i += 1;
+        while i < end && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let val = if i < end && bytes[i] == b'"' {
+            let (s, next) = parse_string(line, i)?;
+            i = next;
+            JsonVal::Str(s)
+        } else if line[i..].starts_with("true") {
+            i += 4;
+            JsonVal::Bool(true)
+        } else if line[i..].starts_with("false") {
+            i += 5;
+            JsonVal::Bool(false)
+        } else {
+            let start = i;
+            while i < end && (bytes[i].is_ascii_digit() || bytes[i] == b'-') {
+                i += 1;
+            }
+            let n: u64 = line[start..i]
+                .parse()
+                .map_err(|_| format!("bad number at byte {start}"))?;
+            JsonVal::Num(n)
+        };
+        map.insert(key, val);
+    }
+    Ok(map)
+}
+
+/// Parses a quoted JSON string starting at `start` (which must index a
+/// `"`), returning the unescaped content and the index past the closing
+/// quote.
+fn parse_string(line: &str, start: usize) -> Result<(String, usize), String> {
+    let bytes = line.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, i + 1)),
+            b'\\' => {
+                i += 1;
+                match bytes.get(i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = line
+                            .get(i + 1..i + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                        i += 4;
+                    }
+                    _ => return Err("bad escape".to_string()),
+                }
+                i += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the whole char.
+                let ch = line[i..].chars().next().unwrap();
+                out.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+/// Parses the `n<node>/<path>` display form of a [`MetadataKey`].
+fn parse_key(s: &str) -> Result<MetadataKey, String> {
+    let rest = s
+        .strip_prefix('n')
+        .ok_or_else(|| format!("key `{s}` missing `n` prefix"))?;
+    let slash = rest
+        .find('/')
+        .ok_or_else(|| format!("key `{s}` missing `/`"))?;
+    let node: u32 = rest[..slash]
+        .parse()
+        .map_err(|_| format!("key `{s}` has a non-numeric node id"))?;
+    Ok(MetadataKey::new(NodeId(node), &rest[slash + 1..]))
+}
+
+fn parse_line(line: &str) -> Result<TraceRecord, String> {
+    let map = parse_flat_object(line)?;
+    let field_u64 = |name: &str| -> Result<u64, String> {
+        map.get(name)
+            .and_then(JsonVal::as_u64)
+            .ok_or_else(|| format!("missing numeric field `{name}`"))
+    };
+    let field_bool = |name: &str| -> Result<bool, String> {
+        map.get(name)
+            .and_then(JsonVal::as_bool)
+            .ok_or_else(|| format!("missing boolean field `{name}`"))
+    };
+    let key = || -> Result<MetadataKey, String> {
+        parse_key(
+            map.get("key")
+                .and_then(JsonVal::as_str)
+                .ok_or_else(|| "missing field `key`".to_string())?,
+        )
+    };
+    let kind = map
+        .get("event")
+        .and_then(JsonVal::as_str)
+        .ok_or_else(|| "missing field `event`".to_string())?;
+    let event = match kind {
+        "subscribe" => TraceEvent::Subscribe { key: key()? },
+        "unsubscribe" => TraceEvent::Unsubscribe { key: key()? },
+        "include" => TraceEvent::Include {
+            key: key()?,
+            mechanism: mechanism_label(
+                map.get("mechanism")
+                    .and_then(JsonVal::as_str)
+                    .ok_or_else(|| "missing field `mechanism`".to_string())?,
+            )?,
+            depth: field_u64("depth")? as usize,
+        },
+        "exclude" => TraceEvent::Exclude {
+            key: key()?,
+            remaining: field_u64("remaining")? as usize,
+        },
+        "propagation_step" => TraceEvent::PropagationStep {
+            round: field_u64("round")?,
+            key: key()?,
+            depth: field_u64("depth")? as usize,
+            changed: field_bool("changed")?,
+        },
+        "periodic_fired" => TraceEvent::PeriodicFired {
+            key: key()?,
+            boundary: Timestamp(field_u64("boundary")?),
+            fired_at: Timestamp(field_u64("fired_at")?),
+            missed: field_bool("missed")?,
+        },
+        "compute_failed" => TraceEvent::ComputeFailed { key: key()? },
+        "deadline_exceeded" => TraceEvent::DeadlineExceeded {
+            key: key()?,
+            budget: TimeSpan(field_u64("budget")?),
+            elapsed: TimeSpan(field_u64("elapsed")?),
+        },
+        "retry_scheduled" => TraceEvent::RetryScheduled {
+            key: key()?,
+            attempt: field_u64("attempt")? as u32,
+            delay: TimeSpan(field_u64("delay")?),
+        },
+        "quarantine_tripped" => TraceEvent::QuarantineTripped {
+            key: key()?,
+            until: Timestamp(field_u64("until")?),
+        },
+        "quarantine_recovered" => TraceEvent::QuarantineRecovered { key: key()? },
+        "value_stored" => TraceEvent::ValueStored {
+            key: key()?,
+            version: field_u64("version")?,
+        },
+        "epoch_flushed" => TraceEvent::EpochFlushed {
+            epoch: field_u64("epoch")?,
+            origins: field_u64("origins")? as usize,
+            recomputed: field_u64("recomputed")? as usize,
+            max_depth: field_u64("max_depth")? as usize,
+        },
+        other => return Err(format!("unknown event kind `{other}`")),
+    };
+    Ok(TraceRecord {
+        seq: field_u64("seq")?,
+        at: Timestamp(field_u64("at")?),
+        event,
+    })
+}
+
+/// Maps a parsed mechanism label back to the static string the enum
+/// variants carry (the trace emits only the four `Mechanism::label`s).
+fn mechanism_label(s: &str) -> Result<&'static str, String> {
+    Ok(match s {
+        "static" => "static",
+        "on-demand" => "on-demand",
+        "periodic" => "periodic",
+        "triggered" => "triggered",
+        other => return Err(format!("unknown mechanism `{other}`")),
+    })
+}
+
+/// Convenience: parse and lint a JSONL export in one call. A parse
+/// failure is reported as a single T6 violation at seq 0 so callers can
+/// treat malformed traces and invariant violations uniformly.
+pub fn lint_jsonl(input: &str) -> Vec<TraceViolation> {
+    match parse_jsonl(input) {
+        Ok(records) => lint(&records),
+        Err(e) => vec![TraceViolation {
+            rule: TraceRule::StreamWellFormed,
+            seq: 0,
+            key: None,
+            message: format!("unparseable trace: {e}"),
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(path: &str) -> MetadataKey {
+        MetadataKey::new(NodeId(1), path)
+    }
+
+    fn rec(seq: u64, at: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            seq,
+            at: Timestamp(at),
+            event,
+        }
+    }
+
+    fn codes(violations: &[TraceViolation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule.code()).collect()
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let records = vec![
+            rec(0, 0, TraceEvent::Subscribe { key: key("rate") }),
+            rec(
+                1,
+                0,
+                TraceEvent::Include {
+                    key: key("rate"),
+                    mechanism: "periodic",
+                    depth: 0,
+                },
+            ),
+            rec(
+                2,
+                10,
+                TraceEvent::ValueStored {
+                    key: key("rate"),
+                    version: 1,
+                },
+            ),
+            rec(
+                3,
+                20,
+                TraceEvent::ValueStored {
+                    key: key("rate"),
+                    version: 2,
+                },
+            ),
+            rec(
+                4,
+                20,
+                TraceEvent::Exclude {
+                    key: key("rate"),
+                    remaining: 0,
+                },
+            ),
+        ];
+        assert!(lint(&records).is_empty());
+    }
+
+    #[test]
+    fn t1_version_regression_fires() {
+        let records = vec![
+            rec(
+                0,
+                0,
+                TraceEvent::ValueStored {
+                    key: key("rate"),
+                    version: 5,
+                },
+            ),
+            rec(
+                1,
+                1,
+                TraceEvent::ValueStored {
+                    key: key("rate"),
+                    version: 5,
+                },
+            ),
+        ];
+        assert_eq!(codes(&lint(&records)), ["T1"]);
+    }
+
+    #[test]
+    fn t2_epoch_and_round_duplication_fire() {
+        let records = vec![
+            rec(
+                0,
+                0,
+                TraceEvent::EpochFlushed {
+                    epoch: 2,
+                    origins: 1,
+                    recomputed: 1,
+                    max_depth: 1,
+                },
+            ),
+            rec(
+                1,
+                1,
+                TraceEvent::EpochFlushed {
+                    epoch: 2,
+                    origins: 1,
+                    recomputed: 1,
+                    max_depth: 1,
+                },
+            ),
+            rec(
+                2,
+                2,
+                TraceEvent::PropagationStep {
+                    round: 7,
+                    key: key("a"),
+                    depth: 1,
+                    changed: true,
+                },
+            ),
+            rec(
+                3,
+                3,
+                TraceEvent::PropagationStep {
+                    round: 7,
+                    key: key("a"),
+                    depth: 1,
+                    changed: false,
+                },
+            ),
+        ];
+        assert_eq!(codes(&lint(&records)), ["T2", "T2"]);
+    }
+
+    #[test]
+    fn t3_activity_after_exclusion_fires_until_reinclude() {
+        let records = vec![
+            rec(
+                0,
+                0,
+                TraceEvent::Exclude {
+                    key: key("a"),
+                    remaining: 0,
+                },
+            ),
+            rec(
+                1,
+                1,
+                TraceEvent::ValueStored {
+                    key: key("a"),
+                    version: 1,
+                },
+            ),
+            rec(
+                2,
+                2,
+                TraceEvent::Include {
+                    key: key("a"),
+                    mechanism: "triggered",
+                    depth: 0,
+                },
+            ),
+            rec(
+                3,
+                3,
+                TraceEvent::ValueStored {
+                    key: key("a"),
+                    version: 2,
+                },
+            ),
+        ];
+        assert_eq!(codes(&lint(&records)), ["T3"]);
+    }
+
+    #[test]
+    fn t4_quarantine_violations_fire() {
+        let records = vec![
+            rec(
+                0,
+                100,
+                TraceEvent::QuarantineTripped {
+                    key: key("a"),
+                    until: Timestamp(200),
+                },
+            ),
+            // Illegal: a retry inside the cool-down.
+            rec(
+                1,
+                150,
+                TraceEvent::RetryScheduled {
+                    key: key("a"),
+                    attempt: 1,
+                    delay: TimeSpan(10),
+                },
+            ),
+            // Legal: the probe recovers at the cool-down end.
+            rec(2, 200, TraceEvent::QuarantineRecovered { key: key("a") }),
+            // Illegal: recovery without a trip.
+            rec(3, 210, TraceEvent::QuarantineRecovered { key: key("b") }),
+        ];
+        assert_eq!(codes(&lint(&records)), ["T4", "T4"]);
+    }
+
+    #[test]
+    fn t4_retrip_before_cooldown_fires() {
+        let records = vec![
+            rec(
+                0,
+                100,
+                TraceEvent::QuarantineTripped {
+                    key: key("a"),
+                    until: Timestamp(200),
+                },
+            ),
+            rec(
+                1,
+                150,
+                TraceEvent::QuarantineTripped {
+                    key: key("a"),
+                    until: Timestamp(300),
+                },
+            ),
+        ];
+        assert_eq!(codes(&lint(&records)), ["T4"]);
+    }
+
+    #[test]
+    fn t5_attempt_and_backoff_violations_fire() {
+        let retry = |seq, at, attempt, delay| {
+            rec(
+                seq,
+                at,
+                TraceEvent::RetryScheduled {
+                    key: key("a"),
+                    attempt,
+                    delay: TimeSpan(delay),
+                },
+            )
+        };
+        // Skipped attempt: 1 then 3.
+        assert_eq!(
+            codes(&lint(&[retry(0, 0, 1, 10), retry(1, 1, 3, 40)])),
+            ["T5"]
+        );
+        // Shrinking delay within an episode.
+        assert_eq!(
+            codes(&lint(&[retry(0, 0, 1, 10), retry(1, 1, 2, 5)])),
+            ["T5"]
+        );
+        // A fresh episode may restart at 1 with any delay.
+        assert!(lint(&[
+            retry(0, 0, 1, 10),
+            retry(1, 1, 2, 20),
+            rec(
+                2,
+                2,
+                TraceEvent::ValueStored {
+                    key: key("a"),
+                    version: 1
+                }
+            ),
+            retry(3, 3, 1, 10),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn t6_stream_violations_fire() {
+        let records = vec![
+            rec(5, 10, TraceEvent::Subscribe { key: key("a") }),
+            rec(5, 9, TraceEvent::Subscribe { key: key("a") }),
+        ];
+        assert_eq!(codes(&lint(&records)), ["T6", "T6"]);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_parser() {
+        let records = vec![
+            rec(
+                0,
+                0,
+                TraceEvent::Include {
+                    key: key("rate"),
+                    mechanism: "periodic",
+                    depth: 2,
+                },
+            ),
+            rec(
+                1,
+                5,
+                TraceEvent::PropagationStep {
+                    round: 3,
+                    key: key("cost"),
+                    depth: 1,
+                    changed: true,
+                },
+            ),
+            rec(
+                2,
+                9,
+                TraceEvent::PeriodicFired {
+                    key: key("rate"),
+                    boundary: Timestamp(10),
+                    fired_at: Timestamp(11),
+                    missed: false,
+                },
+            ),
+            rec(
+                3,
+                12,
+                TraceEvent::RetryScheduled {
+                    key: key("rate"),
+                    attempt: 2,
+                    delay: TimeSpan(8),
+                },
+            ),
+            rec(
+                4,
+                13,
+                TraceEvent::QuarantineTripped {
+                    key: key("rate"),
+                    until: Timestamp(99),
+                },
+            ),
+            rec(
+                5,
+                14,
+                TraceEvent::ValueStored {
+                    key: key("rate"),
+                    version: 7,
+                },
+            ),
+            rec(
+                6,
+                15,
+                TraceEvent::EpochFlushed {
+                    epoch: 4,
+                    origins: 2,
+                    recomputed: 6,
+                    max_depth: 3,
+                },
+            ),
+            rec(
+                7,
+                16,
+                TraceEvent::DeadlineExceeded {
+                    key: key("rate"),
+                    budget: TimeSpan(5),
+                    elapsed: TimeSpan(9),
+                },
+            ),
+            rec(
+                8,
+                17,
+                TraceEvent::Exclude {
+                    key: key("rate"),
+                    remaining: 1,
+                },
+            ),
+            rec(9, 18, TraceEvent::ComputeFailed { key: key("rate") }),
+            rec(10, 19, TraceEvent::QuarantineRecovered { key: key("rate") }),
+            rec(11, 20, TraceEvent::Unsubscribe { key: key("rate") }),
+        ];
+        let jsonl: String = records
+            .iter()
+            .map(|r| format!("{}\n", r.to_json()))
+            .collect();
+        let parsed = parse_jsonl(&jsonl).expect("round trip");
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn keys_with_nested_paths_round_trip() {
+        let k = MetadataKey::new(NodeId(42), "state.left/memory");
+        let r = rec(0, 0, TraceEvent::Subscribe { key: k.clone() });
+        let parsed = parse_jsonl(&format!("{}\n", r.to_json())).unwrap();
+        assert_eq!(parsed[0].event.key(), Some(&k));
+    }
+
+    #[test]
+    fn malformed_lines_report_their_line_number() {
+        let err = parse_jsonl(
+            "{\"seq\":0,\"at\":0,\"event\":\"subscribe\",\"key\":\"n1/a\"}\nnot json\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert_eq!(codes(&lint_jsonl("nope")), ["T6"]);
+    }
+}

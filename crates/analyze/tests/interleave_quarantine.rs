@@ -1,0 +1,208 @@
+//! Model-checking the quarantine circuit breaker of
+//! `streammeta-core`'s failure-containment layer.
+//!
+//! Two protocols are exhausted over every interleaving:
+//!
+//! * **trip**: concurrent refreshers (the periodic task and the retry
+//!   task race on the same item) must never evaluate a quarantined
+//!   item. The real code holds the containment lock across the
+//!   check-and-count, which the correct model renders as one atomic
+//!   step; the weakened variant splits the quarantine check from the
+//!   evaluation — exactly the TOCTOU a missing lock would create — and
+//!   the checker finds the schedule where one thread trips the breaker
+//!   between the other's check and its evaluation.
+//! * **recover**: the recovery probe must not run before the cool-down
+//!   ends. The correct prober gates on the virtual clock; the weakened
+//!   prober recovers whenever the breaker is open, and the checker
+//!   reports the early-recovery schedule.
+
+use streammeta_analyze::{Explorer, Model};
+
+/// Failures before the breaker trips (mirrors
+/// `FallbackPolicy::quarantine_after`).
+const TRIP_AFTER: u32 = 2;
+
+/// Two refreshers race a failing item into quarantine.
+#[derive(Clone)]
+struct BreakerTrip {
+    /// Split the check from the evaluation (the bug).
+    weakened: bool,
+    failures: u32,
+    quarantined: bool,
+    /// Evaluations that ran while the breaker was open.
+    evals_while_quarantined: u32,
+    /// Per-thread: attempts left to run.
+    attempts_left: [u32; 2],
+    /// Per-thread (weakened only): passed the check, evaluation pending.
+    checked: [bool; 2],
+}
+
+impl BreakerTrip {
+    fn new(weakened: bool) -> BreakerTrip {
+        BreakerTrip {
+            weakened,
+            failures: 0,
+            quarantined: false,
+            evals_while_quarantined: 0,
+            attempts_left: [2; 2],
+            checked: [false; 2],
+        }
+    }
+
+    /// The evaluation itself: always fails, counts toward the trip.
+    fn evaluate(&mut self) {
+        if self.quarantined {
+            self.evals_while_quarantined += 1;
+        }
+        self.failures += 1;
+        if self.failures >= TRIP_AFTER {
+            self.quarantined = true;
+        }
+    }
+}
+
+impl Model for BreakerTrip {
+    fn thread_count(&self) -> usize {
+        2
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        self.attempts_left[tid] == 0 && !self.checked[tid]
+    }
+
+    fn step(&mut self, tid: usize) {
+        if !self.weakened {
+            // Correct: check + evaluate + count under the containment
+            // lock — one atomic action.
+            self.attempts_left[tid] -= 1;
+            if !self.quarantined {
+                self.evaluate();
+            }
+            return;
+        }
+        if self.checked[tid] {
+            // Second half: evaluate on the stale check result.
+            self.checked[tid] = false;
+            self.evaluate();
+        } else {
+            // First half: observe the breaker, then release the lock.
+            self.attempts_left[tid] -= 1;
+            if !self.quarantined {
+                self.checked[tid] = true;
+            }
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if self.evals_while_quarantined > 0 {
+            return Err(format!(
+                "{} evaluation(s) ran while the item was quarantined",
+                self.evals_while_quarantined
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn locked_check_and_trip_admits_no_quarantined_evaluation() {
+    let stats = Explorer::new().explore(BreakerTrip::new(false)).unwrap();
+    assert!(stats.schedules > 1, "multiple interleavings explored");
+}
+
+#[test]
+fn split_check_and_trip_is_caught() {
+    let v = Explorer::new().explore(BreakerTrip::new(true)).unwrap_err();
+    assert!(v.message.contains("while the item was quarantined"), "{v}");
+}
+
+/// A tripped breaker, a virtual clock, and the recovery probe.
+#[derive(Clone)]
+struct ProbeRecovery {
+    /// Probe ignores the cool-down clock (the bug).
+    weakened: bool,
+    time: u32,
+    /// Cool-down end; `None` once recovered.
+    until: Option<u32>,
+    /// The probe's run time, once it ran.
+    probed_at: Option<u32>,
+    clock_ticks_left: u32,
+}
+
+impl ProbeRecovery {
+    fn new(weakened: bool) -> ProbeRecovery {
+        ProbeRecovery {
+            weakened,
+            time: 0,
+            until: Some(2),
+            probed_at: None,
+            clock_ticks_left: 3,
+        }
+    }
+}
+
+impl Model for ProbeRecovery {
+    fn thread_count(&self) -> usize {
+        2 // 0 = clock, 1 = prober
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        match tid {
+            0 => self.clock_ticks_left == 0,
+            _ => self.probed_at.is_some(),
+        }
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        match tid {
+            0 => self.clock_ticks_left > 0,
+            _ => {
+                let Some(until) = self.until else {
+                    return false;
+                };
+                // Correct: the periodic containment task only fires the
+                // probe at/after the cool-down boundary. Weakened: any
+                // open breaker looks probe-ready.
+                self.probed_at.is_none() && (self.weakened || self.time >= until)
+            }
+        }
+    }
+
+    fn step(&mut self, tid: usize) {
+        match tid {
+            0 => {
+                self.time += 1;
+                self.clock_ticks_left -= 1;
+            }
+            _ => {
+                self.probed_at = Some(self.time);
+                self.until = None; // probe succeeds: recover
+            }
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if let Some(at) = self.probed_at {
+            if at < 2 {
+                return Err(format!(
+                    "recovery probe ran at time {at}, before the cool-down end (2)"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn gated_probe_never_recovers_early() {
+    let stats = Explorer::new().explore(ProbeRecovery::new(false)).unwrap();
+    assert!(stats.schedules > 0);
+}
+
+#[test]
+fn ungated_probe_is_caught() {
+    let v = Explorer::new()
+        .explore(ProbeRecovery::new(true))
+        .unwrap_err();
+    assert!(v.message.contains("before the cool-down end"), "{v}");
+}

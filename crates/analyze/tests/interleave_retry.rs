@@ -1,0 +1,197 @@
+//! Model-checking the bounded-retry scheduling chain of
+//! `streammeta-core`'s failure-containment layer.
+//!
+//! The protocol under test: a failed evaluation schedules exactly one
+//! retry task, due at `now + backoff * 2^(attempt-1)`; the retry runs
+//! no earlier than its due time, its attempt number is the
+//! predecessor's plus one, and at most one retry is ever pending per
+//! item. Exhausted over every interleaving of the virtual clock and the
+//! retry runner, with two weakened variants:
+//!
+//! * a runner that ignores the due time (fires as soon as a task is
+//!   pending) — the checker reports the early-fire schedule;
+//! * a scheduler that enqueues a second retry without collapsing the
+//!   pending one (the double-schedule race a lock-free rewrite could
+//!   introduce) — the checker reports the two-pending state.
+
+use streammeta_analyze::{Explorer, Model};
+
+const BACKOFF: u32 = 1;
+const MAX_RETRIES: u32 = 2;
+
+/// Which bug (if any) the model carries.
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    Correct,
+    /// The runner fires pending retries before their due time.
+    IgnoresDueTime,
+    /// Failures enqueue retries without collapsing the pending one.
+    DoubleSchedules,
+}
+
+/// One pending retry task.
+#[derive(Clone, Copy)]
+struct Pending {
+    attempt: u32,
+    due: u32,
+}
+
+#[derive(Clone)]
+struct RetryChain {
+    variant: Variant,
+    time: u32,
+    clock_ticks_left: u32,
+    pending: Vec<Pending>,
+    /// (attempt, ran_at, due) of every executed retry, in order.
+    ran: Vec<(u32, u32, u32)>,
+    /// Failures the source item still produces (each failure schedules).
+    failures_left: u32,
+}
+
+impl RetryChain {
+    fn new(variant: Variant) -> RetryChain {
+        RetryChain {
+            variant,
+            time: 0,
+            clock_ticks_left: 6,
+            pending: Vec::new(),
+            ran: Vec::new(),
+            failures_left: if variant == Variant::DoubleSchedules {
+                2
+            } else {
+                1
+            },
+        }
+    }
+
+    fn schedule(&mut self, attempt: u32) {
+        let delay = BACKOFF << (attempt - 1);
+        let task = Pending {
+            attempt,
+            due: self.time + delay,
+        };
+        if self.variant == Variant::DoubleSchedules {
+            self.pending.push(task);
+        } else {
+            // Correct: the containment state holds at most one retry;
+            // re-scheduling collapses onto it.
+            self.pending.clear();
+            self.pending.push(task);
+        }
+    }
+}
+
+impl Model for RetryChain {
+    fn thread_count(&self) -> usize {
+        3 // 0 = clock, 1 = failing item, 2 = retry runner
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        match tid {
+            0 => self.clock_ticks_left == 0,
+            1 => self.failures_left == 0,
+            _ => {
+                if self.failures_left > 0 {
+                    return false;
+                }
+                match self.pending.first() {
+                    None => true,
+                    // A retry the exhausted clock can no longer make
+                    // due stays pending; the schedule just ends there.
+                    Some(t) => {
+                        self.variant != Variant::IgnoresDueTime
+                            && self.clock_ticks_left == 0
+                            && self.time < t.due
+                    }
+                }
+            }
+        }
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        match tid {
+            0 => self.clock_ticks_left > 0,
+            1 => self.failures_left > 0,
+            _ => self
+                .pending
+                .first()
+                .is_some_and(|t| self.variant == Variant::IgnoresDueTime || self.time >= t.due),
+        }
+    }
+
+    fn step(&mut self, tid: usize) {
+        match tid {
+            0 => {
+                self.time += 1;
+                self.clock_ticks_left -= 1;
+            }
+            1 => {
+                // The source evaluation fails and schedules attempt 1.
+                self.failures_left -= 1;
+                self.schedule(1);
+            }
+            _ => {
+                // Run the (first) pending retry; it fails again and
+                // chains the next attempt until the bound.
+                let task = self.pending.remove(0);
+                self.ran.push((task.attempt, self.time, task.due));
+                if task.attempt < MAX_RETRIES {
+                    self.schedule(task.attempt + 1);
+                }
+            }
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if self.pending.len() > 1 {
+            return Err(format!(
+                "{} retries pending at once for one item",
+                self.pending.len()
+            ));
+        }
+        for &(attempt, ran_at, due) in &self.ran {
+            if ran_at < due {
+                return Err(format!(
+                    "retry attempt {attempt} ran at {ran_at}, before its due time {due}"
+                ));
+            }
+            if attempt > MAX_RETRIES {
+                return Err(format!("retry attempt {attempt} exceeds the bound"));
+            }
+        }
+        for pair in self.ran.windows(2) {
+            let (prev, next) = (pair[0], pair[1]);
+            if next.0 != prev.0 + 1 {
+                return Err(format!(
+                    "retry attempt {} followed attempt {} (must chain by one)",
+                    next.0, prev.0
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn due_time_chain_holds_over_every_interleaving() {
+    let stats = Explorer::with_max_depth(96)
+        .explore(RetryChain::new(Variant::Correct))
+        .unwrap();
+    assert!(stats.schedules > 1, "multiple interleavings explored");
+}
+
+#[test]
+fn early_firing_runner_is_caught() {
+    let v = Explorer::with_max_depth(96)
+        .explore(RetryChain::new(Variant::IgnoresDueTime))
+        .unwrap_err();
+    assert!(v.message.contains("before its due time"), "{v}");
+}
+
+#[test]
+fn double_scheduling_is_caught() {
+    let v = Explorer::with_max_depth(96)
+        .explore(RetryChain::new(Variant::DoubleSchedules))
+        .unwrap_err();
+    assert!(v.message.contains("pending at once"), "{v}");
+}

@@ -22,9 +22,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use streammeta_analyze::tracelint;
 use streammeta_core::{
     FallbackPolicy, FaultAction, FaultPlan, FaultSchedule, ItemDef, MetadataKey, MetadataManager,
-    MetadataValue, NodeId, NodeRegistry, RingBufferSink, TraceEvent,
+    MetadataValue, NodeId, NodeRegistry, RingBufferSink, RotatingFileSink, TraceEvent, TraceRecord,
+    TraceSink,
 };
 use streammeta_engine::run_threaded;
 use streammeta_graph::{FilterPredicate, MetadataConfig, QueryGraph};
@@ -38,6 +40,21 @@ const POLICY: FallbackPolicy = FallbackPolicy {
     quarantine_after: 3,
     cool_down: TimeSpan(100),
 };
+
+/// Fans trace records out to the in-memory ring (for the in-process
+/// checks below) and the rotating file (the JSONL CI re-lints with the
+/// `tracelint` binary).
+struct Tee {
+    ring: Arc<RingBufferSink>,
+    file: Arc<RotatingFileSink>,
+}
+
+impl TraceSink for Tee {
+    fn record(&self, record: TraceRecord) {
+        self.ring.record(record.clone());
+        self.file.record(record);
+    }
+}
 
 fn phase1_deterministic() {
     println!("— phase 1: 10 periodic items, 60 windows, deterministic faults —\n");
@@ -85,8 +102,21 @@ fn phase1_deterministic() {
     );
     manager.set_fault_plan(Some(plan.clone()));
 
+    let out_dir = std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into());
     let sink = RingBufferSink::new(8192);
-    manager.set_trace_sink(Some(sink.clone()));
+    let file_sink = std::fs::create_dir_all(&out_dir).ok().and_then(|()| {
+        RotatingFileSink::create(format!("{out_dir}/e20_trace.jsonl"), 8 << 20).ok()
+    });
+    match &file_sink {
+        Some(file) => {
+            manager.set_file_trace(Some(file.clone()));
+            manager.set_trace_sink(Some(Arc::new(Tee {
+                ring: sink.clone(),
+                file: file.clone(),
+            })));
+        }
+        None => manager.set_trace_sink(Some(sink.clone())),
+    }
     manager.install_meta_node(TimeSpan(50));
 
     let mut recorder = Recorder::new(manager.clone());
@@ -156,8 +186,28 @@ fn phase1_deterministic() {
     println!("unquarantined repeat-failures: {repeat_failures}");
     assert_eq!(repeat_failures, 0, "a quarantined item kept failing");
 
+    // The same trace must satisfy the replay invariants T1–T6. CI
+    // re-lints the written JSONL with the standalone `tracelint` binary;
+    // this in-process pass makes the experiment self-checking even when
+    // the file could not be written.
+    assert_eq!(sink.dropped(), 0, "trace ring wrapped; grow its capacity");
+    let violations = tracelint::lint(&records);
+    assert!(
+        violations.is_empty(),
+        "trace-replay invariants violated:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    println!("trace records linted     {} (T1-T6 clean)", records.len());
+    if let Some(file) = &file_sink {
+        let _ = file.flush();
+        println!("trace JSONL              {}", file.path().display());
+    }
+
     let csv = recorder.to_csv();
-    let out_dir = std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into());
     let out_path = format!("{out_dir}/e20_fault_injection.csv");
     match std::fs::create_dir_all(&out_dir).and_then(|()| std::fs::write(&out_path, &csv)) {
         Ok(()) => println!("\nCSV written to {out_path}"),

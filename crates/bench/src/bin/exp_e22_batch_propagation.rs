@@ -23,9 +23,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use streammeta_analyze::tracelint;
 use streammeta_core::{
     EpochConfig, EventKey, ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId,
-    NodeRegistry, PropagationMode, Subscription,
+    NodeRegistry, PropagationMode, RotatingFileSink, Subscription,
 };
 use streammeta_time::{TimeSpan, VirtualClock};
 
@@ -98,6 +99,55 @@ fn drive(
         updates_per_sec: updates as f64 / elapsed.max(1e-9),
         computes: manager.stats().computes - computes_before,
     }
+}
+
+/// A small traced replay of both propagation modes: fan-out 8 runs the
+/// full per-event protocol, then two coalescing epochs, then tears its
+/// subscriptions down — written as JSONL for the CI `tracelint` pass and
+/// checked against the trace-replay invariants T1–T6 in-process. The
+/// measured runs above stay untraced; at 16k updates x 256 dependents
+/// the trace itself would dominate the timings.
+fn write_lint_trace(out_dir: &str) {
+    let trace_path = format!("{out_dir}/e22_trace.jsonl");
+    let file = match std::fs::create_dir_all(out_dir)
+        .ok()
+        .and_then(|()| RotatingFileSink::create(&trace_path, 8 << 20).ok())
+    {
+        Some(file) => file,
+        None => {
+            println!("could not create {trace_path}; skipping the trace-lint replay");
+            return;
+        }
+    };
+    let (manager, state, subs) = build(8);
+    manager.set_file_trace(Some(file.clone()));
+    manager.set_trace_sink(Some(file.clone()));
+
+    drive(&manager, &state, 4, false);
+    manager.set_propagation_mode(PropagationMode::Epoch(EpochConfig {
+        max_batch: usize::MAX,
+        max_delay: TimeSpan(u64::MAX),
+    }));
+    drive(&manager, &state, 2 * BATCH, true);
+    drop(subs); // unsubscribe + exclude close every per-key history
+
+    manager.set_trace_sink(None);
+    let _ = file.flush();
+    let jsonl = file.read_retained().expect("read back the written trace");
+    let violations = tracelint::lint_jsonl(&jsonl);
+    assert!(
+        violations.is_empty(),
+        "trace-replay invariants violated:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    println!(
+        "\ntrace replay: {} records linted (T1-T6 clean), JSONL at {trace_path}",
+        file.records_written()
+    );
 }
 
 fn main() {
@@ -231,6 +281,8 @@ fn main() {
     record(&mut csv, &mut json, "flush_cadence", BATCH.to_string());
 
     let out_dir = std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    write_lint_trace(&out_dir);
+
     let csv_path = format!("{out_dir}/e22_batch_propagation.csv");
     let mut json_text = String::from("{\n");
     for (i, (k, v)) in json.iter().enumerate() {

@@ -300,6 +300,34 @@ fn deadline_without_fallback() -> BuiltFixture {
     }
 }
 
+/// S7: a reset-on-read measurement feeding a triggered dependent while
+/// the manager coalesces propagation into epochs — the flush reads (and
+/// resets) the measurement once per batch.
+fn epoch_coalesced_reset() -> BuiltFixture {
+    use streammeta_core::{EpochConfig, PropagationMode};
+    let mgr = MetadataManager::new(VirtualClock::shared());
+    let reg = NodeRegistry::new(NodeId(0));
+    reg.define(
+        ItemDef::on_demand("arrivals_since_read")
+            .reset_on_read()
+            .compute(|_| MetadataValue::U64(0))
+            .build(),
+    );
+    reg.define(
+        ItemDef::triggered("burst_score")
+            .dep_local("arrivals_since_read")
+            .compute(|_| MetadataValue::F64(0.0))
+            .build(),
+    );
+    mgr.attach_node(reg);
+    mgr.set_propagation_mode(PropagationMode::Epoch(EpochConfig::default()));
+    BuiltFixture {
+        manager: mgr,
+        _graph: None,
+        _subs: Vec::new(),
+    }
+}
+
 /// The full fixture registry, in id order.
 pub fn all() -> &'static [Fixture] {
     &[
@@ -456,6 +484,13 @@ pub fn all() -> &'static [Fixture] {
             expected_errors: &[],
             expected_warnings: &["C1"],
             build: deadline_without_fallback,
+        },
+        Fixture {
+            id: "S7",
+            name: "synthetic: reset-on-read input under epoch-batched propagation",
+            expected_errors: &["A7"],
+            expected_warnings: &[],
+            build: epoch_coalesced_reset,
         },
     ]
 }

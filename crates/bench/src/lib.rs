@@ -7,3 +7,4 @@
 pub mod fixtures;
 pub mod scenarios;
 pub mod table;
+pub mod trace_fixtures;

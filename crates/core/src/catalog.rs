@@ -340,23 +340,44 @@ impl MetadataManager {
                 })
                 .collect(),
             SystemRelation::Trace => {
-                let Some(sink) = self.catalog_trace() else {
-                    return Vec::new();
-                };
-                sink.snapshot()
-                    .into_iter()
-                    .map(|rec| {
-                        vec![
-                            MetadataValue::U64(rec.seq),
-                            MetadataValue::Time(rec.at),
-                            MetadataValue::text(rec.event.kind()),
-                            rec.event.key().map_or(MetadataValue::Unavailable, |k| {
-                                MetadataValue::text(k.to_string())
-                            }),
-                            MetadataValue::text(rec.event.to_string()),
-                        ]
+                let mut rows: Vec<Vec<MetadataValue>> = self
+                    .catalog_trace()
+                    .map(|sink| {
+                        sink.snapshot()
+                            .into_iter()
+                            .map(|rec| {
+                                vec![
+                                    MetadataValue::U64(rec.seq),
+                                    MetadataValue::Time(rec.at),
+                                    MetadataValue::text(rec.event.kind()),
+                                    rec.event.key().map_or(MetadataValue::Unavailable, |k| {
+                                        MetadataValue::text(k.to_string())
+                                    }),
+                                    MetadataValue::text(rec.event.to_string()),
+                                ]
+                            })
+                            .collect()
                     })
-                    .collect()
+                    .unwrap_or_default();
+                // A registered rotating file sink contributes one
+                // `trace_file` summary row so rotation is observable
+                // through the catalog (a wrapped-but-unnoticed trace is
+                // exactly the failure mode the rotating sink prevents).
+                if let Some(file) = self.file_trace() {
+                    rows.push(vec![
+                        MetadataValue::U64(file.records_written()),
+                        MetadataValue::Time(now),
+                        MetadataValue::text("trace_file"),
+                        MetadataValue::Unavailable,
+                        MetadataValue::text(format!(
+                            "trace_file path={} rotations={} records={}",
+                            file.path().display(),
+                            file.rotations(),
+                            file.records_written()
+                        )),
+                    ]);
+                }
+                rows
             }
         }
     }
@@ -456,6 +477,24 @@ mod tests {
         let arity = SystemRelation::Trace.columns().len();
         assert!(rows.iter().all(|r| r.len() == arity));
         assert_eq!(rows[0][2].as_text(), Some("subscribe"));
+    }
+
+    #[test]
+    fn trace_relation_reports_file_rotation() {
+        let (_clock, manager) = setup();
+        let dir = std::env::temp_dir().join(format!("streammeta_cat_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sink =
+            crate::trace::RotatingFileSink::create(dir.join("cat_trace.jsonl"), 4096).unwrap();
+        manager.set_file_trace(Some(sink));
+        let rows = manager.catalog_rows(SystemRelation::Trace);
+        assert_eq!(rows.len(), 1, "summary row even with no ring installed");
+        assert_eq!(rows[0][2].as_text(), Some("trace_file"));
+        let detail = rows[0][4].as_text().unwrap();
+        assert!(detail.contains("rotations=0"), "{detail}");
+        manager.set_file_trace(None);
+        assert!(manager.catalog_rows(SystemRelation::Trace).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

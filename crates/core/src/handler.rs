@@ -12,7 +12,7 @@
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{LockTier, TieredMutex, TieredRwLock};
 use streammeta_time::{TaskId, Timestamp};
 
 use crate::histogram::HistogramMonitor;
@@ -183,21 +183,28 @@ pub(crate) struct Handler {
     /// predecoded for the read hot path.
     pub(crate) on_demand: bool,
     /// Item-level lock of the three-level scheme (Section 4.2).
-    value: RwLock<VersionedValue>,
+    /// Tier: [`LockTier::ItemValue`].
+    value: TieredRwLock<VersionedValue>,
     /// Lock-free mirror of `value` for scalar values; readers try it
     /// first and only take the value lock for uncacheable values or
     /// when a write is in flight.
     cell: ScalarCell,
     /// Serializes computations so stateful compute functions (counters
     /// that reset on sampling) see one evaluation at a time.
-    pub(crate) compute_lock: Mutex<()>,
+    /// Tier: [`LockTier::ItemCompute`] — the only self-nesting tier
+    /// (nested dependency computes follow the acyclic dependency DAG).
+    pub(crate) compute_lock: TieredMutex<()>,
     /// The periodic refresh task, if the mechanism is periodic.
-    pub(crate) periodic_task: Mutex<Option<TaskId>>,
+    /// Tier: [`LockTier::ItemState`] (leaf).
+    pub(crate) periodic_task: TieredMutex<Option<TaskId>>,
     /// Retry/quarantine state of items with a fallback policy.
-    pub(crate) containment: Mutex<ContainmentState>,
+    /// Tier: [`LockTier::ItemState`] (leaf).
+    pub(crate) containment: TieredMutex<ContainmentState>,
     /// Push observers, notified after every stored change (Section 2.1's
     /// consumers as listeners — e.g. a monitoring tool plotting values).
-    observers: Mutex<Vec<Observer>>,
+    /// Tier: [`LockTier::Observers`] — ranked *before* the value lock
+    /// because registration snapshots the value under the observer list.
+    observers: TieredMutex<Vec<Observer>>,
     next_observer: AtomicU64,
     accesses: AtomicU64,
     updates: AtomicU64,
@@ -220,12 +227,12 @@ impl Handler {
             on_demand,
             // Created by the subscription that materialises the item.
             subscriptions: AtomicUsize::new(1),
-            value: RwLock::new(VersionedValue::unavailable()),
+            value: TieredRwLock::new(LockTier::ItemValue, VersionedValue::unavailable()),
             cell: ScalarCell::new(),
-            compute_lock: Mutex::new(()),
-            periodic_task: Mutex::new(None),
-            containment: Mutex::new(ContainmentState::default()),
-            observers: Mutex::new(Vec::new()),
+            compute_lock: TieredMutex::new(LockTier::ItemCompute, ()),
+            periodic_task: TieredMutex::new(LockTier::ItemState, None),
+            containment: TieredMutex::new(LockTier::ItemState, ContainmentState::default()),
+            observers: TieredMutex::new(LockTier::Observers, Vec::new()),
             next_observer: AtomicU64::new(0),
             accesses: AtomicU64::new(0),
             updates: AtomicU64::new(0),

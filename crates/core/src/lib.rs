@@ -84,6 +84,7 @@ mod monitor;
 mod registry;
 mod shards;
 mod subscription;
+pub mod sync;
 mod trace;
 mod value;
 
@@ -105,5 +106,6 @@ pub use meta::META_NODE;
 pub use monitor::{Counter, Gauge};
 pub use registry::{MetadataModule, NodeRegistry, RegistryScope};
 pub use subscription::Subscription;
-pub use trace::{RingBufferSink, TraceEvent, TraceRecord, TraceSink};
+pub use sync::{lock_audit, LockEvent, LockTier};
+pub use trace::{RingBufferSink, RotatingFileSink, TraceEvent, TraceRecord, TraceSink};
 pub use value::{MetadataValue, VersionedValue};

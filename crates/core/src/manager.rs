@@ -47,6 +47,7 @@ use crate::monitor::Counter;
 use crate::registry::NodeRegistry;
 use crate::shards::HandlerShards;
 use crate::subscription::Subscription;
+use crate::sync::{LockTier, TieredMutex, TieredRwLock};
 use crate::trace::{TraceEvent, TraceRecord, TraceSink};
 use crate::{
     EventKey, ItemPath, MetadataError, MetadataKey, MetadataValue, NodeId, Result, VersionedValue,
@@ -174,9 +175,10 @@ pub struct ManagerStats {
 pub struct MetadataManager {
     clock: ClockRef,
     periodic: Arc<PeriodicRegistry>,
-    /// Graph-level lock (Section 4.2).
-    registries: RwLock<HashMap<NodeId, Arc<NodeRegistry>>>,
-    inner: Mutex<Inner>,
+    /// Graph-level lock (Section 4.2). Tier: [`LockTier::Graph`].
+    registries: TieredRwLock<HashMap<NodeId, Arc<NodeRegistry>>>,
+    /// Bookkeeping mutex. Tier: [`LockTier::Bookkeeping`].
+    inner: TieredMutex<Inner>,
     /// Hash-partitioned `key -> handler` mirror of `inner.handlers`,
     /// written under the bookkeeping mutex, read without it.
     shards: HandlerShards,
@@ -217,14 +219,16 @@ pub struct MetadataManager {
     epoch_enabled: AtomicBool,
     /// Pending-update queue of the epoch mode (holds the config too, so
     /// mode switches and flush decisions are consistent under one lock).
-    epoch_queue: Mutex<EpochQueue>,
+    /// Tier: [`LockTier::EpochQueue`].
+    epoch_queue: TieredMutex<EpochQueue>,
     /// Serializes epoch sweeps: epoch N+1's observer notifications cannot
     /// start before epoch N's sweep finished, and epoch ids are assigned
     /// in delivery order. Ordered *before* `inner` (a flush holds it
     /// while taking the phase-1 snapshot); never held while `epoch_queue`
     /// is taken by enqueuers, so enqueues stay wait-free with respect to
-    /// a running sweep.
-    flush_serial: Mutex<()>,
+    /// a running sweep. Tier: [`LockTier::FlushSerial`], rank 0 — the
+    /// full declared hierarchy lives in [`crate::sync`].
+    flush_serial: TieredMutex<()>,
     epochs: AtomicU64,
     coalesced_updates: AtomicU64,
     /// Trace bus: a single relaxed load gates every emission site, so an
@@ -246,6 +250,10 @@ pub struct MetadataManager {
     /// `trace_sink` so the catalog can always find it (the trace sink
     /// slot holds a type-erased `dyn TraceSink`).
     catalog_trace: RwLock<Option<Arc<crate::trace::RingBufferSink>>>,
+    /// Rotating JSONL file sink registered for `sys.trace` reporting
+    /// (rotation/record counters); wiring it as the actual trace sink —
+    /// alone or teed with a ring buffer — is the caller's choice.
+    trace_file: RwLock<Option<Arc<crate::trace::RotatingFileSink>>>,
     self_weak: Weak<MetadataManager>,
 }
 
@@ -285,8 +293,8 @@ impl MetadataManager {
         Arc::new_cyclic(|weak| MetadataManager {
             clock,
             periodic,
-            registries: RwLock::new(HashMap::new()),
-            inner: Mutex::new(Inner::default()),
+            registries: TieredRwLock::new(LockTier::Graph, HashMap::new()),
+            inner: TieredMutex::new(LockTier::Bookkeeping, Inner::default()),
             shards: HandlerShards::new(),
             retired_accesses: AtomicU64::new(0),
             shard_reads: AtomicU64::new(0),
@@ -304,8 +312,8 @@ impl MetadataManager {
             fault_plan: RwLock::new(None),
             last_propagation_depth: AtomicU64::new(0),
             epoch_enabled: AtomicBool::new(false),
-            epoch_queue: Mutex::new(EpochQueue::default()),
-            flush_serial: Mutex::new(()),
+            epoch_queue: TieredMutex::new(LockTier::EpochQueue, EpochQueue::default()),
+            flush_serial: TieredMutex::new(LockTier::FlushSerial, ()),
             epochs: AtomicU64::new(0),
             coalesced_updates: AtomicU64::new(0),
             trace_enabled: AtomicBool::new(false),
@@ -315,6 +323,7 @@ impl MetadataManager {
             validator: RwLock::new(None),
             validation_warnings: Mutex::new(Vec::new()),
             catalog_trace: RwLock::new(None),
+            trace_file: RwLock::new(None),
             self_weak: weak.clone(),
         })
     }
@@ -389,6 +398,20 @@ impl MetadataManager {
     /// any.
     pub fn catalog_trace(&self) -> Option<Arc<crate::trace::RingBufferSink>> {
         self.catalog_trace.read().clone()
+    }
+
+    /// Registers (or, with `None`, forgets) a rotating file sink so
+    /// `sys.trace` reports its rotation and record counters. This only
+    /// registers the sink for catalog reporting; install it as the trace
+    /// sink separately via [`Self::set_trace_sink`] — possibly behind a
+    /// tee when an in-memory ring is wanted too.
+    pub fn set_file_trace(&self, sink: Option<Arc<crate::trace::RotatingFileSink>>) {
+        *self.trace_file.write() = sink;
+    }
+
+    /// The rotating file sink registered by [`Self::set_file_trace`].
+    pub fn file_trace(&self) -> Option<Arc<crate::trace::RotatingFileSink>> {
+        self.trace_file.read().clone()
     }
 
     /// A stable snapshot of all live handlers, sorted by key — the raw
@@ -1192,6 +1215,9 @@ impl MetadataManager {
             .then(std::time::Instant::now);
         let deadline = handler.def.deadline();
         let clock_start = deadline.map(|_| self.clock.now());
+        // Lock-audit marker: only ItemCompute / FlushSerial may be held
+        // while the user closure below runs.
+        crate::sync::note_user_compute();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &fault {
             Some((_, FaultAction::Panic)) => panic!("injected fault: {}", handler.key),
             Some((_, FaultAction::Error)) => MetadataValue::Unavailable,
@@ -1267,7 +1293,7 @@ impl MetadataManager {
         let policy = handler.def.fallback();
         if deadline.is_none() && policy.is_none() {
             let out = self.compute_raw(handler, window, now);
-            return handler.store_if_changed(out.value, now);
+            return self.store_traced(handler, out.value, now);
         }
         let out = self.compute_raw(handler, window, now);
         let failed =
@@ -1289,11 +1315,11 @@ impl MetadataManager {
                     });
                 }
             }
-            return handler.store_if_changed(out.value, now);
+            return self.store_traced(handler, out.value, now);
         }
         let Some(policy) = policy else {
             // Deadline-only item: observation, not containment.
-            return handler.store_if_changed(out.value, now);
+            return self.store_traced(handler, out.value, now);
         };
         handler.mark_degraded();
         // Follow-ups are scheduled from the evaluation's *scheduled* time
@@ -1344,6 +1370,21 @@ impl MetadataManager {
             });
         }
         false
+    }
+
+    /// Stores a computed value and traces the new version on change —
+    /// the witness tracelint's T1 monotonicity rule replays. Callers
+    /// serialize per handler (compute lock), so the version read back
+    /// here is the one this store produced.
+    fn store_traced(&self, handler: &Arc<Handler>, value: MetadataValue, now: Timestamp) -> bool {
+        let changed = handler.store_if_changed(value, now);
+        if changed {
+            self.trace(|| TraceEvent::ValueStored {
+                key: handler.key.clone(),
+                version: handler.snapshot().version,
+            });
+        }
+        changed
     }
 
     /// A scheduled backoff retry for `key`. Skipped if the item was

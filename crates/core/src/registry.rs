@@ -10,16 +10,16 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
-
 use crate::item::{DepSpec, DepTarget, ItemDef};
+use crate::sync::{LockTier, TieredRwLock};
 use crate::{ItemPath, NodeId};
 
 /// Registry of the metadata items one node can provide.
 pub struct NodeRegistry {
     node: NodeId,
     /// Node-level lock of the three-level locking scheme (Section 4.2).
-    items: RwLock<HashMap<ItemPath, ItemDef>>,
+    /// Tier: [`LockTier::Node`].
+    items: TieredRwLock<HashMap<ItemPath, ItemDef>>,
 }
 
 impl NodeRegistry {
@@ -27,7 +27,7 @@ impl NodeRegistry {
     pub fn new(node: NodeId) -> Arc<Self> {
         Arc::new(NodeRegistry {
             node,
-            items: RwLock::new(HashMap::new()),
+            items: TieredRwLock::new(LockTier::Node, HashMap::new()),
         })
     }
 

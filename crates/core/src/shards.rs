@@ -18,9 +18,8 @@ use std::collections::HashMap;
 use std::hash::{BuildHasher, RandomState};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
-
 use crate::handler::Handler;
+use crate::sync::{LockTier, TieredRwLock};
 use crate::MetadataKey;
 
 /// Number of partitions. A small power of two well above typical core
@@ -29,7 +28,8 @@ use crate::MetadataKey;
 const SHARD_COUNT: usize = 16;
 
 pub(crate) struct HandlerShards {
-    shards: Vec<RwLock<HashMap<MetadataKey, Arc<Handler>>>>,
+    /// Tier: [`LockTier::Shard`] — every partition shares the tier.
+    shards: Vec<TieredRwLock<HashMap<MetadataKey, Arc<Handler>>>>,
     hasher: RandomState,
 }
 
@@ -37,13 +37,13 @@ impl HandlerShards {
     pub(crate) fn new() -> Self {
         HandlerShards {
             shards: (0..SHARD_COUNT)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| TieredRwLock::new(LockTier::Shard, HashMap::new()))
                 .collect(),
             hasher: RandomState::new(),
         }
     }
 
-    fn shard(&self, key: &MetadataKey) -> &RwLock<HashMap<MetadataKey, Arc<Handler>>> {
+    fn shard(&self, key: &MetadataKey) -> &TieredRwLock<HashMap<MetadataKey, Arc<Handler>>> {
         &self.shards[(self.hasher.hash_one(key) as usize) & (SHARD_COUNT - 1)]
     }
 

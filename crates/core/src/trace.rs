@@ -105,6 +105,14 @@ pub enum TraceEvent {
         /// The recovered item.
         key: MetadataKey,
     },
+    /// A refresh stored a changed value (the version is the handler's
+    /// monotone store counter — the tracelint T1 monotonicity witness).
+    ValueStored {
+        /// The updated item.
+        key: MetadataKey,
+        /// The stored value's version.
+        version: u64,
+    },
     /// An epoch flush swept a batch of coalesced source updates
     /// (epoch propagation mode only; the per-item recomputations still
     /// emit their own [`TraceEvent::PropagationStep`] records).
@@ -136,6 +144,7 @@ impl TraceEvent {
             TraceEvent::RetryScheduled { .. } => "retry_scheduled",
             TraceEvent::QuarantineTripped { .. } => "quarantine_tripped",
             TraceEvent::QuarantineRecovered { .. } => "quarantine_recovered",
+            TraceEvent::ValueStored { .. } => "value_stored",
             TraceEvent::EpochFlushed { .. } => "epoch_flushed",
         }
     }
@@ -154,7 +163,8 @@ impl TraceEvent {
             | TraceEvent::DeadlineExceeded { key, .. }
             | TraceEvent::RetryScheduled { key, .. }
             | TraceEvent::QuarantineTripped { key, .. }
-            | TraceEvent::QuarantineRecovered { key } => Some(key),
+            | TraceEvent::QuarantineRecovered { key }
+            | TraceEvent::ValueStored { key, .. } => Some(key),
             TraceEvent::EpochFlushed { .. } => None,
         }
     }
@@ -210,6 +220,9 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::QuarantineRecovered { key } => {
                 write!(f, "quarantine_recovered {key}")
+            }
+            TraceEvent::ValueStored { key, version } => {
+                write!(f, "value_stored {key} version={version}")
             }
             TraceEvent::EpochFlushed {
                 epoch,
@@ -307,6 +320,10 @@ impl TraceRecord {
             TraceEvent::QuarantineTripped { until, .. } => {
                 out.push_str(",\"until\":");
                 out.push_str(&until.units().to_string());
+            }
+            TraceEvent::ValueStored { version, .. } => {
+                out.push_str(",\"version\":");
+                out.push_str(&version.to_string());
             }
             TraceEvent::EpochFlushed {
                 epoch,
@@ -436,6 +453,113 @@ impl TraceSink for RingBufferSink {
     }
 }
 
+/// A bounded-file JSONL trace sink with rotation.
+///
+/// [`RingBufferSink`] silently evicts once wrapped, so a long chaos run
+/// lints an incomplete trace. This sink streams every record to
+/// `path` as JSON Lines and, when the active file exceeds `max_bytes`,
+/// rotates it to `<path>.1` (overwriting any previous rotation) and
+/// starts a fresh file — so the two files together always hold the most
+/// recent window *without gaps inside it*, and no record is dropped
+/// mid-file. The rotation count is exported through the `sys.trace`
+/// catalog relation.
+pub struct RotatingFileSink {
+    path: std::path::PathBuf,
+    max_bytes: u64,
+    state: Mutex<FileState>,
+    rotations: AtomicU64,
+    records: AtomicU64,
+}
+
+struct FileState {
+    file: std::fs::File,
+    written: u64,
+}
+
+impl RotatingFileSink {
+    /// Creates (truncating) `path` and writes JSONL records to it,
+    /// rotating to `<path>.1` whenever the active file would exceed
+    /// `max_bytes` (at least 4 KiB).
+    pub fn create(
+        path: impl Into<std::path::PathBuf>,
+        max_bytes: u64,
+    ) -> std::io::Result<Arc<Self>> {
+        let path = path.into();
+        let file = std::fs::File::create(&path)?;
+        Ok(Arc::new(RotatingFileSink {
+            path,
+            max_bytes: max_bytes.max(4096),
+            state: Mutex::new(FileState { file, written: 0 }),
+            rotations: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+        }))
+    }
+
+    /// The active file's path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// The rotated file's path (`<path>.1`), whether or not it exists yet.
+    pub fn rotated_path(&self) -> std::path::PathBuf {
+        let mut os = self.path.as_os_str().to_owned();
+        os.push(".1");
+        std::path::PathBuf::from(os)
+    }
+
+    /// How many times the active file has been rotated out.
+    pub fn rotations(&self) -> u64 {
+        self.rotations.load(Ordering::Relaxed)
+    }
+
+    /// Total records written across all rotations.
+    pub fn records_written(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Flushes OS buffers on the active file.
+    pub fn flush(&self) -> std::io::Result<()> {
+        use std::io::Write;
+        self.state.lock().file.flush()
+    }
+
+    /// Reads the full retained trace back (rotated file first, then the
+    /// active one), as JSONL.
+    pub fn read_retained(&self) -> std::io::Result<String> {
+        let _guard = self.state.lock();
+        let mut out = String::new();
+        if let Ok(older) = std::fs::read_to_string(self.rotated_path()) {
+            out.push_str(&older);
+        }
+        out.push_str(&std::fs::read_to_string(&self.path)?);
+        Ok(out)
+    }
+}
+
+impl TraceSink for RotatingFileSink {
+    fn record(&self, record: TraceRecord) {
+        use std::io::Write;
+        let line = record.to_json();
+        let mut state = self.state.lock();
+        if state.written > 0 && state.written + line.len() as u64 + 1 > self.max_bytes {
+            // Rotate: flush, move aside, reopen. Failures degrade to
+            // keeping the current file (the sink must never panic on the
+            // propagation path).
+            let _ = state.file.flush();
+            let _ = std::fs::rename(&self.path, self.rotated_path());
+            if let Ok(fresh) = std::fs::File::create(&self.path) {
+                state.file = fresh;
+                state.written = 0;
+                self.rotations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if writeln!(state.file, "{line}").is_ok() {
+            state.written += line.len() as u64 + 1;
+            self.records.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +678,52 @@ mod tests {
         assert!(json.contains("\"origins\":3"));
         assert!(json.contains("\"recomputed\":12"));
         assert!(json.contains("\"max_depth\":2"));
+    }
+
+    #[test]
+    fn value_stored_renders() {
+        let e = TraceEvent::ValueStored {
+            key: key("rate"),
+            version: 17,
+        };
+        assert_eq!(e.kind(), "value_stored");
+        assert_eq!(e.key(), Some(&key("rate")));
+        assert_eq!(format!("{e}"), "value_stored n1/rate version=17");
+        let json = rec(4, e).to_json();
+        assert!(json.contains("\"event\":\"value_stored\""));
+        assert!(json.contains("\"version\":17"));
+    }
+
+    #[test]
+    fn rotating_file_sink_rotates_without_gaps() {
+        let dir = std::env::temp_dir().join(format!(
+            "streammeta_rot_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sink = RotatingFileSink::create(&path, 4096).unwrap();
+        // Each line is ~60 bytes; write enough to force >1 rotation.
+        for i in 0..200 {
+            sink.record(rec(i, TraceEvent::Subscribe { key: key("a") }));
+        }
+        sink.flush().unwrap();
+        assert!(sink.rotations() >= 1, "expected at least one rotation");
+        assert_eq!(sink.records_written(), 200);
+        // The retained window (rotated + active) is contiguous: seqs
+        // strictly increase line over line and end at the last record.
+        let retained = sink.read_retained().unwrap();
+        let seqs: Vec<u64> = retained
+            .lines()
+            .map(|l| {
+                let rest = l.strip_prefix("{\"seq\":").unwrap();
+                rest[..rest.find(',').unwrap()].parse().unwrap()
+            })
+            .collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "gap in window");
+        assert_eq!(*seqs.last().unwrap(), 199);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
