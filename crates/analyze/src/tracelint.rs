@@ -14,6 +14,8 @@
 //! | T4   | quarantine legality: trip → silence until the cool-down ends → recover or re-trip |
 //! | T5   | retry attempts count 1, 2, … with non-decreasing backoff delays |
 //! | T6   | stream well-formedness: seq strictly increases, time never goes backwards |
+//! | T7   | span causality: every span's parent exists, precedes it, and never changes (acyclic) |
+//! | T8   | lineage coverage: every span-bearing notification's roots trace back to real source-update anchors |
 //!
 //! [`lint`] replays a slice of [`TraceRecord`]s and returns every
 //! violation; [`parse_jsonl`] reconstructs records from the JSONL
@@ -27,9 +29,9 @@
 //! produce false T3/T4 positives; lint the deterministic phase of an
 //! experiment instead.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use streammeta_core::{MetadataKey, NodeId, TraceEvent, TraceRecord};
+use streammeta_core::{MetadataKey, NodeId, SpanContext, TraceEvent, TraceRecord};
 use streammeta_time::{TimeSpan, Timestamp};
 
 /// The invariant rules of the trace linter.
@@ -47,6 +49,13 @@ pub enum TraceRule {
     RetryConformance,
     /// Sequence numbers strictly increase and time never goes backwards.
     StreamWellFormed,
+    /// Every span's parent exists, strictly precedes it in the stream,
+    /// and never changes across a span's records (acyclic by induction).
+    SpanCausality,
+    /// Every span-bearing notification carries at least one root, and
+    /// every root is a real anchor (a parentless source-update,
+    /// subscribe, periodic-fired or epoch-flushed span).
+    LineageCoverage,
 }
 
 impl TraceRule {
@@ -59,6 +68,8 @@ impl TraceRule {
             TraceRule::QuarantineLegality => "T4",
             TraceRule::RetryConformance => "T5",
             TraceRule::StreamWellFormed => "T6",
+            TraceRule::SpanCausality => "T7",
+            TraceRule::LineageCoverage => "T8",
         }
     }
 
@@ -71,17 +82,21 @@ impl TraceRule {
             TraceRule::QuarantineLegality => "quarantine legality",
             TraceRule::RetryConformance => "retry/backoff conformance",
             TraceRule::StreamWellFormed => "stream well-formedness",
+            TraceRule::SpanCausality => "span causality",
+            TraceRule::LineageCoverage => "lineage coverage",
         }
     }
 
     /// All rules, in id order.
-    pub const ALL: [TraceRule; 6] = [
+    pub const ALL: [TraceRule; 8] = [
         TraceRule::VersionMonotonicity,
         TraceRule::EpochSerialization,
         TraceRule::ExclusionLiveness,
         TraceRule::QuarantineLegality,
         TraceRule::RetryConformance,
         TraceRule::StreamWellFormed,
+        TraceRule::SpanCausality,
+        TraceRule::LineageCoverage,
     ];
 }
 
@@ -146,6 +161,23 @@ pub fn lint(records: &[TraceRecord]) -> Vec<TraceViolation> {
     // T4 / T5 state.
     let mut quarantine: HashMap<String, QuarState> = HashMap::new();
     let mut retries: HashMap<String, RetryState> = HashMap::new();
+    // T7 state: first-seen parent per span id.
+    let mut span_parents: HashMap<u64, Option<u64>> = HashMap::new();
+    // T8 anchors, collected up front: epoch coalescing can legally emit
+    // a notification before its flush-span record, so anchor existence
+    // must not depend on emission order.
+    let anchors: HashSet<u64> = records
+        .iter()
+        .filter_map(|r| {
+            let ctx = r.span.as_ref()?;
+            let anchored = ctx.parent.is_none()
+                && matches!(
+                    r.event.kind(),
+                    "source_update" | "subscribe" | "periodic_fired" | "epoch_flushed"
+                );
+            anchored.then_some(ctx.span)
+        })
+        .collect();
 
     for rec in records {
         let key_str = rec.event.key().map(|k| k.to_string());
@@ -173,6 +205,75 @@ pub fn lint(records: &[TraceRecord]) -> Vec<TraceViolation> {
         }
         last_seq = Some(rec.seq);
         last_at = Some(rec.at);
+
+        // T7: span causality. A child span's first record must come
+        // after some record of its parent (topological emission), a
+        // span never reparents, and no span is its own parent — which
+        // together rule out cycles by induction on first appearance.
+        if let Some(ctx) = &rec.span {
+            if ctx.parent == Some(ctx.span) {
+                out.push(TraceViolation {
+                    rule: TraceRule::SpanCausality,
+                    seq: rec.seq,
+                    key: key_str.clone(),
+                    message: format!("span {} is its own parent", ctx.span),
+                });
+            } else if let Some(&first) = span_parents.get(&ctx.span) {
+                if first != ctx.parent {
+                    out.push(TraceViolation {
+                        rule: TraceRule::SpanCausality,
+                        seq: rec.seq,
+                        key: key_str.clone(),
+                        message: format!(
+                            "span {} reparented from {:?} to {:?}",
+                            ctx.span, first, ctx.parent
+                        ),
+                    });
+                }
+            } else {
+                if let Some(parent) = ctx.parent {
+                    if !span_parents.contains_key(&parent) {
+                        out.push(TraceViolation {
+                            rule: TraceRule::SpanCausality,
+                            seq: rec.seq,
+                            key: key_str.clone(),
+                            message: format!(
+                                "span {} appeared before its parent {parent}",
+                                ctx.span
+                            ),
+                        });
+                    }
+                }
+                span_parents.insert(ctx.span, ctx.parent);
+            }
+
+            // T8: lineage coverage. Every span-carrying notification
+            // must name at least one root, and each must be an anchor.
+            // Span-less notifications pass vacuously (sampling off or
+            // an unsampled cascade).
+            if matches!(rec.event, TraceEvent::Notified { .. }) {
+                if ctx.roots.is_empty() {
+                    out.push(TraceViolation {
+                        rule: TraceRule::LineageCoverage,
+                        seq: rec.seq,
+                        key: key_str.clone(),
+                        message: "notification span carries no roots".to_string(),
+                    });
+                }
+                for root in &ctx.roots {
+                    if !anchors.contains(root) {
+                        out.push(TraceViolation {
+                            rule: TraceRule::LineageCoverage,
+                            seq: rec.seq,
+                            key: key_str.clone(),
+                            message: format!(
+                                "root {root} does not resolve to a source-update anchor"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
 
         // T3: activity after exclusion. Subscribe/unsubscribe/exclude
         // records are bookkeeping, not item activity.
@@ -594,12 +695,64 @@ fn parse_line(line: &str) -> Result<TraceRecord, String> {
             recomputed: field_u64("recomputed")? as usize,
             max_depth: field_u64("max_depth")? as usize,
         },
+        "source_update" => TraceEvent::SourceUpdate {
+            origin: map
+                .get("origin")
+                .and_then(JsonVal::as_str)
+                .ok_or_else(|| "missing field `origin`".to_string())?
+                .to_string(),
+            origin_kind: origin_kind_label(
+                map.get("origin_kind")
+                    .and_then(JsonVal::as_str)
+                    .ok_or_else(|| "missing field `origin_kind`".to_string())?,
+            )?,
+        },
+        "notified" => TraceEvent::Notified {
+            key: key()?,
+            version: field_u64("version")?,
+            observers: field_u64("observers")? as usize,
+        },
         other => return Err(format!("unknown event kind `{other}`")),
+    };
+    // Lineage fields ride on any event kind; `span` marks their
+    // presence, `roots` is string-encoded ("1,4") to keep the JSONL
+    // dialect flat.
+    let span = match map.get("span").and_then(JsonVal::as_u64) {
+        Some(id) => {
+            let roots_str = map
+                .get("roots")
+                .and_then(JsonVal::as_str)
+                .ok_or_else(|| "missing field `roots`".to_string())?;
+            let mut roots = Vec::new();
+            for part in roots_str.split(',').filter(|p| !p.is_empty()) {
+                roots.push(part.parse().map_err(|_| format!("bad root id `{part}`"))?);
+            }
+            Some(SpanContext {
+                span: id,
+                parent: map.get("parent").and_then(JsonVal::as_u64),
+                roots,
+                depth: field_u64("span_depth")? as u32,
+                start: Timestamp(field_u64("span_start")?),
+            })
+        }
+        None => None,
     };
     Ok(TraceRecord {
         seq: field_u64("seq")?,
         at: Timestamp(field_u64("at")?),
         event,
+        span,
+        tid: map.get("tid").and_then(JsonVal::as_u64),
+    })
+}
+
+/// Maps a parsed origin kind back to the static string
+/// [`TraceEvent::SourceUpdate`] carries.
+fn origin_kind_label(s: &str) -> Result<&'static str, String> {
+    Ok(match s {
+        "item" => "item",
+        "event" => "event",
+        other => return Err(format!("unknown origin kind `{other}`")),
     })
 }
 
@@ -639,11 +792,12 @@ mod tests {
     }
 
     fn rec(seq: u64, at: u64, event: TraceEvent) -> TraceRecord {
-        TraceRecord {
-            seq,
-            at: Timestamp(at),
-            event,
-        }
+        TraceRecord::new(seq, Timestamp(at), event)
+    }
+
+    fn spanned(mut record: TraceRecord, ctx: SpanContext) -> TraceRecord {
+        record.span = Some(ctx);
+        record
     }
 
     fn codes(violations: &[TraceViolation]) -> Vec<&'static str> {
@@ -903,6 +1057,143 @@ mod tests {
     }
 
     #[test]
+    fn t7_span_causality_violations_fire() {
+        let root = SpanContext::root(1, Timestamp(0));
+        let child = root.child(2, Timestamp(1));
+        // Clean: root appears before its child, twice without reparenting.
+        let clean = vec![
+            spanned(
+                rec(
+                    0,
+                    0,
+                    TraceEvent::SourceUpdate {
+                        origin: "n1/size".to_string(),
+                        origin_kind: "item",
+                    },
+                ),
+                root.clone(),
+            ),
+            spanned(
+                rec(
+                    1,
+                    1,
+                    TraceEvent::ValueStored {
+                        key: key("a"),
+                        version: 1,
+                    },
+                ),
+                child.clone(),
+            ),
+            spanned(
+                rec(
+                    2,
+                    1,
+                    TraceEvent::PropagationStep {
+                        round: 1,
+                        key: key("a"),
+                        depth: 1,
+                        changed: true,
+                    },
+                ),
+                child.clone(),
+            ),
+        ];
+        assert!(lint(&clean).is_empty());
+        // Orphan: the child shows up before any record of its parent.
+        let orphan = vec![spanned(
+            rec(
+                0,
+                0,
+                TraceEvent::ValueStored {
+                    key: key("a"),
+                    version: 1,
+                },
+            ),
+            child.clone(),
+        )];
+        assert_eq!(codes(&lint(&orphan)), ["T7"]);
+        // Self-parent and reparenting are both illegal.
+        let mut own = child.clone();
+        own.parent = Some(own.span);
+        assert_eq!(
+            codes(&lint(&[spanned(
+                rec(0, 0, TraceEvent::ComputeFailed { key: key("a") }),
+                own
+            )])),
+            ["T7"]
+        );
+        let mut moved = child.clone();
+        moved.parent = None;
+        let reparented = vec![
+            clean[0].clone(),
+            clean[1].clone(),
+            spanned(
+                rec(2, 2, TraceEvent::ComputeFailed { key: key("a") }),
+                moved,
+            ),
+        ];
+        assert_eq!(codes(&lint(&reparented)), ["T7"]);
+    }
+
+    #[test]
+    fn t8_lineage_coverage_violations_fire() {
+        let root = SpanContext::root(1, Timestamp(0));
+        let notify = |seq, ctx| {
+            spanned(
+                rec(
+                    seq,
+                    1,
+                    TraceEvent::Notified {
+                        key: key("a"),
+                        version: 1,
+                        observers: 1,
+                    },
+                ),
+                ctx,
+            )
+        };
+        let anchor = spanned(
+            rec(
+                0,
+                0,
+                TraceEvent::SourceUpdate {
+                    origin: "n1/size".to_string(),
+                    origin_kind: "item",
+                },
+            ),
+            root.clone(),
+        );
+        // Clean: the notification's root is the source-update anchor —
+        // even when the anchor record comes later in the stream, as an
+        // epoch flush span legally can.
+        assert!(lint(&[anchor.clone(), notify(1, root.child(2, Timestamp(1)))]).is_empty());
+        assert!(
+            lint(&[notify(0, root.child(2, Timestamp(1))), anchor.clone()])
+                .iter()
+                .all(|v| v.rule != TraceRule::LineageCoverage)
+        );
+        // A dangling root (no anchor record at all).
+        let stray = SpanContext::root(9, Timestamp(0)).child(10, Timestamp(1));
+        let got = lint(&[notify(0, stray)]);
+        assert!(got.iter().any(|v| v.rule == TraceRule::LineageCoverage));
+        // An empty root set on a notification span.
+        let mut rootless = root.child(2, Timestamp(1));
+        rootless.roots.clear();
+        assert_eq!(codes(&lint(&[anchor, notify(1, rootless)])), ["T8"]);
+        // Span-less notifications pass vacuously.
+        assert!(lint(&[rec(
+            0,
+            0,
+            TraceEvent::Notified {
+                key: key("a"),
+                version: 1,
+                observers: 1,
+            },
+        )])
+        .is_empty());
+    }
+
+    #[test]
     fn jsonl_round_trips_through_the_parser() {
         let records = vec![
             rec(
@@ -989,6 +1280,39 @@ mod tests {
             rec(9, 18, TraceEvent::ComputeFailed { key: key("rate") }),
             rec(10, 19, TraceEvent::QuarantineRecovered { key: key("rate") }),
             rec(11, 20, TraceEvent::Unsubscribe { key: key("rate") }),
+            spanned(
+                rec(
+                    12,
+                    21,
+                    TraceEvent::SourceUpdate {
+                        origin: "n1/size".to_string(),
+                        origin_kind: "item",
+                    },
+                ),
+                SpanContext::root(3, Timestamp(21)),
+            ),
+            {
+                let mut r = spanned(
+                    rec(
+                        13,
+                        22,
+                        TraceEvent::Notified {
+                            key: key("cost"),
+                            version: 4,
+                            observers: 2,
+                        },
+                    ),
+                    SpanContext {
+                        span: 5,
+                        parent: Some(3),
+                        roots: vec![1, 3],
+                        depth: 2,
+                        start: Timestamp(21),
+                    },
+                );
+                r.tid = Some(7);
+                r
+            },
         ];
         let jsonl: String = records
             .iter()

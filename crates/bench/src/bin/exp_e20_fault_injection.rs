@@ -186,7 +186,7 @@ fn phase1_deterministic() {
     println!("unquarantined repeat-failures: {repeat_failures}");
     assert_eq!(repeat_failures, 0, "a quarantined item kept failing");
 
-    // The same trace must satisfy the replay invariants T1–T6. CI
+    // The same trace must satisfy the replay invariants T1–T8. CI
     // re-lints the written JSONL with the standalone `tracelint` binary;
     // this in-process pass makes the experiment self-checking even when
     // the file could not be written.
@@ -201,7 +201,7 @@ fn phase1_deterministic() {
             .collect::<Vec<_>>()
             .join("\n")
     );
-    println!("trace records linted     {} (T1-T6 clean)", records.len());
+    println!("trace records linted     {} (T1-T8 clean)", records.len());
     if let Some(file) = &file_sink {
         let _ = file.flush();
         println!("trace JSONL              {}", file.path().display());

@@ -104,7 +104,7 @@ fn drive(
 /// A small traced replay of both propagation modes: fan-out 8 runs the
 /// full per-event protocol, then two coalescing epochs, then tears its
 /// subscriptions down — written as JSONL for the CI `tracelint` pass and
-/// checked against the trace-replay invariants T1–T6 in-process. The
+/// checked against the trace-replay invariants T1–T8 in-process. The
 /// measured runs above stay untraced; at 16k updates x 256 dependents
 /// the trace itself would dominate the timings.
 fn write_lint_trace(out_dir: &str) {
@@ -145,14 +145,16 @@ fn write_lint_trace(out_dir: &str) {
             .join("\n")
     );
     println!(
-        "\ntrace replay: {} records linted (T1-T6 clean), JSONL at {trace_path}",
+        "\ntrace replay: {} records linted (T1-T8 clean), JSONL at {trace_path}",
         file.records_written()
     );
 }
 
 fn main() {
     let quick = quick();
-    let updates: usize = if quick { 1024 } else { 16384 };
+    // Quick mode still needs passes long enough to ride out scheduler
+    // noise — E23's overhead gate reads this run's numbers.
+    let updates: usize = if quick { 4096 } else { 16384 };
     println!("E22 — epoch-batched trigger propagation vs per-event sweeps");
     println!(
         "{} updates per mode, flush cadence {BATCH}{}\n",
@@ -176,8 +178,15 @@ fn main() {
         let (manager, state, subs) = build(fanout);
 
         // Warm-up, then the measured per-event run (the default mode).
+        // Best of three passes: E23 gates its span-off throughput
+        // against this number from another process, so both sides must
+        // use the same max-of-passes estimator — a single pass is
+        // hostage to frequency drift, not a property of the code.
         drive(&manager, &state, updates / 8, false);
-        let per_event = drive(&manager, &state, updates, false);
+        let per_event = (0..3)
+            .map(|_| drive(&manager, &state, updates, false))
+            .max_by(|a, b| a.updates_per_sec.total_cmp(&b.updates_per_sec))
+            .expect("three passes");
 
         // Epoch mode: max_batch above the cadence so the explicit
         // flush (the modelled time-slice driver) controls epoch size;

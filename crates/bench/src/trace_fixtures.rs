@@ -8,7 +8,7 @@
 //! `fixtures/traces/` — the baseline test relies on that, and the
 //! `tracelint` binary's `--write-fixtures` mode rewrites the files.
 //!
-//! Every healthy fixture must lint clean (rules `T1`–`T6` of
+//! Every healthy fixture must lint clean (rules `T1`–`T8` of
 //! `streammeta_analyze::tracelint`); the mutation tests corrupt these
 //! same traces one invariant at a time and assert the matching rule
 //! fires.
@@ -17,8 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use streammeta_core::{
-    EpochConfig, FallbackPolicy, ItemDef, MetadataKey, MetadataManager, MetadataValue, NodeId,
-    NodeRegistry, PropagationMode, RingBufferSink,
+    EpochConfig, EventKey, FallbackPolicy, ItemDef, MetadataKey, MetadataManager, MetadataValue,
+    NodeId, NodeRegistry, PropagationMode, RingBufferSink, SpanSampling,
 };
 use streammeta_time::{Clock, TimeSpan, VirtualClock};
 
@@ -216,6 +216,57 @@ fn subscription_churn() -> String {
     })
 }
 
+/// TR5: causal lineage spans — every source update is sampled
+/// (`Ratio(1)`), observers make notifications span-bearing, and the
+/// chain runs under both propagation modes so per-event cascades and a
+/// multi-root coalesced flush span all land in the trace. This is the
+/// fixture rules T7 (span causality) and T8 (lineage coverage) lint.
+fn span_lineage() -> String {
+    let clock = VirtualClock::shared();
+    let manager = MetadataManager::new(clock.clone());
+    let reg = NodeRegistry::new(NodeId(0));
+    let tick = Arc::new(AtomicU64::new(0));
+    let t = tick.clone();
+    reg.define(
+        ItemDef::triggered("base")
+            .on_event("tick")
+            .compute(move |_| MetadataValue::U64(t.load(Ordering::SeqCst)))
+            .build(),
+    );
+    reg.define(
+        ItemDef::triggered("derived")
+            .dep_local("base")
+            .compute(|ctx| MetadataValue::F64(ctx.dep_f64("base").unwrap_or(0.0) * 2.0))
+            .build(),
+    );
+    manager.attach_node(reg);
+    capture(&manager, || {
+        manager.set_span_sampling(SpanSampling::Ratio(1));
+        // An observer makes `derived` stores emit span-bearing
+        // notifications — the records rule T8 verifies back to anchors.
+        let _sub = manager
+            .subscribe_with(MetadataKey::new(NodeId(0), "derived"), |_| {})
+            .unwrap();
+        let event = EventKey::new(NodeId(0), "tick");
+        for i in 1..=3u64 {
+            clock.advance(TimeSpan(1));
+            tick.store(i, Ordering::SeqCst);
+            manager.fire_event(event.clone());
+        }
+        // Epoch mode: three same-source updates coalesce into one flush
+        // whose span unions their roots.
+        manager.set_propagation_mode(PropagationMode::Epoch(EpochConfig::default()));
+        for i in 4..=6u64 {
+            clock.advance(TimeSpan(1));
+            tick.store(i, Ordering::SeqCst);
+            manager.fire_event(event.clone());
+        }
+        manager.flush_epoch();
+        manager.set_propagation_mode(PropagationMode::PerEvent);
+        manager.set_span_sampling(SpanSampling::Off);
+    })
+}
+
 /// The full trace-fixture registry, in id order.
 pub fn all() -> &'static [TraceFixture] {
     &[
@@ -238,6 +289,11 @@ pub fn all() -> &'static [TraceFixture] {
             id: "TR4",
             name: "subscription churn: include/exclude cycles",
             generate: subscription_churn,
+        },
+        TraceFixture {
+            id: "TR5",
+            name: "causal lineage spans: sampled cascades in both propagation modes",
+            generate: span_lineage,
         },
     ]
 }

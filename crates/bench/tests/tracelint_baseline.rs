@@ -1,6 +1,6 @@
 //! Baseline: every checked-in fixture trace parses, matches its
 //! deterministic generator byte for byte, and lints clean under the
-//! trace-replay invariant rules `T1`–`T6`.
+//! trace-replay invariant rules `T1`–`T8`.
 //!
 //! The byte-equality check is what keeps the checked-in files honest:
 //! if a trace-emitting code path changes, this test fails until the

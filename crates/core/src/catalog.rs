@@ -57,17 +57,21 @@ pub enum SystemRelation {
     /// `sys.trace`: a bounded tail of the trace bus as rows (requires
     /// [`MetadataManager::enable_catalog_trace`]).
     Trace,
+    /// `sys.spans`: finished causal lineage spans (requires
+    /// [`MetadataManager::enable_catalog_spans`] plus span sampling).
+    Spans,
 }
 
 impl SystemRelation {
     /// All relations, in catalog order.
-    pub const ALL: [SystemRelation; 6] = [
+    pub const ALL: [SystemRelation; 7] = [
         SystemRelation::Items,
         SystemRelation::Handlers,
         SystemRelation::Dependencies,
         SystemRelation::Subscriptions,
         SystemRelation::Quarantine,
         SystemRelation::Trace,
+        SystemRelation::Spans,
     ];
 
     /// The relation's qualified name (`sys.items`, …).
@@ -79,6 +83,7 @@ impl SystemRelation {
             SystemRelation::Subscriptions => "sys.subscriptions",
             SystemRelation::Quarantine => "sys.quarantine",
             SystemRelation::Trace => "sys.trace",
+            SystemRelation::Spans => "sys.spans",
         }
     }
 
@@ -99,6 +104,7 @@ impl SystemRelation {
             SystemRelation::Subscriptions => SUBSCRIPTIONS_COLUMNS,
             SystemRelation::Quarantine => QUARANTINE_COLUMNS,
             SystemRelation::Trace => TRACE_COLUMNS,
+            SystemRelation::Spans => SPANS_COLUMNS,
         }
     }
 }
@@ -173,6 +179,22 @@ const TRACE_COLUMNS: &[RelationColumn] = &[
     col("kind", "event kind"),
     col("key", "item key the event concerns"),
     col("detail", "human-readable event description"),
+];
+
+const SPANS_COLUMNS: &[RelationColumn] = &[
+    col("span", "span id (unique per sampled hop)"),
+    col("parent", "parent span id, 0 for a root span"),
+    col("root", "first root span of the causal chain"),
+    col("roots", "contributing root count (epoch coalescing > 1)"),
+    col("key", "item key the span's work concerns"),
+    col(
+        "kind",
+        "what the span covers (source_update, propagation_step, …)",
+    ),
+    col("depth", "hop depth below the root"),
+    col("start", "span start time"),
+    col("end", "span end time"),
+    col("duration", "end - start"),
 ];
 
 /// Cells describing one handler's identity: key, node, item.
@@ -379,6 +401,31 @@ impl MetadataManager {
                 }
                 rows
             }
+            SystemRelation::Spans => self
+                .catalog_spans()
+                .map(|store| {
+                    store
+                        .snapshot()
+                        .into_iter()
+                        .map(|s| {
+                            vec![
+                                MetadataValue::U64(s.span),
+                                MetadataValue::U64(s.parent.unwrap_or(0)),
+                                MetadataValue::U64(s.root),
+                                MetadataValue::U64(s.roots as u64),
+                                s.key.as_ref().map_or(MetadataValue::Unavailable, |k| {
+                                    MetadataValue::text(k.to_string())
+                                }),
+                                MetadataValue::text(s.kind),
+                                MetadataValue::U64(s.depth as u64),
+                                MetadataValue::Time(s.start),
+                                MetadataValue::Time(s.end),
+                                MetadataValue::Span(streammeta_time::TimeSpan(s.duration())),
+                            ]
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
         }
     }
 }
@@ -495,6 +542,39 @@ mod tests {
         manager.set_file_trace(None);
         assert!(manager.catalog_rows(SystemRelation::Trace).is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spans_relation_links_propagation_hops_to_their_root() {
+        let (_clock, manager) = setup();
+        assert!(manager.catalog_rows(SystemRelation::Spans).is_empty());
+        let store = manager.enable_catalog_spans(64);
+        manager.set_span_sampling(crate::trace::SpanSampling::Ratio(1));
+        let _cost = manager
+            .subscribe(MetadataKey::new(NodeId(1), "cost"))
+            .unwrap();
+        manager.notify_changed(MetadataKey::new(NodeId(1), "rate"));
+        assert!(!store.snapshot().is_empty());
+        let rows = manager.catalog_rows(SystemRelation::Spans);
+        let arity = SystemRelation::Spans.columns().len();
+        assert_eq!(rows.len(), store.len());
+        assert!(rows.iter().all(|r| r.len() == arity));
+        let by_kind = |kind: &str| {
+            rows.iter()
+                .find(|r| r[5].as_text() == Some(kind))
+                .unwrap_or_else(|| panic!("no {kind} span row"))
+        };
+        let root = by_kind("source_update");
+        let hop = by_kind("propagation_step");
+        // The root is parentless and self-rooted; the hop the update
+        // caused parents to it and shares its root id.
+        assert_eq!(root[1].as_u64(), Some(0));
+        assert_eq!(root[2].as_u64(), root[0].as_u64());
+        assert_eq!(hop[1].as_u64(), root[0].as_u64());
+        assert_eq!(hop[2].as_u64(), root[0].as_u64());
+        assert_eq!(hop[3].as_u64(), Some(1));
+        assert!(hop[4].as_text().unwrap().contains("cost"));
+        assert_eq!(hop[6].as_u64(), Some(1));
     }
 
     #[test]

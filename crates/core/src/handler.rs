@@ -262,13 +262,15 @@ impl Handler {
         }
     }
 
-    /// Stores `value` if it differs from the current one. Returns whether
-    /// anything changed (drives trigger propagation). Push observers are
-    /// notified after the value lock is released; deliveries whose
-    /// version is ≤ the observer's last delivered one are skipped, so
-    /// each observer sees a strictly increasing version sequence even
-    /// when concurrent stores reach the observer lock out of order.
-    pub(crate) fn store_if_changed(&self, value: MetadataValue, now: Timestamp) -> bool {
+    /// Stores `value` if it differs from the current one. Returns `None`
+    /// if nothing changed, `Some(n)` if the value changed and `n` push
+    /// observers were actually notified (drives trigger propagation and
+    /// the `notified` trace event). Push observers are notified after
+    /// the value lock is released; deliveries whose version is ≤ the
+    /// observer's last delivered one are skipped, so each observer sees
+    /// a strictly increasing version sequence even when concurrent
+    /// stores reach the observer lock out of order.
+    pub(crate) fn store_if_changed(&self, value: MetadataValue, now: Timestamp) -> Option<usize> {
         let snapshot = {
             let mut cur = self.value.write();
             if cur.value == value {
@@ -279,7 +281,7 @@ impl Handler {
                     cur.degraded = false;
                     self.cell.publish(&cur);
                 }
-                return false;
+                return None;
             }
             cur.value = value;
             cur.version += 1;
@@ -292,13 +294,15 @@ impl Handler {
         };
         self.updates.fetch_add(1, Ordering::Relaxed);
         let mut observers = self.observers.lock();
+        let mut delivered = 0;
         for obs in observers.iter_mut() {
             if snapshot.version > obs.last_delivered {
                 obs.last_delivered = snapshot.version;
                 (obs.f)(&snapshot);
+                delivered += 1;
             }
         }
-        true
+        Some(delivered)
     }
 
     /// Marks the current value as degraded: the compute path failed and
@@ -423,12 +427,18 @@ mod tests {
     #[test]
     fn store_bumps_version_only_on_change() {
         let h = handler();
-        assert!(h.store_if_changed(MetadataValue::F64(0.1), Timestamp(5)));
-        assert!(!h.store_if_changed(MetadataValue::F64(0.1), Timestamp(9)));
+        assert!(h
+            .store_if_changed(MetadataValue::F64(0.1), Timestamp(5))
+            .is_some());
+        assert!(h
+            .store_if_changed(MetadataValue::F64(0.1), Timestamp(9))
+            .is_none());
         let v = h.snapshot();
         assert_eq!(v.version, 1);
         assert_eq!(v.updated_at, Timestamp(5));
-        assert!(h.store_if_changed(MetadataValue::F64(0.2), Timestamp(9)));
+        assert!(h
+            .store_if_changed(MetadataValue::F64(0.2), Timestamp(9))
+            .is_some());
         assert_eq!(h.snapshot().version, 2);
         assert_eq!(h.update_count(), 2);
     }
@@ -436,7 +446,9 @@ mod tests {
     #[test]
     fn degraded_marking_survives_cell_and_clears_on_store() {
         let h = handler();
-        assert!(h.store_if_changed(MetadataValue::U64(1), Timestamp(5)));
+        assert!(h
+            .store_if_changed(MetadataValue::U64(1), Timestamp(5))
+            .is_some());
         assert!(!h.is_degraded());
         h.mark_degraded();
         let v = h.snapshot();
@@ -446,13 +458,17 @@ mod tests {
         assert_eq!(v.value, MetadataValue::U64(1));
         // A successful store of the *same* value clears the flag without
         // bumping the version.
-        assert!(!h.store_if_changed(MetadataValue::U64(1), Timestamp(9)));
+        assert!(h
+            .store_if_changed(MetadataValue::U64(1), Timestamp(9))
+            .is_none());
         let v = h.snapshot();
         assert!(!v.degraded);
         assert_eq!(v.version, 1);
         // And a changed value clears it too.
         h.mark_degraded();
-        assert!(h.store_if_changed(MetadataValue::U64(2), Timestamp(11)));
+        assert!(h
+            .store_if_changed(MetadataValue::U64(2), Timestamp(11))
+            .is_some());
         assert!(!h.is_degraded());
     }
 

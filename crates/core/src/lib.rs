@@ -107,5 +107,8 @@ pub use monitor::{Counter, Gauge};
 pub use registry::{MetadataModule, NodeRegistry, RegistryScope};
 pub use subscription::Subscription;
 pub use sync::{lock_audit, LockEvent, LockTier};
-pub use trace::{RingBufferSink, RotatingFileSink, TraceEvent, TraceRecord, TraceSink};
+pub use trace::{
+    RingBufferSink, RotatingFileSink, SpanContext, SpanRecord, SpanSampling, SpanStore, TraceEvent,
+    TraceRecord, TraceSink,
+};
 pub use value::{MetadataValue, VersionedValue};

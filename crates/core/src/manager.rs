@@ -48,7 +48,9 @@ use crate::registry::NodeRegistry;
 use crate::shards::HandlerShards;
 use crate::subscription::Subscription;
 use crate::sync::{LockTier, TieredMutex, TieredRwLock};
-use crate::trace::{TraceEvent, TraceRecord, TraceSink};
+use crate::trace::{
+    SpanContext, SpanRecord, SpanSampling, SpanStore, TraceEvent, TraceRecord, TraceSink,
+};
 use crate::{
     EventKey, ItemPath, MetadataError, MetadataKey, MetadataValue, NodeId, Result, VersionedValue,
 };
@@ -117,13 +119,38 @@ pub enum PropagationMode {
 /// The pending-update queue of the epoch propagation mode. `pending`
 /// keeps arrival order (origins seed the changed-set in order), the set
 /// deduplicates, and `first_enqueued` drives the time-slice flush.
+///
+/// `pending_roots` carries the sampled span lineage across the
+/// enqueue/flush thread handoff *explicitly* (the queue is the only
+/// carrier — no thread-local state survives a work item): each origin
+/// remembers the first contributing root span plus every coalesced
+/// root, so a coalesced recompute records *all* the source updates it
+/// absorbed.
 #[derive(Default)]
 struct EpochQueue {
     config: EpochConfig,
     enabled: bool,
     pending: Vec<DepSource>,
     pending_set: HashSet<DepSource>,
+    pending_roots: HashMap<DepSource, SpanLink>,
     first_enqueued: Option<Timestamp>,
+}
+
+/// The lineage a changed source hands to its dependents during a sweep:
+/// the span to parent to, and the root set to inherit.
+#[derive(Clone, Debug)]
+struct SpanLink {
+    span: u64,
+    roots: Vec<u64>,
+}
+
+impl SpanLink {
+    fn of(ctx: &SpanContext) -> Self {
+        SpanLink {
+            span: ctx.span,
+            roots: ctx.roots.clone(),
+        }
+    }
 }
 
 /// Aggregate counters of the manager, used by the scalability experiments.
@@ -254,6 +281,25 @@ pub struct MetadataManager {
     /// (rotation/record counters); wiring it as the actual trace sink —
     /// alone or teed with a ring buffer — is the caller's choice.
     trace_file: RwLock<Option<Arc<crate::trace::RotatingFileSink>>>,
+    /// Gates span minting the same way `trace_enabled` gates tracing:
+    /// one relaxed load per source update when sampling is off.
+    span_enabled: AtomicBool,
+    /// The `n` of [`SpanSampling::Ratio`] (0 = off).
+    span_ratio: AtomicU64,
+    /// Source updates seen by the sampler (drives the 1-in-n decision).
+    span_samples: AtomicU64,
+    /// Span id mint (ids start at 1; 0 is never a valid span id).
+    span_ids: AtomicU64,
+    /// Ring of finished spans backing `sys.spans`, installed by
+    /// [`Self::enable_catalog_spans`].
+    span_store: RwLock<Option<Arc<SpanStore>>>,
+    /// Gates per-record thread-id stamping (off by default so traces
+    /// stay byte-deterministic unless flame tracks are wanted).
+    trace_tids: AtomicBool,
+    /// First-sight compact thread ids and their labels (flame-track
+    /// names for the Chrome-trace exporter).
+    tid_map: Mutex<HashMap<std::thread::ThreadId, u64>>,
+    tid_labels: Mutex<BTreeMap<u64, String>>,
     self_weak: Weak<MetadataManager>,
 }
 
@@ -324,6 +370,14 @@ impl MetadataManager {
             validation_warnings: Mutex::new(Vec::new()),
             catalog_trace: RwLock::new(None),
             trace_file: RwLock::new(None),
+            span_enabled: AtomicBool::new(false),
+            span_ratio: AtomicU64::new(0),
+            span_samples: AtomicU64::new(0),
+            span_ids: AtomicU64::new(0),
+            span_store: RwLock::new(None),
+            trace_tids: AtomicBool::new(false),
+            tid_map: Mutex::new(HashMap::new()),
+            tid_labels: Mutex::new(BTreeMap::new()),
             self_weak: weak.clone(),
         })
     }
@@ -356,6 +410,15 @@ impl MetadataManager {
     /// installed, so emission sites pay one relaxed load otherwise.
     #[inline]
     fn trace(&self, event: impl FnOnce() -> TraceEvent) {
+        self.trace_span(None, event);
+    }
+
+    /// Emits one trace event carrying an optional causal span context.
+    /// Same gating as [`Self::trace`]: one relaxed load when no sink is
+    /// installed, whether or not a span is present (finished spans reach
+    /// `sys.spans` through [`Self::record_span`], not through the trace
+    /// bus).
+    fn trace_span(&self, span: Option<&SpanContext>, event: impl FnOnce() -> TraceEvent) {
         if !self.trace_enabled.load(Ordering::Relaxed) {
             return;
         }
@@ -365,8 +428,58 @@ impl MetadataManager {
                 seq: self.trace_seq.fetch_add(1, Ordering::Relaxed),
                 at: self.clock.now(),
                 event: event(),
+                span: span.cloned(),
+                tid: self.current_tid(),
             });
         }
+    }
+
+    /// Records one *finished* span into the `sys.spans` ring, if
+    /// installed — independently of the trace bus, so lineage queries
+    /// work without JSONL tracing. Exactly one record per span, written
+    /// at the span's completion site.
+    fn record_span(
+        &self,
+        ctx: &SpanContext,
+        key: Option<&MetadataKey>,
+        kind: &'static str,
+        end: Timestamp,
+    ) {
+        if let Some(store) = self.span_store.read().clone() {
+            store.record(SpanRecord {
+                span: ctx.span,
+                parent: ctx.parent,
+                root: ctx.roots.first().copied().unwrap_or(ctx.span),
+                roots: ctx.roots.len(),
+                key: key.cloned(),
+                kind,
+                depth: ctx.depth,
+                start: ctx.start,
+                end,
+            });
+        }
+    }
+
+    /// The calling thread's compact id, when thread-id stamping is on.
+    fn current_tid(&self) -> Option<u64> {
+        if !self.trace_tids.load(Ordering::Relaxed) {
+            return None;
+        }
+        Some(self.register_tid(None))
+    }
+
+    /// Registers the calling thread in the compact first-sight tid map
+    /// and optionally labels it (flame-track names).
+    fn register_tid(&self, label: Option<&str>) -> u64 {
+        let id = {
+            let mut map = self.tid_map.lock();
+            let next = map.len() as u64;
+            *map.entry(std::thread::current().id()).or_insert(next)
+        };
+        if let Some(label) = label {
+            self.tid_labels.lock().insert(id, label.to_string());
+        }
+        id
     }
 
     /// Switches per-compute latency measurement on or off. When on, every
@@ -412,6 +525,110 @@ impl MetadataManager {
     /// The rotating file sink registered by [`Self::set_file_trace`].
     pub fn file_trace(&self) -> Option<Arc<crate::trace::RotatingFileSink>> {
         self.trace_file.read().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Causal spans (update lineage)
+    // ------------------------------------------------------------------
+
+    /// Sets the span sampling gate. `Off` (the default) keeps the write
+    /// path span-free — one relaxed load per source update.
+    /// `Ratio(n)` mints a root span for every n-th source update
+    /// (`Ratio(1)` = every update) and threads child spans through the
+    /// entire propagation cascade that update causes.
+    pub fn set_span_sampling(&self, sampling: SpanSampling) {
+        match sampling {
+            SpanSampling::Off => {
+                self.span_enabled.store(false, Ordering::Relaxed);
+                self.span_ratio.store(0, Ordering::Relaxed);
+            }
+            SpanSampling::Ratio(n) => {
+                self.span_ratio.store(n.max(1), Ordering::Relaxed);
+                self.span_enabled.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The currently configured span sampling.
+    pub fn span_sampling(&self) -> SpanSampling {
+        if self.span_enabled.load(Ordering::Relaxed) {
+            SpanSampling::Ratio(self.span_ratio.load(Ordering::Relaxed).max(1))
+        } else {
+            SpanSampling::Off
+        }
+    }
+
+    /// Installs a bounded ring of `capacity` finished spans backing the
+    /// `sys.spans` catalog relation. Spans land there whenever sampling
+    /// mints them — with or without a trace sink installed. Replaces any
+    /// previously installed store; returns the new one.
+    pub fn enable_catalog_spans(&self, capacity: usize) -> Arc<SpanStore> {
+        let store = SpanStore::new(capacity);
+        *self.span_store.write() = Some(store.clone());
+        store
+    }
+
+    /// The span store installed by [`Self::enable_catalog_spans`], if
+    /// any.
+    pub fn catalog_spans(&self) -> Option<Arc<SpanStore>> {
+        self.span_store.read().clone()
+    }
+
+    /// Switches per-record thread-id stamping of trace records on or
+    /// off (the Chrome-trace exporter's flame tracks). Off by default so
+    /// deterministic traces stay byte-identical across runs.
+    pub fn set_trace_thread_ids(&self, on: bool) {
+        self.trace_tids.store(on, Ordering::Relaxed);
+    }
+
+    /// Registers the calling thread under `label` for flame-track
+    /// naming (the executors label their workers). Registration is
+    /// unconditional, so labels are in place before stamping is
+    /// switched on; the ids are compact and first-sight ordered.
+    pub fn label_trace_thread(&self, label: &str) {
+        self.register_tid(Some(label));
+    }
+
+    /// The flame-track labels registered so far (`compact tid -> label`),
+    /// consumed by the Chrome-trace exporter.
+    pub fn trace_thread_labels(&self) -> BTreeMap<u64, String> {
+        self.tid_labels.lock().clone()
+    }
+
+    /// One 1-in-n sampling decision per source update.
+    fn sample_span(&self) -> bool {
+        if !self.span_enabled.load(Ordering::Relaxed) {
+            return false;
+        }
+        let n = self.span_ratio.load(Ordering::Relaxed).max(1);
+        self.span_samples
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(n)
+    }
+
+    /// Mints the next span id. Ids start at 1 — 0 encodes "no parent"
+    /// in serialized form.
+    fn next_span_id(&self) -> u64 {
+        self.span_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Samples a source update: on a hit, mints the root span of the
+    /// causal cascade and emits the `source_update` anchor event that
+    /// tracelint's T8 rule resolves notification roots against.
+    fn mint_root(&self, origin: &DepSource, now: Timestamp) -> Option<SpanContext> {
+        if !self.sample_span() {
+            return None;
+        }
+        let ctx = SpanContext::root(self.next_span_id(), now);
+        let (origin_str, origin_kind) = match origin {
+            DepSource::Item(k) => (format!("{k}"), "item"),
+            DepSource::Event(e) => (format!("{e}"), "event"),
+        };
+        self.trace_span(Some(&ctx), || TraceEvent::SourceUpdate {
+            origin: origin_str,
+            origin_kind,
+        });
+        Some(ctx)
     }
 
     /// A stable snapshot of all live handlers, sorted by key — the raw
@@ -631,18 +848,33 @@ impl MetadataManager {
     /// included automatically; shared items are reference counted. The
     /// returned [`Subscription`] unsubscribes on drop.
     pub fn subscribe(self: &Arc<Self>, key: MetadataKey) -> Result<Subscription> {
-        self.trace(|| TraceEvent::Subscribe { key: key.clone() });
+        // A sampled subscription roots the spans of its inclusion DFS
+        // and the initial pre-computations it causes.
+        let root = self
+            .sample_span()
+            .then(|| SpanContext::root(self.next_span_id(), self.clock.now()));
+        self.trace_span(root.as_ref(), || TraceEvent::Subscribe { key: key.clone() });
         self.run_validator(&key)?;
         let mut created: Vec<Arc<Handler>> = Vec::new();
         let mut log: Vec<MetadataKey> = Vec::new();
         let result = {
             let mut inner = self.inner.lock();
             let mut stack = Vec::new();
-            self.include(&mut inner, key.clone(), &mut stack, &mut log, &mut created)
+            self.include(
+                &mut inner,
+                key.clone(),
+                &mut stack,
+                &mut log,
+                &mut created,
+                root.as_ref(),
+            )
         };
         match result {
             Ok(()) => {
-                self.run_inclusion_actions(&created);
+                self.run_inclusion_actions(&created, root.as_ref());
+                if let Some(root) = &root {
+                    self.record_span(root, Some(&key), "subscribe", self.clock.now());
+                }
                 let handler = self
                     .shards
                     .get(&key)
@@ -741,6 +973,7 @@ impl MetadataManager {
         stack: &mut Vec<MetadataKey>,
         log: &mut Vec<MetadataKey>,
         created: &mut Vec<Arc<Handler>>,
+        root: Option<&SpanContext>,
     ) -> Result<()> {
         if let Some(handler) = inner.handlers.get(&key) {
             // "The traversal stops at items already provided" — but every
@@ -762,7 +995,7 @@ impl MetadataManager {
         };
         for dep in &resolved {
             if let DepSource::Item(dep_key) = &dep.source {
-                self.include(inner, dep_key.clone(), stack, log, created)?;
+                self.include(inner, dep_key.clone(), stack, log, created, root)?;
             }
         }
         stack.pop();
@@ -780,7 +1013,13 @@ impl MetadataManager {
         // The stack holds the ancestors of `key` here, so its length is
         // the dependency depth; emission at insert time makes the trace
         // list inclusions in DFS dependency order (dependencies first).
-        self.trace(|| TraceEvent::Include {
+        // Each inclusion hop spans flat under the subscribe root (the
+        // DFS nesting is already carried by `depth`).
+        let hop = root.map(|r| r.child(self.next_span_id(), self.clock.now()));
+        if let Some(hop) = &hop {
+            self.record_span(hop, Some(&key), "include", self.clock.now());
+        }
+        self.trace_span(hop.as_ref(), || TraceEvent::Include {
             key: key.clone(),
             mechanism: handler.mechanism().label(),
             depth: stack.len(),
@@ -795,7 +1034,11 @@ impl MetadataManager {
     /// register periodic refresh tasks, and pre-compute initial values
     /// (triggered values "are pre-computed on the first subscription",
     /// Section 3.2.3).
-    fn run_inclusion_actions(self: &Arc<Self>, created: &[Arc<Handler>]) {
+    fn run_inclusion_actions(
+        self: &Arc<Self>,
+        created: &[Arc<Handler>],
+        root: Option<&SpanContext>,
+    ) {
         let now = self.clock.now();
         for h in created {
             for m in &h.def.monitors {
@@ -806,14 +1049,16 @@ impl MetadataManager {
             }
             match h.mechanism() {
                 Mechanism::Static => {
-                    self.refresh_handler(h, None, now);
+                    let ctx = root.map(|r| r.child(self.next_span_id(), now));
+                    self.refresh_handler(h, None, now, ctx.as_ref());
                 }
                 Mechanism::OnDemand => {} // computed on access
                 Mechanism::Periodic { window } => {
                     // Initial evaluation over an empty window lets stateful
                     // compute functions initialise; then schedule refreshes.
                     let guard = h.compute_lock.lock();
-                    self.refresh_handler(h, Some(TimeSpan::ZERO), now);
+                    let ctx = root.map(|r| r.child(self.next_span_id(), now));
+                    self.refresh_handler(h, Some(TimeSpan::ZERO), now, ctx.as_ref());
                     drop(guard);
                     let task = PeriodicRefresh {
                         manager: self.self_weak.clone(),
@@ -828,7 +1073,8 @@ impl MetadataManager {
                     *h.periodic_task.lock() = Some(id);
                 }
                 Mechanism::Triggered => {
-                    self.refresh_handler(h, None, now);
+                    let ctx = root.map(|r| r.child(self.next_span_id(), now));
+                    self.refresh_handler(h, None, now, ctx.as_ref());
                 }
             }
         }
@@ -989,7 +1235,7 @@ impl MetadataManager {
             if !contained {
                 let now = self.clock.now();
                 let _guard = handler.compute_lock.lock();
-                self.refresh_handler(handler, None, now);
+                self.refresh_handler(handler, None, now, None);
             } else if !self.is_quarantined(handler) {
                 // No-hang guarantee for contained items: if another
                 // consumer is already stuck inside a slow compute, serve
@@ -997,7 +1243,7 @@ impl MetadataManager {
                 // queueing behind it past the deadline.
                 if let Some(_guard) = handler.compute_lock.try_lock() {
                     let now = self.clock.now();
-                    self.refresh_handler(handler, None, now);
+                    self.refresh_handler(handler, None, now, None);
                 }
             }
         }
@@ -1193,6 +1439,7 @@ impl MetadataManager {
         handler: &Arc<Handler>,
         window: Option<TimeSpan>,
         now: Timestamp,
+        span: Option<&SpanContext>,
     ) -> ComputeOutcome {
         handler.record_compute();
         self.computes.record();
@@ -1236,7 +1483,7 @@ impl MetadataManager {
                 let elapsed = self.clock.now().since(t0);
                 if elapsed > budget {
                     self.deadline_overruns.fetch_add(1, Ordering::Relaxed);
-                    self.trace(|| TraceEvent::DeadlineExceeded {
+                    self.trace_span(span, || TraceEvent::DeadlineExceeded {
                         key: handler.key.clone(),
                         budget,
                         elapsed,
@@ -1256,7 +1503,7 @@ impl MetadataManager {
             },
             Err(_) => {
                 self.compute_failures.fetch_add(1, Ordering::Relaxed);
-                self.trace(|| TraceEvent::ComputeFailed {
+                self.trace_span(span, || TraceEvent::ComputeFailed {
                     key: handler.key.clone(),
                 });
                 ComputeOutcome {
@@ -1288,14 +1535,15 @@ impl MetadataManager {
         handler: &Arc<Handler>,
         window: Option<TimeSpan>,
         now: Timestamp,
+        span: Option<&SpanContext>,
     ) -> bool {
         let deadline = handler.def.deadline();
         let policy = handler.def.fallback();
         if deadline.is_none() && policy.is_none() {
-            let out = self.compute_raw(handler, window, now);
-            return self.store_traced(handler, out.value, now);
+            let out = self.compute_raw(handler, window, now, span);
+            return self.store_traced(handler, out.value, now, span);
         }
-        let out = self.compute_raw(handler, window, now);
+        let out = self.compute_raw(handler, window, now, span);
         let failed =
             out.panicked || (policy.is_some() && (out.overran || !out.value.is_available()));
         if !failed {
@@ -1310,16 +1558,16 @@ impl MetadataManager {
                     self.periodic.cancel(task);
                 }
                 if recovered {
-                    self.trace(|| TraceEvent::QuarantineRecovered {
+                    self.trace_span(span, || TraceEvent::QuarantineRecovered {
                         key: handler.key.clone(),
                     });
                 }
             }
-            return self.store_traced(handler, out.value, now);
+            return self.store_traced(handler, out.value, now, span);
         }
         let Some(policy) = policy else {
             // Deadline-only item: observation, not containment.
-            return self.store_traced(handler, out.value, now);
+            return self.store_traced(handler, out.value, now, span);
         };
         handler.mark_degraded();
         // Follow-ups are scheduled from the evaluation's *scheduled* time
@@ -1337,6 +1585,7 @@ impl MetadataManager {
                 manager: self.self_weak.clone(),
                 key: handler.key.clone(),
                 probe: true,
+                span: span.cloned(),
             };
             st.retry_task = Some(
                 self.periodic
@@ -1344,7 +1593,7 @@ impl MetadataManager {
             );
             drop(st);
             self.quarantine_trips.fetch_add(1, Ordering::Relaxed);
-            self.trace(|| TraceEvent::QuarantineTripped {
+            self.trace_span(span, || TraceEvent::QuarantineTripped {
                 key: handler.key.clone(),
                 until,
             });
@@ -1356,6 +1605,7 @@ impl MetadataManager {
                 manager: self.self_weak.clone(),
                 key: handler.key.clone(),
                 probe: false,
+                span: span.cloned(),
             };
             st.retry_task = Some(self.periodic.register_once(
                 scheduled_at + delay,
@@ -1363,7 +1613,7 @@ impl MetadataManager {
             ));
             drop(st);
             self.retries.fetch_add(1, Ordering::Relaxed);
-            self.trace(|| TraceEvent::RetryScheduled {
+            self.trace_span(span, || TraceEvent::RetryScheduled {
                 key: handler.key.clone(),
                 attempt,
                 delay,
@@ -1372,60 +1622,99 @@ impl MetadataManager {
         false
     }
 
-    /// Stores a computed value and traces the new version on change —
-    /// the witness tracelint's T1 monotonicity rule replays. Callers
-    /// serialize per handler (compute lock), so the version read back
-    /// here is the one this store produced.
-    fn store_traced(&self, handler: &Arc<Handler>, value: MetadataValue, now: Timestamp) -> bool {
-        let changed = handler.store_if_changed(value, now);
-        if changed {
-            self.trace(|| TraceEvent::ValueStored {
+    /// Stores a computed value; on change traces the new version — the
+    /// witness tracelint's T1 monotonicity rule replays — and, when the
+    /// change was pushed to observers, the `notified` event whose root
+    /// tracelint's T8 rule resolves. Callers serialize per handler
+    /// (compute lock), so the version read back here is the one this
+    /// store produced.
+    fn store_traced(
+        &self,
+        handler: &Arc<Handler>,
+        value: MetadataValue,
+        now: Timestamp,
+        span: Option<&SpanContext>,
+    ) -> bool {
+        let delivered = handler.store_if_changed(value, now);
+        if let Some(observers) = delivered {
+            let version = handler.snapshot().version;
+            self.trace_span(span, || TraceEvent::ValueStored {
                 key: handler.key.clone(),
-                version: handler.snapshot().version,
+                version,
             });
+            if observers > 0 {
+                self.trace_span(span, || TraceEvent::Notified {
+                    key: handler.key.clone(),
+                    version,
+                    observers,
+                });
+            }
         }
-        changed
+        delivered.is_some()
     }
 
     /// A scheduled backoff retry for `key`. Skipped if the item was
     /// excluded or quarantined in the meantime; a successful retry
-    /// propagates like any other update.
-    fn retry_refresh(&self, key: &MetadataKey, now: Timestamp) {
+    /// propagates like any other update. The retry evaluation inherits
+    /// the span of the failing compute as `parent` (carried explicitly
+    /// through the [`ContainmentTask`] handoff), so a retry chain reads
+    /// as one nested lineage in `sys.spans`.
+    fn retry_refresh(&self, key: &MetadataKey, now: Timestamp, parent: Option<&SpanContext>) {
         let Some(handler) = self.handler(key) else {
             return; // excluded between scheduling and firing
         };
         if self.is_quarantined(&handler) {
             return;
         }
+        let ctx = parent.map(|p| p.child(self.next_span_id(), now));
         let changed = {
             let _guard = handler.compute_lock.lock();
-            self.refresh_handler(&handler, None, now)
+            self.refresh_handler(&handler, None, now, ctx.as_ref())
         };
+        if let Some(ctx) = &ctx {
+            self.record_span(ctx, Some(key), "retry", self.clock.now());
+        }
         if changed {
             self.updates.fetch_add(1, Ordering::Relaxed);
-            self.propagate(DepSource::Item(key.clone()), now);
+            self.propagate_rooted(
+                DepSource::Item(key.clone()),
+                now,
+                ctx.as_ref().map(SpanLink::of),
+            );
         }
     }
 
     /// The recovery probe at the end of a quarantine cool-down: one
     /// evaluation while the circuit is still open. Success clears the
     /// quarantine (inside [`Self::refresh_handler`], which also traces
-    /// the recovery); failure re-trips it for another cool-down.
-    fn quarantine_probe(&self, key: &MetadataKey, now: Timestamp) {
+    /// the recovery); failure re-trips it for another cool-down. Like a
+    /// retry, the probe inherits the span of the evaluation that tripped
+    /// the breaker.
+    fn quarantine_probe(&self, key: &MetadataKey, now: Timestamp, parent: Option<&SpanContext>) {
         let Some(handler) = self.handler(key) else {
             return;
         };
+        let ctx = parent.map(|p| p.child(self.next_span_id(), now));
         let changed = {
             let _guard = handler.compute_lock.lock();
-            self.refresh_handler(&handler, None, now)
+            self.refresh_handler(&handler, None, now, ctx.as_ref())
         };
+        if let Some(ctx) = &ctx {
+            self.record_span(ctx, Some(key), "probe", self.clock.now());
+        }
         if changed {
             self.updates.fetch_add(1, Ordering::Relaxed);
-            self.propagate(DepSource::Item(key.clone()), now);
+            self.propagate_rooted(
+                DepSource::Item(key.clone()),
+                now,
+                ctx.as_ref().map(SpanLink::of),
+            );
         }
     }
 
-    /// Refresh of one periodic handler at a window boundary.
+    /// Refresh of one periodic handler at a window boundary. A sampled
+    /// firing mints a fresh root span (the periodic boundary *is* the
+    /// source update of the cascade it may cause).
     fn periodic_refresh(&self, key: &MetadataKey, boundary: Timestamp, window: TimeSpan) {
         let Some(handler) = self.handler(key) else {
             return; // unsubscribed between scheduling and firing
@@ -1435,9 +1724,12 @@ impl MetadataManager {
             // recovery probe; consumers keep the degraded last-good value.
             return;
         }
+        let root = self
+            .sample_span()
+            .then(|| SpanContext::root(self.next_span_id(), boundary));
         let changed = {
             let _guard = handler.compute_lock.lock();
-            let changed = self.refresh_handler(&handler, Some(window), boundary);
+            let changed = self.refresh_handler(&handler, Some(window), boundary, root.as_ref());
             if changed {
                 self.updates.fetch_add(1, Ordering::Relaxed);
             }
@@ -1452,14 +1744,21 @@ impl MetadataManager {
         if missed {
             self.deadline_misses.fetch_add(1, Ordering::Relaxed);
         }
-        self.trace(|| TraceEvent::PeriodicFired {
+        if let Some(root) = &root {
+            self.record_span(root, Some(key), "periodic_fired", fired_at);
+        }
+        self.trace_span(root.as_ref(), || TraceEvent::PeriodicFired {
             key: key.clone(),
             boundary,
             fired_at,
             missed,
         });
         if changed {
-            self.propagate(DepSource::Item(key.clone()), boundary);
+            self.propagate_rooted(
+                DepSource::Item(key.clone()),
+                boundary,
+                root.as_ref().map(SpanLink::of),
+            );
         }
     }
 
@@ -1553,20 +1852,30 @@ impl MetadataManager {
     /// coalesce (counted, not re-queued); reaching `max_batch` distinct
     /// origins flushes synchronously on this thread. Returns `false` if
     /// epoch mode was switched off concurrently — the caller then falls
-    /// back to an immediate per-event sweep.
-    fn enqueue_update(&self, origin: DepSource, now: Timestamp) -> bool {
+    /// back to an immediate per-event sweep. A sampled update's lineage
+    /// rides in `pending_roots`: coalesced repeats *append* their roots,
+    /// so the flush records every contributing source update.
+    fn enqueue_update(&self, origin: DepSource, now: Timestamp, link: Option<SpanLink>) -> bool {
         let full = {
             let mut q = self.epoch_queue.lock();
             if !q.enabled {
                 return false;
             }
             if q.pending_set.insert(origin.clone()) {
-                q.pending.push(origin);
+                q.pending.push(origin.clone());
                 if q.first_enqueued.is_none() {
                     q.first_enqueued = Some(now);
                 }
             } else {
                 self.coalesced_updates.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(link) = link {
+                match q.pending_roots.get_mut(&origin) {
+                    Some(existing) => existing.roots.extend(link.roots),
+                    None => {
+                        q.pending_roots.insert(origin, link);
+                    }
+                }
             }
             q.pending.len() >= q.config.max_batch
         };
@@ -1582,7 +1891,7 @@ impl MetadataManager {
     /// has aged past `max_delay`; `None` flushes unconditionally.
     fn flush_pending(&self, due_at: Option<Timestamp>) -> usize {
         let serial = self.flush_serial.lock();
-        let origins = {
+        let (origins, roots) = {
             let mut q = self.epoch_queue.lock();
             if q.pending.is_empty() {
                 return 0;
@@ -1597,13 +1906,38 @@ impl MetadataManager {
             }
             q.pending_set.clear();
             q.first_enqueued = None;
-            std::mem::take(&mut q.pending)
+            (
+                std::mem::take(&mut q.pending),
+                std::mem::take(&mut q.pending_roots),
+            )
         };
         let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
         let swept = origins.len();
-        let stats = self.sweep(&origins, Some(epoch));
+        // When any contributing update was sampled, the flush itself gets
+        // a parentless span rooted in the *union* of every pending
+        // origin's roots — the multi-root record of epoch coalescing.
+        let flush_span = (!roots.is_empty()).then(|| {
+            let mut all: Vec<u64> = roots
+                .values()
+                .flat_map(|l| l.roots.iter().copied())
+                .collect();
+            all.sort_unstable();
+            all.dedup();
+            SpanContext {
+                span: self.next_span_id(),
+                parent: None,
+                roots: all,
+                depth: 0,
+                start: self.clock.now(),
+            }
+        });
+        let seeds = (!roots.is_empty()).then_some(roots);
+        let stats = self.sweep(&origins, Some(epoch), seeds);
         drop(serial);
-        self.trace(|| TraceEvent::EpochFlushed {
+        if let Some(ctx) = &flush_span {
+            self.record_span(ctx, None, "epoch_flushed", self.clock.now());
+        }
+        self.trace_span(flush_span.as_ref(), || TraceEvent::EpochFlushed {
             epoch,
             origins: swept,
             recomputed: stats.recomputed,
@@ -1614,12 +1948,40 @@ impl MetadataManager {
 
     /// Recomputes all triggered items transitively reachable from `origin`
     /// over the inverted dependency graph — immediately in per-event mode,
-    /// via the coalescing queue in epoch mode.
+    /// via the coalescing queue in epoch mode. Mints the root span of the
+    /// resulting cascade when sampling hits: in per-event mode the root
+    /// span covers the whole synchronous sweep; in epoch mode it covers
+    /// the enqueue (the flush's own span covers the deferred sweep).
     fn propagate(&self, origin: DepSource, now: Timestamp) {
-        if self.epoch_enabled.load(Ordering::Relaxed) && self.enqueue_update(origin.clone(), now) {
-            return;
+        match self.mint_root(&origin, now) {
+            Some(root) => {
+                let key = match &origin {
+                    DepSource::Item(k) => Some(k.clone()),
+                    DepSource::Event(_) => None,
+                };
+                self.propagate_rooted(origin, now, Some(SpanLink::of(&root)));
+                self.record_span(&root, key.as_ref(), "source_update", self.clock.now());
+            }
+            None => self.propagate_rooted(origin, now, None),
         }
-        self.sweep(std::slice::from_ref(&origin), None);
+    }
+
+    /// Like [`Self::propagate`], but with the cascade's lineage already
+    /// minted by the caller (retry chains, quarantine probes and
+    /// periodic firings seed their own spans).
+    fn propagate_rooted(&self, origin: DepSource, now: Timestamp, link: Option<SpanLink>) {
+        if self.epoch_enabled.load(Ordering::Relaxed) {
+            let link_for_queue = link.clone();
+            if self.enqueue_update(origin.clone(), now, link_for_queue) {
+                return;
+            }
+        }
+        let seeds = link.map(|l| {
+            let mut seeds = HashMap::with_capacity(1);
+            seeds.insert(origin.clone(), l);
+            seeds
+        });
+        self.sweep(std::slice::from_ref(&origin), None, seeds);
     }
 
     /// One propagation round over the union of the subgraphs reachable
@@ -1628,7 +1990,17 @@ impl MetadataManager {
     /// if one of its sources actually changed, and only propagates
     /// further if its own value changed, so each item delivers at most
     /// one observer notification per round.
-    fn sweep(&self, origins: &[DepSource], epoch: Option<u64>) -> SweepStats {
+    ///
+    /// `seeds` carries the sampled lineage of the origins: each hop that
+    /// stores a change hands its own span to its dependents, so the topo
+    /// order doubles as the guarantee that every span's parent precedes
+    /// it in the trace (tracelint T7).
+    fn sweep(
+        &self,
+        origins: &[DepSource],
+        epoch: Option<u64>,
+        seeds: Option<HashMap<DepSource, SpanLink>>,
+    ) -> SweepStats {
         let round = self.propagations.fetch_add(1, Ordering::Relaxed) + 1;
         // Phase 1: snapshot the affected subgraph under one bookkeeping
         // lock, remembering each item's BFS distance from the nearest
@@ -1665,6 +2037,11 @@ impl MetadataManager {
         };
         // Phase 2: recompute outside the bookkeeping lock.
         let mut changed: HashSet<DepSource> = origins.iter().cloned().collect();
+        // Sampled lineage: which changed sources hand which spans to
+        // their dependents. A hop parents to the *first* contributing
+        // source's span and inherits the union of all contributors'
+        // roots (epoch mode: a coalesced item records every root).
+        let mut lineage: HashMap<DepSource, SpanLink> = seeds.unwrap_or_default();
         let mut stats = SweepStats::default();
         for handler in plan {
             let affected = handler
@@ -1698,7 +2075,33 @@ impl MetadataManager {
             // later, and stamping them all at the sweep start would
             // understate `staleness()` for everything below depth 1.
             let at = self.clock.now();
-            let stored = self.refresh_handler(&handler, None, at);
+            let depth = depths.get(&handler.key).copied().unwrap_or(0);
+            let ctx = if lineage.is_empty() {
+                None
+            } else {
+                let mut parent = None;
+                let mut roots: Vec<u64> = Vec::new();
+                for dep in &handler.resolved_deps {
+                    if let Some(link) = lineage.get(&dep.source) {
+                        if parent.is_none() {
+                            parent = Some(link.span);
+                        }
+                        roots.extend(link.roots.iter().copied());
+                    }
+                }
+                parent.map(|parent| {
+                    roots.sort_unstable();
+                    roots.dedup();
+                    SpanContext {
+                        span: self.next_span_id(),
+                        parent: Some(parent),
+                        roots,
+                        depth: depth as u32,
+                        start: at,
+                    }
+                })
+            };
+            let stored = self.refresh_handler(&handler, None, at, ctx.as_ref());
             stats.recomputed += 1;
             if let Some(epoch) = epoch {
                 handler.note_epoch(epoch);
@@ -1706,10 +2109,20 @@ impl MetadataManager {
             if stored {
                 self.updates.fetch_add(1, Ordering::Relaxed);
                 changed.insert(DepSource::Item(handler.key.clone()));
+                if let Some(ctx) = &ctx {
+                    lineage.insert(DepSource::Item(handler.key.clone()), SpanLink::of(ctx));
+                }
             }
-            let depth = depths.get(&handler.key).copied().unwrap_or(0);
             stats.max_depth = stats.max_depth.max(depth);
-            self.trace(|| TraceEvent::PropagationStep {
+            if let Some(ctx) = &ctx {
+                self.record_span(
+                    ctx,
+                    Some(&handler.key),
+                    "propagation_step",
+                    self.clock.now(),
+                );
+            }
+            self.trace_span(ctx.as_ref(), || TraceEvent::PropagationStep {
                 round,
                 key: handler.key.clone(),
                 depth,
@@ -1802,15 +2215,20 @@ struct ContainmentTask {
     manager: Weak<MetadataManager>,
     key: MetadataKey,
     probe: bool,
+    /// The span of the failing evaluation, carried *explicitly* through
+    /// the `PeriodicRegistry` scheduling handoff (no thread-local state
+    /// survives a work item): the retry or probe evaluation becomes its
+    /// child, so failure chains stay one lineage.
+    span: Option<SpanContext>,
 }
 
 impl PeriodicTask for ContainmentTask {
     fn run(&self, fired_at: Timestamp) {
         if let Some(mgr) = self.manager.upgrade() {
             if self.probe {
-                mgr.quarantine_probe(&self.key, fired_at);
+                mgr.quarantine_probe(&self.key, fired_at, self.span.as_ref());
             } else {
-                mgr.retry_refresh(&self.key, fired_at);
+                mgr.retry_refresh(&self.key, fired_at, self.span.as_ref());
             }
         }
     }

@@ -119,11 +119,32 @@ impl MetadataManager {
             "reads served a degraded (stale last-good) value",
             |m| MetadataValue::U64(m.stale_serve_count()),
         ));
+        // Eviction accounting is split by sink kind: `trace_dropped` is
+        // ring-buffer evictions only (records lost), `trace_rotated` is
+        // file-sink rotations (records retired to the rotated file, not
+        // lost). Conflating them made a healthy rotating file look like
+        // data loss.
         reg.define(stat(
             "meta.trace_dropped",
             "records evicted from the catalog trace ring buffer",
             |m| match m.catalog_trace() {
                 Some(sink) => MetadataValue::U64(sink.dropped()),
+                None => MetadataValue::Unavailable,
+            },
+        ));
+        reg.define(stat(
+            "meta.trace_rotated",
+            "size-limit rotations of the registered trace file sink",
+            |m| match m.file_trace() {
+                Some(sink) => MetadataValue::U64(sink.rotations()),
+                None => MetadataValue::Unavailable,
+            },
+        ));
+        reg.define(stat(
+            "meta.spans_dropped",
+            "finished spans evicted from the sys.spans ring",
+            |m| match m.catalog_spans() {
+                Some(store) => MetadataValue::U64(store.dropped()),
                 None => MetadataValue::Unavailable,
             },
         ));
@@ -210,6 +231,42 @@ mod tests {
         // 20 accesses of `x` in a 10-unit window, plus the boundary
         // evaluation of the rate item itself: (20 + 1) / 10.
         assert_eq!(rate.get_f64(), Some(2.1));
+    }
+
+    #[test]
+    fn trace_eviction_accounting_separates_drops_from_rotations() {
+        let (_clock, mgr) = setup();
+        let dropped = mgr
+            .subscribe(MetadataKey::new(META_NODE, "meta.trace_dropped"))
+            .unwrap();
+        let rotated = mgr
+            .subscribe(MetadataKey::new(META_NODE, "meta.trace_rotated"))
+            .unwrap();
+        // Neither sink installed yet.
+        assert!(!dropped.get().is_available());
+        assert!(!rotated.get().is_available());
+        // A 2-record ring: the third record evicts one, rotations stay 0.
+        mgr.enable_catalog_trace(2);
+        let x = mgr.subscribe(MetadataKey::new(NodeId(0), "x")).unwrap();
+        x.get();
+        drop(x);
+        assert!(dropped.get().as_u64().unwrap() > 0);
+        assert!(!rotated.get().is_available());
+        // A roomy file sink: rotations stay 0, and ring drops are not
+        // double-counted into it.
+        let dir = std::env::temp_dir().join(format!(
+            "streammeta-meta-rot-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = crate::trace::RotatingFileSink::create(dir.join("t.jsonl"), 1 << 20).unwrap();
+        mgr.set_file_trace(Some(file));
+        assert_eq!(rotated.get().as_u64(), Some(0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -19,6 +19,73 @@ use streammeta_time::{TimeSpan, Timestamp};
 
 use crate::MetadataKey;
 
+/// Sampling policy for causal lineage spans (see [`SpanContext`]).
+///
+/// Like the trace gate, the decision is one relaxed atomic load on the
+/// hot path: with `Off` (the default) no span is ever minted and
+/// propagation pays nothing beyond that load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpanSampling {
+    /// No spans are minted (the default).
+    #[default]
+    Off,
+    /// One of every `n` source updates mints a root span and carries
+    /// lineage through its whole cascade. `Ratio(1)` traces everything.
+    Ratio(u64),
+}
+
+/// Causal span context carried by a [`TraceRecord`].
+///
+/// A *root* span (`parent == None`, `roots == [span]`) is minted per
+/// sampled source update — a `fire_event`/`notify_changed` call, a
+/// periodic firing, or a subscription — and every downstream hop
+/// (propagation recompute, retry, quarantine trip, observer
+/// notification) gets a child span whose `parent` is the hop it was
+/// caused by. In epoch propagation mode several coalesced source
+/// updates feed one recompute, so `roots` lists *all* contributing root
+/// span ids (sorted, deduplicated); in per-event mode it has exactly
+/// one element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanContext {
+    /// This hop's span id (unique per manager, minted from 1).
+    pub span: u64,
+    /// The causing hop's span id; `None` for root spans.
+    pub parent: Option<u64>,
+    /// Root span ids (trace ids) this hop descends from — more than one
+    /// when coalesced epoch updates merged several cascades.
+    pub roots: Vec<u64>,
+    /// Hop count below the root (root = 0).
+    pub depth: u32,
+    /// When the hop started (the record's `at` is when it was emitted,
+    /// i.e. the hop's end).
+    pub start: Timestamp,
+}
+
+impl SpanContext {
+    /// A root span: its own id is the trace id.
+    pub fn root(span: u64, start: Timestamp) -> Self {
+        SpanContext {
+            span,
+            parent: None,
+            roots: vec![span],
+            depth: 0,
+            start,
+        }
+    }
+
+    /// A child hop of `self` with a freshly minted id, inheriting the
+    /// root set.
+    pub fn child(&self, span: u64, start: Timestamp) -> Self {
+        SpanContext {
+            span,
+            parent: Some(self.span),
+            roots: self.roots.clone(),
+            depth: self.depth + 1,
+            start,
+        }
+    }
+}
+
 /// One structured event on the trace bus.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -113,6 +180,29 @@ pub enum TraceEvent {
         /// The stored value's version.
         version: u64,
     },
+    /// A sampled source update minted a root span: the anchor every
+    /// downstream hop's lineage must resolve to (tracelint rule T8).
+    /// Emitted once per sampled `fire_event` / `notify_changed` call,
+    /// before the update is swept (per-event mode) or enqueued (epoch
+    /// mode).
+    SourceUpdate {
+        /// The updated source, rendered (`n1/rate` item or `n1!tick`
+        /// event).
+        origin: String,
+        /// `"item"` or `"event"`.
+        origin_kind: &'static str,
+    },
+    /// A stored value change was delivered to push observers — the end
+    /// of a causal cascade, and the event whose lineage tracelint T8
+    /// verifies back to a [`TraceEvent::SourceUpdate`] anchor.
+    Notified {
+        /// The updated item.
+        key: MetadataKey,
+        /// The delivered value's version.
+        version: u64,
+        /// Observers the snapshot was delivered to.
+        observers: usize,
+    },
     /// An epoch flush swept a batch of coalesced source updates
     /// (epoch propagation mode only; the per-item recomputations still
     /// emit their own [`TraceEvent::PropagationStep`] records).
@@ -145,6 +235,8 @@ impl TraceEvent {
             TraceEvent::QuarantineTripped { .. } => "quarantine_tripped",
             TraceEvent::QuarantineRecovered { .. } => "quarantine_recovered",
             TraceEvent::ValueStored { .. } => "value_stored",
+            TraceEvent::SourceUpdate { .. } => "source_update",
+            TraceEvent::Notified { .. } => "notified",
             TraceEvent::EpochFlushed { .. } => "epoch_flushed",
         }
     }
@@ -164,8 +256,9 @@ impl TraceEvent {
             | TraceEvent::RetryScheduled { key, .. }
             | TraceEvent::QuarantineTripped { key, .. }
             | TraceEvent::QuarantineRecovered { key }
-            | TraceEvent::ValueStored { key, .. } => Some(key),
-            TraceEvent::EpochFlushed { .. } => None,
+            | TraceEvent::ValueStored { key, .. }
+            | TraceEvent::Notified { key, .. } => Some(key),
+            TraceEvent::SourceUpdate { .. } | TraceEvent::EpochFlushed { .. } => None,
         }
     }
 }
@@ -224,6 +317,15 @@ impl fmt::Display for TraceEvent {
             TraceEvent::ValueStored { key, version } => {
                 write!(f, "value_stored {key} version={version}")
             }
+            TraceEvent::SourceUpdate {
+                origin,
+                origin_kind,
+            } => write!(f, "source_update {origin} kind={origin_kind}"),
+            TraceEvent::Notified {
+                key,
+                version,
+                observers,
+            } => write!(f, "notified {key} version={version} observers={observers}"),
             TraceEvent::EpochFlushed {
                 epoch,
                 origins,
@@ -246,9 +348,26 @@ pub struct TraceRecord {
     pub at: Timestamp,
     /// The event.
     pub event: TraceEvent,
+    /// Causal lineage, when span sampling caught this hop.
+    pub span: Option<SpanContext>,
+    /// Compact emitting-thread id (assigned first-sight per manager),
+    /// when [`crate::MetadataManager::set_trace_thread_ids`] is on — the
+    /// Chrome-trace exporter's flame track.
+    pub tid: Option<u64>,
 }
 
 impl TraceRecord {
+    /// A record with no span context and no thread id.
+    pub fn new(seq: u64, at: Timestamp, event: TraceEvent) -> Self {
+        TraceRecord {
+            seq,
+            at,
+            event,
+            span: None,
+            tid: None,
+        }
+    }
+
     /// The record as one JSON object (a JSONL line, without the newline).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(96);
@@ -340,10 +459,53 @@ impl TraceRecord {
                 out.push_str(",\"max_depth\":");
                 out.push_str(&max_depth.to_string());
             }
+            TraceEvent::SourceUpdate {
+                origin,
+                origin_kind,
+            } => {
+                out.push_str(",\"origin\":\"");
+                push_escaped(&mut out, origin);
+                out.push_str("\",\"origin_kind\":\"");
+                push_escaped(&mut out, origin_kind);
+                out.push('"');
+            }
+            TraceEvent::Notified {
+                version, observers, ..
+            } => {
+                out.push_str(",\"version\":");
+                out.push_str(&version.to_string());
+                out.push_str(",\"observers\":");
+                out.push_str(&observers.to_string());
+            }
             TraceEvent::Subscribe { .. }
             | TraceEvent::Unsubscribe { .. }
             | TraceEvent::ComputeFailed { .. }
             | TraceEvent::QuarantineRecovered { .. } => {}
+        }
+        if let Some(span) = &self.span {
+            out.push_str(",\"span\":");
+            out.push_str(&span.span.to_string());
+            if let Some(parent) = span.parent {
+                out.push_str(",\"parent\":");
+                out.push_str(&parent.to_string());
+            }
+            // Roots are string-encoded (comma-separated) because the
+            // flat JSONL dialect tracelint parses has scalar values only.
+            out.push_str(",\"roots\":\"");
+            for (i, r) in span.roots.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&r.to_string());
+            }
+            out.push_str("\",\"span_depth\":");
+            out.push_str(&span.depth.to_string());
+            out.push_str(",\"span_start\":");
+            out.push_str(&span.start.units().to_string());
+        }
+        if let Some(tid) = self.tid {
+            out.push_str(",\"tid\":");
+            out.push_str(&tid.to_string());
         }
         out.push('}');
         out
@@ -560,17 +722,106 @@ impl TraceSink for RotatingFileSink {
     }
 }
 
+/// One finished causal hop, as materialised by the `sys.spans` catalog
+/// relation (see [`SpanStore`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The hop's span id.
+    pub span: u64,
+    /// The causing hop's span id; `None` for roots.
+    pub parent: Option<u64>,
+    /// The first contributing root span id (the trace id).
+    pub root: u64,
+    /// Number of contributing roots (> 1 for coalesced epoch hops).
+    pub roots: usize,
+    /// The item the hop concerned, if any.
+    pub key: Option<MetadataKey>,
+    /// Kind of the trace event that closed the hop.
+    pub kind: &'static str,
+    /// Hop count below the root.
+    pub depth: u32,
+    /// When the hop started.
+    pub start: Timestamp,
+    /// When the hop's event was emitted.
+    pub end: Timestamp,
+}
+
+impl SpanRecord {
+    /// The hop's duration in clock units.
+    pub fn duration(&self) -> u64 {
+        self.end.units().saturating_sub(self.start.units())
+    }
+}
+
+/// A bounded ring of finished spans backing the `sys.spans` catalog
+/// relation, installed by
+/// [`crate::MetadataManager::enable_catalog_spans`]. Independent of the
+/// trace sink: spans are recorded here whenever sampling mints them,
+/// even with no trace sink installed.
+pub struct SpanStore {
+    capacity: usize,
+    buf: Mutex<VecDeque<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+impl SpanStore {
+    /// A span ring holding at most `capacity` records (at least 1).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(SpanStore {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Maximum retained spans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Appends one finished span, evicting the oldest when full.
+    pub fn record(&self, record: SpanRecord) {
+        let mut buf = self.buf.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(record);
+    }
+
+    /// Retained spans, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+
+    /// Discards all retained spans (the drop counter is kept).
+    pub fn clear(&self) {
+        self.buf.lock().clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::NodeId;
 
     fn rec(seq: u64, event: TraceEvent) -> TraceRecord {
-        TraceRecord {
-            seq,
-            at: Timestamp(seq),
-            event,
-        }
+        TraceRecord::new(seq, Timestamp(seq), event)
     }
 
     fn key(path: &str) -> MetadataKey {
@@ -723,6 +974,184 @@ mod tests {
             .collect();
         assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "gap in window");
         assert_eq!(*seqs.last().unwrap(), 199);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn span_and_tid_fields_render() {
+        let mut r = rec(
+            9,
+            TraceEvent::Notified {
+                key: key("rate"),
+                version: 3,
+                observers: 2,
+            },
+        );
+        r.span = Some(SpanContext {
+            span: 12,
+            parent: Some(7),
+            roots: vec![1, 4],
+            depth: 2,
+            start: Timestamp(5),
+        });
+        r.tid = Some(1);
+        let json = r.to_json();
+        assert!(json.contains("\"event\":\"notified\""));
+        assert!(json.contains("\"version\":3"));
+        assert!(json.contains("\"observers\":2"));
+        assert!(json.contains("\"span\":12"));
+        assert!(json.contains("\"parent\":7"));
+        assert!(json.contains("\"roots\":\"1,4\""));
+        assert!(json.contains("\"span_depth\":2"));
+        assert!(json.contains("\"span_start\":5"));
+        assert!(json.contains("\"tid\":1"));
+
+        let root = SpanContext::root(4, Timestamp(1));
+        assert_eq!(root.roots, vec![4]);
+        let child = root.child(9, Timestamp(2));
+        assert_eq!(child.parent, Some(4));
+        assert_eq!(child.roots, vec![4]);
+        assert_eq!(child.depth, 1);
+        let mut r = rec(
+            0,
+            TraceEvent::SourceUpdate {
+                origin: "n1!tick".into(),
+                origin_kind: "event",
+            },
+        );
+        r.span = Some(root);
+        let json = r.to_json();
+        assert!(json.contains("\"origin\":\"n1!tick\""));
+        assert!(json.contains("\"origin_kind\":\"event\""));
+        assert!(json.contains("\"span\":4"));
+        assert!(!json.contains("\"parent\""), "roots carry no parent");
+    }
+
+    #[test]
+    fn span_store_evicts_oldest_and_counts_drops() {
+        let store = SpanStore::new(2);
+        for i in 0..4u64 {
+            store.record(SpanRecord {
+                span: i + 1,
+                parent: None,
+                root: i + 1,
+                roots: 1,
+                key: None,
+                kind: "source_update",
+                depth: 0,
+                start: Timestamp(i),
+                end: Timestamp(i + 3),
+            });
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.dropped(), 2);
+        let snap = store.snapshot();
+        assert_eq!(snap[0].span, 3);
+        assert_eq!(snap[0].duration(), 3);
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn rotation_boundary_keeps_the_exact_fit_line_in_one_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "streammeta_rotb_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        // A key long enough that a fixed number of identical lines fills
+        // the minimum file size exactly.
+        let line_len = rec(0, TraceEvent::Subscribe { key: key("a") })
+            .to_json()
+            .len();
+        let pad = 512 - (line_len + 1);
+        let long_key = key(&format!("a{}", "x".repeat(pad)));
+        let one = |seq: u64| {
+            rec(
+                seq,
+                TraceEvent::Subscribe {
+                    key: long_key.clone(),
+                },
+            )
+        };
+        assert_eq!(one(0).to_json().len() + 1, 512, "line length is exact");
+        let sink = RotatingFileSink::create(&path, 4096).unwrap();
+        // Eight 512-byte lines land exactly on the 4096-byte limit: the
+        // eighth fits (written + len + 1 == max_bytes is not over) and
+        // must NOT rotate — it stays wholly in the active file.
+        for i in 0..8 {
+            sink.record(one(i));
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.rotations(), 0, "exact fit must not rotate");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            4096,
+            "active file filled to the limit"
+        );
+        assert!(!sink.rotated_path().exists());
+        // The ninth line overflows: rotate first, then write — the line
+        // appears exactly once, wholly in the fresh active file.
+        sink.record(one(8));
+        sink.flush().unwrap();
+        assert_eq!(sink.rotations(), 1);
+        let active = std::fs::read_to_string(&path).unwrap();
+        let rotated = std::fs::read_to_string(sink.rotated_path()).unwrap();
+        assert_eq!(active.lines().count(), 1);
+        assert_eq!(rotated.lines().count(), 8);
+        assert!(active.contains("\"seq\":8"));
+        assert!(!rotated.contains("\"seq\":8"), "boundary line duplicated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_under_concurrent_writers_never_tears_a_line() {
+        let dir = std::env::temp_dir().join(format!(
+            "streammeta_rotc_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sink = RotatingFileSink::create(&path, 4096).unwrap();
+        let per_thread = 200u64;
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        sink.record(rec(
+                            t * per_thread + i,
+                            TraceEvent::ValueStored {
+                                key: key("concurrent"),
+                                version: i + 1,
+                            },
+                        ));
+                    }
+                });
+            }
+        });
+        sink.flush().unwrap();
+        assert_eq!(sink.records_written(), 4 * per_thread);
+        assert!(sink.rotations() >= 1, "workload must rotate");
+        // Every retained line is a complete JSONL object — rotation must
+        // never interleave two writers' partial lines.
+        let retained = sink.read_retained().unwrap();
+        let mut lines = 0usize;
+        for line in retained.lines() {
+            assert!(
+                line.starts_with("{\"seq\":") && line.ends_with('}'),
+                "torn line: {line:?}"
+            );
+            assert!(
+                line.contains("\"event\":\"value_stored\""),
+                "torn line: {line:?}"
+            );
+            lines += 1;
+        }
+        assert!(lines > 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

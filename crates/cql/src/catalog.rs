@@ -139,7 +139,7 @@ pub fn attach_system(catalog: &mut Catalog, manager: Arc<MetadataManager>) {
     catalog.system = Some(manager);
 }
 
-/// Registers all six `sys.*` relations as live stream sources on
+/// Registers all seven `sys.*` relations as live stream sources on
 /// `graph`, refreshed every `refresh` units of manager time, so stream
 /// queries (including joins and windows) can range over them. Requires
 /// [`attach_system`] first; fails with [`CqlError::DuplicateSource`] if

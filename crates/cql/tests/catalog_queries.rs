@@ -207,6 +207,52 @@ fn one_shot_queries_resolve_relation_columns() {
     assert!(res.rows.is_empty(), "text column never equals an int");
 }
 
+#[test]
+fn lineage_queries_range_over_sys_spans() {
+    let clock = VirtualClock::shared();
+    let manager = MetadataManager::new(clock.clone());
+    let reg = NodeRegistry::new(NodeId(1));
+    reg.define(
+        ItemDef::triggered("dep")
+            .on_event("tick")
+            .compute(|ctx| MetadataValue::U64(ctx.now().units()))
+            .build(),
+    );
+    manager.attach_node(reg);
+    manager.enable_catalog_spans(128);
+    manager.set_span_sampling(streammeta_core::SpanSampling::Ratio(1));
+    let _dep = manager
+        .subscribe(MetadataKey::new(NodeId(1), "dep"))
+        .unwrap();
+    clock.advance(TimeSpan(1));
+    manager.fire_event(streammeta_core::EventKey::new(NodeId(1), "tick"));
+
+    let mut catalog = Catalog::new();
+    attach_system(&mut catalog, manager.clone());
+
+    let all = query_once(&catalog, "SELECT span, parent, root FROM sys.spans").unwrap();
+    assert!(!all.rows.is_empty());
+    // The worked lineage query: propagation hops below the root, with
+    // their root id and per-hop cost.
+    let hops = query_once(
+        &catalog,
+        "SELECT root, depth, duration FROM sys.spans WHERE depth > 0",
+    )
+    .unwrap();
+    assert_eq!(hops.columns, vec!["root", "depth", "duration"]);
+    assert!(!hops.rows.is_empty(), "the tick cascade produced no hops");
+    // Every hop's root resolves to a real root span in the relation.
+    let roots: Vec<u64> = query_once(&catalog, "SELECT span FROM sys.spans WHERE parent = 0")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_u64().unwrap())
+        .collect();
+    for hop in &hops.rows {
+        assert!(roots.contains(&hop[0].as_u64().unwrap()), "dangling root");
+    }
+}
+
 // ---------------------------------------------------------------------
 // Relations as stream sources (tentpole: compile/install over sys.*)
 // ---------------------------------------------------------------------

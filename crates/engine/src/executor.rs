@@ -72,6 +72,10 @@ impl VirtualEngine {
     /// An engine over `graph` driven by `clock`, with FIFO scheduling and
     /// a tick of one time unit.
     pub fn new(graph: Arc<QueryGraph>, clock: Arc<VirtualClock>) -> Self {
+        // The single-threaded engine is one flame track in a Chrome
+        // trace; label it up front so exports name it even when thread
+        // ids are switched on mid-run.
+        graph.manager().label_trace_thread("virtual-engine");
         VirtualEngine {
             graph,
             clock,

@@ -93,6 +93,8 @@ pub fn run_threaded_with(
             let source_elements = source_elements.clone();
             let queue_gauge = queue_gauge.clone();
             scope.spawn(move || {
+                // Name this flame track for the Chrome-trace exporter.
+                graph.manager().label_trace_thread("feeder");
                 let deadline = Instant::now() + duration;
                 let sources: Vec<NodeId> = graph
                     .nodes()
@@ -136,7 +138,7 @@ pub fn run_threaded_with(
             });
         }
         // Workers: process items, fanning results back into the channel.
-        for _ in 0..workers {
+        for worker in 0..workers {
             let graph = graph.clone();
             let clock = clock.clone();
             let rx = rx.clone();
@@ -146,6 +148,9 @@ pub fn run_threaded_with(
             let busy_gauge = busy_gauge.clone();
             let processed_counter = processed_counter.clone();
             scope.spawn(move || {
+                graph
+                    .manager()
+                    .label_trace_thread(&format!("worker-{worker}"));
                 let mut out = Vec::new();
                 loop {
                     match rx.recv() {

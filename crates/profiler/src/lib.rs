@@ -266,6 +266,48 @@ impl Recorder {
         );
         let _ = writeln!(out, "# TYPE streammeta_manager_quarantined gauge");
         let _ = writeln!(out, "streammeta_manager_quarantined {quarantined}");
+        // Per-handler compute-latency quantiles as one Prometheus summary
+        // family. Quantiles exist only while the manager's latency
+        // profiling switch is on; handlers without observations are
+        // skipped so the exposition stays empty-but-well-formed when
+        // profiling is off.
+        let mut wrote_header = false;
+        for key in self.manager.included_keys() {
+            let Some(stats) = self.manager.handler_stats(&key) else {
+                continue;
+            };
+            let quantiles = [
+                ("0.5", stats.latency_p50),
+                ("0.95", stats.latency_p95),
+                ("0.99", stats.latency_p99),
+            ];
+            if quantiles.iter().all(|(_, v)| v.is_none()) {
+                continue;
+            }
+            if !wrote_header {
+                let _ = writeln!(
+                    out,
+                    "# HELP streammeta_handler_compute_seconds per-handler compute latency (requires latency profiling)"
+                );
+                let _ = writeln!(out, "# TYPE streammeta_handler_compute_seconds summary");
+                wrote_header = true;
+            }
+            for (q, v) in quantiles {
+                let Some(ns) = v else { continue };
+                let _ = writeln!(
+                    out,
+                    "streammeta_handler_compute_seconds{{node=\"{}\",item=\"{}\",quantile=\"{q}\"}} {}",
+                    key.node,
+                    key.item,
+                    ns as f64 * 1e-9
+                );
+            }
+            let _ = writeln!(
+                out,
+                "streammeta_handler_compute_seconds_count{{node=\"{}\",item=\"{}\"}} {}",
+                key.node, key.item, stats.computes
+            );
+        }
         out
     }
 }
@@ -330,6 +372,71 @@ fn prometheus_name(label: &str) -> String {
         }
     }
     name
+}
+
+/// Renders span-carrying trace records as a Chrome `trace_event` JSON
+/// document (load it at `chrome://tracing` or in Perfetto): one complete
+/// ("X") slice per span, placed on the flame track of the thread that
+/// finished it, nested under its parent by time containment. `threads`
+/// maps compact trace thread ids (see
+/// [`streammeta_core::MetadataManager::trace_thread_labels`]) to track
+/// names; unlabelled or untagged records land on track 0. Timestamps are
+/// the clock's native units passed through as Chrome microseconds.
+pub fn render_chrome_trace(
+    records: &[TraceRecord],
+    threads: &std::collections::BTreeMap<u64, String>,
+) -> String {
+    // A span can appear on several records (stored, then notified); the
+    // last one carries the hop's completion time, so later records win
+    // and each span renders exactly one slice.
+    let mut slices: std::collections::BTreeMap<u64, &TraceRecord> =
+        std::collections::BTreeMap::new();
+    for r in records {
+        if let Some(ctx) = &r.span {
+            slices.insert(ctx.span, r);
+        }
+    }
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+    };
+    for (tid, name) in threads {
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        );
+    }
+    for r in slices.values() {
+        let ctx = r.span.as_ref().expect("slices hold span records only");
+        sep(&mut out, &mut first);
+        let name = match r.event.key() {
+            Some(key) => format!("{} {key}", r.event.kind()),
+            None => r.event.kind().to_string(),
+        };
+        let roots: Vec<String> = ctx.roots.iter().map(u64::to_string).collect();
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\
+             \"args\":{{\"span\":{},\"parent\":{},\"roots\":\"{}\",\"depth\":{}}}}}",
+            escape(&name),
+            r.tid.unwrap_or(0),
+            ctx.start.units(),
+            r.at.units().saturating_sub(ctx.start.units()),
+            ctx.span,
+            ctx.parent.unwrap_or(0),
+            roots.join(","),
+            ctx.depth
+        );
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Renders trace records as an aligned, human-readable listing; include
@@ -596,6 +703,75 @@ mod tests {
         let empty = render_relation(SystemRelation::Quarantine, &[]);
         assert!(empty.starts_with("sys.quarantine (0 rows)"));
         assert!(empty.contains("key  state"));
+    }
+
+    #[test]
+    fn prometheus_exports_handler_latency_quantiles() {
+        let (_clock, mgr) = setup();
+        let rec = Recorder::new(mgr.clone());
+        // Off by default: no summary family at all.
+        let sub = mgr.subscribe(MetadataKey::new(NodeId(0), "t")).unwrap();
+        sub.get();
+        assert!(!rec
+            .render_prometheus()
+            .contains("streammeta_handler_compute_seconds"));
+        mgr.set_latency_profiling(true);
+        for _ in 0..5 {
+            sub.get();
+        }
+        let text = rec.render_prometheus();
+        assert!(text.contains("# TYPE streammeta_handler_compute_seconds summary"));
+        for q in ["0.5", "0.95", "0.99"] {
+            assert!(
+                text.contains(&format!(
+                    "streammeta_handler_compute_seconds{{node=\"n0\",item=\"t\",quantile=\"{q}\"}}"
+                )),
+                "missing quantile {q}:\n{text}"
+            );
+        }
+        assert!(text.contains("streammeta_handler_compute_seconds_count{node=\"n0\",item=\"t\"} 6"));
+    }
+
+    #[test]
+    fn chrome_trace_renders_one_slice_per_span_on_labelled_tracks() {
+        use streammeta_core::{DepTarget, RingBufferSink, SpanSampling};
+        use streammeta_time::TimeSpan;
+        let clock = VirtualClock::shared();
+        let mgr = MetadataManager::new(clock.clone());
+        let reg = NodeRegistry::new(NodeId(1));
+        reg.define(ItemDef::static_value("size", 9u64));
+        reg.define(
+            ItemDef::triggered("cost")
+                .dep("size", DepTarget::Local("size".into()))
+                .compute(|ctx| ctx.dep("size"))
+                .build(),
+        );
+        mgr.attach_node(reg);
+        let sink = RingBufferSink::new(64);
+        mgr.set_trace_sink(Some(sink.clone()));
+        mgr.set_span_sampling(SpanSampling::Ratio(1));
+        mgr.set_trace_thread_ids(true);
+        mgr.label_trace_thread("test-main");
+        let _sub = mgr.subscribe(MetadataKey::new(NodeId(1), "cost")).unwrap();
+        clock.advance(TimeSpan(3));
+        mgr.notify_changed(MetadataKey::new(NodeId(1), "size"));
+        let labels = mgr.trace_thread_labels();
+        let json = render_chrome_trace(&sink.snapshot(), &labels);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"test-main\""));
+        // The source update and its propagation hop each render exactly
+        // one slice, linked by span/parent args.
+        assert!(json.contains("\"name\":\"source_update\""));
+        assert!(json.contains("\"name\":\"propagation_step n1/cost\""));
+        let slices = json.matches("\"ph\":\"X\"").count();
+        let spans: std::collections::BTreeSet<u64> = sink
+            .snapshot()
+            .iter()
+            .filter_map(|r| r.span.as_ref().map(|s| s.span))
+            .collect();
+        assert_eq!(slices, spans.len());
     }
 
     #[test]

@@ -24,7 +24,8 @@ for exp in exp_e1_taxonomy exp_e2_fig3_cascade exp_e3_fig4_concurrent \
            exp_e13_chain exp_e14_shedding exp_e15_selectivity \
            exp_e16_optimizer exp_e17_qos exp_e18_observability \
            exp_e19_read_contention exp_e20_fault_injection \
-           exp_e21_catalog exp_e22_batch_propagation; do
+           exp_e21_catalog exp_e22_batch_propagation \
+           exp_e23_span_lineage; do
     echo "=== $exp ==="
     if RESULTS_DIR="$OUT" ./target/release/"$exp" | tee "$OUT/$exp.txt"; then
         passed+=("$exp")
@@ -45,6 +46,7 @@ echo "All experiment outputs written to $OUT/"
 echo "Recorder time series: $OUT/e18_observability.csv"
 echo "Catalog perf summary: $OUT/BENCH_e21.json"
 echo "Batch propagation summary: $OUT/BENCH_e22.json"
+echo "Span lineage summary: $OUT/BENCH_e23.json"
 
 if [ "${#failed[@]}" -gt 0 ]; then
     exit 1
