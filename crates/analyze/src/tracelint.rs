@@ -28,6 +28,14 @@
 //! racing threads can reorder adjacent records around an exclusion and
 //! produce false T3/T4 positives; lint the deterministic phase of an
 //! experiment instead.
+//!
+//! Multi-partition traces: records tagged with a partition id (the
+//! `part` field a [`PartitionedMetadataPlane`] partition stamps) keep
+//! separate per-item, per-seq and per-epoch lanes, so traces merged
+//! with [`merge_traces`] lint without cross-partition false positives
+//! while span lineage (T7/T8) still links across partitions.
+//!
+//! [`PartitionedMetadataPlane`]: streammeta_core::PartitionedMetadataPlane
 
 use std::collections::{HashMap, HashSet};
 
@@ -148,13 +156,15 @@ struct RetryState {
 pub fn lint(records: &[TraceRecord]) -> Vec<TraceViolation> {
     let mut out = Vec::new();
 
-    // T6 state.
-    let mut last_seq: Option<u64> = None;
+    // T6 state. Seq counters and epoch ids are per-manager, so in a
+    // merged multi-partition trace both are tracked per partition tag
+    // (`part: None` is its own lane: a stand-alone manager's trace).
+    let mut last_seq: HashMap<Option<u64>, u64> = HashMap::new();
     let mut last_at: Option<Timestamp> = None;
     // T1 state.
     let mut versions: HashMap<String, u64> = HashMap::new();
     // T2 state.
-    let mut last_epoch: Option<u64> = None;
+    let mut last_epoch: HashMap<Option<u64>, u64> = HashMap::new();
     let mut round_seen: HashMap<(u64, String), u64> = HashMap::new();
     // T3 state.
     let mut excluded: HashMap<String, bool> = HashMap::new();
@@ -180,10 +190,17 @@ pub fn lint(records: &[TraceRecord]) -> Vec<TraceViolation> {
         .collect();
 
     for rec in records {
-        let key_str = rec.event.key().map(|k| k.to_string());
+        // Per-item state is namespaced by the record's partition tag, so
+        // a merged multi-partition trace keeps each partition's item
+        // incarnations (and each proxy shadow of the same key) separate.
+        let pfx = |s: String| match rec.part {
+            Some(p) => format!("p{p}/{s}"),
+            None => s,
+        };
+        let key_str = rec.event.key().map(|k| pfx(k.to_string()));
 
         // T6: stream well-formedness.
-        if let Some(prev) = last_seq {
+        if let Some(&prev) = last_seq.get(&rec.part) {
             if rec.seq <= prev {
                 out.push(TraceViolation {
                     rule: TraceRule::StreamWellFormed,
@@ -203,7 +220,7 @@ pub fn lint(records: &[TraceRecord]) -> Vec<TraceViolation> {
                 });
             }
         }
-        last_seq = Some(rec.seq);
+        last_seq.insert(rec.part, rec.seq);
         last_at = Some(rec.at);
 
         // T7: span causality. A child span's first record must come
@@ -330,21 +347,21 @@ pub fn lint(records: &[TraceRecord]) -> Vec<TraceViolation> {
 
         match &rec.event {
             TraceEvent::Include { key, .. } => {
-                excluded.insert(key.to_string(), false);
+                excluded.insert(pfx(key.to_string()), false);
             }
             TraceEvent::Exclude { key, .. } => {
                 // Exclusion drops the handler, ending its incarnation:
                 // a later re-inclusion starts a fresh version counter,
                 // retry episode and breaker, so all per-item state
                 // resets here.
-                let key = key.to_string();
+                let key = pfx(key.to_string());
                 versions.remove(&key);
                 retries.remove(&key);
                 quarantine.remove(&key);
                 excluded.insert(key, true);
             }
             TraceEvent::ValueStored { key, version } => {
-                let key = key.to_string();
+                let key = pfx(key.to_string());
                 if let Some(&prev) = versions.get(&key) {
                     if *version <= prev {
                         out.push(TraceViolation {
@@ -360,7 +377,7 @@ pub fn lint(records: &[TraceRecord]) -> Vec<TraceViolation> {
                 retries.remove(&key);
             }
             TraceEvent::EpochFlushed { epoch, .. } => {
-                if let Some(prev) = last_epoch {
+                if let Some(&prev) = last_epoch.get(&rec.part) {
                     if *epoch <= prev {
                         out.push(TraceViolation {
                             rule: TraceRule::EpochSerialization,
@@ -370,16 +387,17 @@ pub fn lint(records: &[TraceRecord]) -> Vec<TraceViolation> {
                         });
                     }
                 }
-                last_epoch = Some(*epoch);
+                last_epoch.insert(rec.part, *epoch);
             }
             TraceEvent::PropagationStep { round, key, .. } => {
-                let slot = round_seen.entry((*round, key.to_string())).or_insert(0);
+                let key = pfx(key.to_string());
+                let slot = round_seen.entry((*round, key.clone())).or_insert(0);
                 *slot += 1;
                 if *slot > 1 {
                     out.push(TraceViolation {
                         rule: TraceRule::EpochSerialization,
                         seq: rec.seq,
-                        key: Some(key.to_string()),
+                        key: Some(key),
                         message: format!("recomputed {} times in round {round}", *slot),
                     });
                 }
@@ -389,7 +407,7 @@ pub fn lint(records: &[TraceRecord]) -> Vec<TraceViolation> {
                 attempt,
                 delay,
             } => {
-                let key = key.to_string();
+                let key = pfx(key.to_string());
                 let st = retries.entry(key.clone()).or_default();
                 let expected_fresh = *attempt == 1;
                 let expected_next = *attempt == st.last_attempt + 1 && st.last_attempt > 0;
@@ -421,7 +439,7 @@ pub fn lint(records: &[TraceRecord]) -> Vec<TraceViolation> {
                 st.last_delay = Some(*delay);
             }
             TraceEvent::QuarantineTripped { key, until } => {
-                let key = key.to_string();
+                let key = pfx(key.to_string());
                 let st = quarantine.entry(key.clone()).or_default();
                 if let Some(open_until) = st.until {
                     // Re-trip is legal only from a failed probe, which
@@ -442,7 +460,7 @@ pub fn lint(records: &[TraceRecord]) -> Vec<TraceViolation> {
                 retries.remove(&key);
             }
             TraceEvent::QuarantineRecovered { key } => {
-                let key = key.to_string();
+                let key = pfx(key.to_string());
                 let st = quarantine.entry(key.clone()).or_default();
                 if st.until.is_none() {
                     out.push(TraceViolation {
@@ -743,6 +761,7 @@ fn parse_line(line: &str) -> Result<TraceRecord, String> {
         event,
         span,
         tid: map.get("tid").and_then(JsonVal::as_u64),
+        part: map.get("part").and_then(JsonVal::as_u64),
     })
 }
 
@@ -766,6 +785,21 @@ fn mechanism_label(s: &str) -> Result<&'static str, String> {
         "triggered" => "triggered",
         other => return Err(format!("unknown mechanism `{other}`")),
     })
+}
+
+/// Merges per-partition trace streams into one lintable stream, ordered
+/// by timestamp (ties broken by partition tag, then seq). The linter
+/// keys per-item and per-seq state by each record's `part` tag, so the
+/// merged stream lints as if every partition ran beside the others.
+///
+/// Cross-partition span causality (T7) additionally needs the owner's
+/// parent record to *precede* the proxy's child record in merged order;
+/// the plane's message channels deliver on a later pump instant, so
+/// deterministic virtual-clock runs satisfy this by construction.
+pub fn merge_traces(parts: &[Vec<TraceRecord>]) -> Vec<TraceRecord> {
+    let mut all: Vec<TraceRecord> = parts.iter().flatten().cloned().collect();
+    all.sort_by_key(|r| (r.at, r.part, r.seq));
+    all
 }
 
 /// Convenience: parse and lint a JSONL export in one call. A parse
@@ -1311,6 +1345,7 @@ mod tests {
                     },
                 );
                 r.tid = Some(7);
+                r.part = Some(2);
                 r
             },
         ];
@@ -1320,6 +1355,134 @@ mod tests {
             .collect();
         let parsed = parse_jsonl(&jsonl).expect("round trip");
         assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn merged_partition_traces_keep_separate_lanes() {
+        let tagged = |seq, at, part, event| {
+            let mut r = rec(seq, at, event);
+            r.part = Some(part);
+            r
+        };
+        // Both partitions store `n1/rate` version 1 (the owner's real
+        // item and another partition's proxy shadow), both restart seq
+        // at 0, and both flush epoch 1 — none of which is a violation
+        // in a merged stream.
+        let p0 = vec![
+            tagged(
+                0,
+                0,
+                0,
+                TraceEvent::ValueStored {
+                    key: key("rate"),
+                    version: 1,
+                },
+            ),
+            tagged(
+                1,
+                10,
+                0,
+                TraceEvent::EpochFlushed {
+                    epoch: 1,
+                    origins: 1,
+                    recomputed: 1,
+                    max_depth: 1,
+                },
+            ),
+        ];
+        let p1 = vec![
+            tagged(
+                0,
+                5,
+                1,
+                TraceEvent::ValueStored {
+                    key: key("rate"),
+                    version: 1,
+                },
+            ),
+            tagged(
+                1,
+                10,
+                1,
+                TraceEvent::EpochFlushed {
+                    epoch: 1,
+                    origins: 1,
+                    recomputed: 1,
+                    max_depth: 1,
+                },
+            ),
+        ];
+        let merged = merge_traces(&[p0, p1]);
+        assert_eq!(merged.len(), 4);
+        assert!(merged.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(lint(&merged).is_empty());
+        // A genuine per-partition regression still fires: the same
+        // partition storing the same version twice.
+        let bad = merge_traces(&[vec![
+            tagged(
+                0,
+                0,
+                3,
+                TraceEvent::ValueStored {
+                    key: key("rate"),
+                    version: 2,
+                },
+            ),
+            tagged(
+                1,
+                1,
+                3,
+                TraceEvent::ValueStored {
+                    key: key("rate"),
+                    version: 2,
+                },
+            ),
+        ]]);
+        let got = lint(&bad);
+        assert_eq!(codes(&got), ["T1"]);
+        assert_eq!(got[0].key.as_deref(), Some("p3/n1/rate"));
+    }
+
+    #[test]
+    fn cross_partition_spans_link_in_merged_traces() {
+        let root = SpanContext::root((1 << 48) | 1, Timestamp(0));
+        let child = root.child((2 << 48) | 1, Timestamp(5));
+        let tag = |mut r: TraceRecord, part| {
+            r.part = Some(part);
+            r
+        };
+        // Owner partition 0 anchors the update; partition 1's proxy
+        // notification is its child — T7/T8 must hold across the tags.
+        let p0 = vec![tag(
+            spanned(
+                rec(
+                    0,
+                    0,
+                    TraceEvent::SourceUpdate {
+                        origin: "n1/size".to_string(),
+                        origin_kind: "item",
+                    },
+                ),
+                root.clone(),
+            ),
+            0,
+        )];
+        let p1 = vec![tag(
+            spanned(
+                rec(
+                    0,
+                    5,
+                    TraceEvent::Notified {
+                        key: key("size"),
+                        version: 1,
+                        observers: 1,
+                    },
+                ),
+                child,
+            ),
+            1,
+        )];
+        assert!(lint(&merge_traces(&[p0, p1])).is_empty());
     }
 
     #[test]

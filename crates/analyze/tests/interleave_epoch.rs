@@ -13,12 +13,18 @@
 //! batch extraction, epoch numbering and the sweep, so observers see
 //! epochs in strictly increasing order.
 //!
+//! (4) Vanished-origin tolerance: an exclusion racing the epoch can
+//! remove an origin's handler between enqueue and flush; the sweep
+//! re-checks liveness and skips the vanished origin instead of
+//! delivering (or panicking on) it.
+//!
 //! Each property is checked by exhausting every interleaving of the
 //! correct protocol (no violation) and of a weakened variant that
 //! splits the corresponding critical section (the checker must find the
 //! violating schedule): a split check/push enqueue duplicates a racing
-//! update, a split copy/clear flush loses one, and flushers without the
-//! serial lock deliver epoch N+1 before epoch N.
+//! update, a split copy/clear flush loses one, flushers without the
+//! serial lock deliver epoch N+1 before epoch N, and a liveness-blind
+//! sweep delivers an origin excluded mid-epoch.
 
 use streammeta_analyze::interleave::{Explorer, Model};
 
@@ -51,8 +57,17 @@ enum Op {
     ClearQueue,
     /// Atomic fetch-add of the epoch counter.
     AssignEpoch,
-    /// Deliver the batch to observers (record it in sweep order).
+    /// Deliver the batch to observers (record it in sweep order),
+    /// re-checking handler liveness per origin: origins excluded since
+    /// their enqueue are skipped, not delivered (the correct sweep).
     Sweep,
+    /// Weakened sweep: delivers every batch entry without re-checking
+    /// liveness — an origin excluded mid-epoch is delivered anyway.
+    SweepBlind,
+    /// Exclusion racing the epoch: removes the origin's handler (the
+    /// real `exclude` dropping it from the handlers map). The pending
+    /// queue entry stays; only the sweep's liveness check skips it.
+    Exclude(u8),
 }
 
 /// Correct enqueuer: one atomic action under the queue mutex.
@@ -88,6 +103,18 @@ const FLUSH_SPLIT: &[Op] = &[
 /// Weakened flusher: no serial lock — numbering and sweeping are
 /// separate steps, so two flushers can sweep out of epoch order.
 const FLUSH_UNSERIALIZED: &[Op] = &[Op::TakeBatch, Op::AssignEpoch, Op::Sweep];
+
+/// Excluder racing the epoch machinery.
+const EXCL_A: &[Op] = &[Op::Exclude(A)];
+
+/// Weakened flusher: sweeps without re-checking handler liveness.
+const FLUSH_BLIND: &[Op] = &[
+    Op::LockSerial,
+    Op::TakeBatch,
+    Op::AssignEpoch,
+    Op::SweepBlind,
+    Op::UnlockSerial,
+];
 
 #[derive(Clone, Debug)]
 struct Thread {
@@ -129,6 +156,12 @@ struct EpochQueue {
     swept: Vec<(u64, Vec<u8>)>,
     /// Every origin actually pushed into `pending`, in push order.
     enqueued: Vec<u8>,
+    /// Origins whose handlers were excluded (undefined mid-epoch).
+    excluded: Vec<u8>,
+    /// Batch entries the sweep skipped because their handler vanished.
+    dropped: Vec<u8>,
+    /// Entries a blind sweep delivered despite their exclusion.
+    swept_excluded: Vec<u8>,
     threads: Vec<Thread>,
 }
 
@@ -141,6 +174,9 @@ impl EpochQueue {
             epoch_counter: 0,
             swept: Vec::new(),
             enqueued: Vec::new(),
+            excluded: Vec::new(),
+            dropped: Vec::new(),
+            swept_excluded: Vec::new(),
             threads: programs.iter().map(|p| Thread::new(p)).collect(),
         }
     }
@@ -231,8 +267,31 @@ impl Model for EpochQueue {
             Op::Sweep => {
                 if !self.threads[tid].skip {
                     let t = &self.threads[tid];
+                    let epoch = t.epoch;
+                    let (live, gone): (Vec<u8>, Vec<u8>) = t
+                        .batch
+                        .iter()
+                        .copied()
+                        .partition(|origin| !self.excluded.contains(origin));
+                    self.dropped.extend(gone);
+                    self.swept.push((epoch, live));
+                }
+            }
+            Op::SweepBlind => {
+                if !self.threads[tid].skip {
+                    let t = &self.threads[tid];
                     let record = (t.epoch, t.batch.clone());
+                    for origin in &t.batch {
+                        if self.excluded.contains(origin) {
+                            self.swept_excluded.push(*origin);
+                        }
+                    }
                     self.swept.push(record);
+                }
+            }
+            Op::Exclude(origin) => {
+                if !self.excluded.contains(&origin) {
+                    self.excluded.push(origin);
                 }
             }
         }
@@ -259,21 +318,29 @@ impl Model for EpochQueue {
                 w[1].0, w[0].0
             ));
         }
+        if let Some(origin) = self.swept_excluded.first() {
+            return Err(format!(
+                "swept origin {origin} whose handler was excluded mid-epoch"
+            ));
+        }
         if (0..self.thread_count()).all(|t| self.is_done(t)) {
-            // Conservation: every pushed origin is either swept exactly
-            // once or still pending for the next flush.
+            // Conservation: every pushed origin is swept exactly once,
+            // still pending for the next flush, or dropped by the sweep
+            // because its handler was excluded mid-epoch — never simply
+            // lost.
             let mut delivered: Vec<u8> = self
                 .swept
                 .iter()
                 .flat_map(|(_, batch)| batch.iter().copied())
                 .chain(self.pending.iter().copied())
+                .chain(self.dropped.iter().copied())
                 .collect();
             let mut expected = self.enqueued.clone();
             delivered.sort_unstable();
             expected.sort_unstable();
             if delivered != expected {
                 return Err(format!(
-                    "lost update: enqueued {expected:?} but swept/pending only {delivered:?}"
+                    "lost update: enqueued {expected:?} but swept/pending/dropped only {delivered:?}"
                 ));
             }
         }
@@ -328,6 +395,28 @@ fn serialized_flushes_deliver_epochs_in_order() {
     Explorer::with_max_depth(24)
         .explore(EpochQueue::new(&[ENQ_A, ENQ_B, FLUSH, FLUSH]))
         .unwrap_or_else(|v| panic!("unexpected violation: {v}"));
+}
+
+/// Vanished-origin tolerance: an exclusion racing the flush can remove
+/// an origin's handler between its enqueue and the sweep. The correct
+/// sweep re-checks liveness and skips it — no schedule delivers (or
+/// loses) the excluded origin, and conservation accounts it as dropped.
+#[test]
+fn flush_skips_origins_excluded_mid_epoch() {
+    Explorer::with_max_depth(24)
+        .explore(EpochQueue::new(&[ENQ_A, ENQ_B, EXCL_A, FLUSH]))
+        .unwrap_or_else(|v| panic!("unexpected violation: {v}"));
+}
+
+/// A sweep that skips the liveness re-check delivers an origin whose
+/// handler was excluded mid-epoch — the checker must find the schedule
+/// (enqueue A, exclude A, then flush).
+#[test]
+fn blind_sweep_delivers_an_excluded_origin() {
+    let v = Explorer::with_max_depth(24)
+        .explore(EpochQueue::new(&[ENQ_A, EXCL_A, FLUSH_BLIND]))
+        .expect_err("a liveness-blind sweep must deliver an excluded origin");
+    assert!(v.message.contains("excluded mid-epoch"), "{v}");
 }
 
 /// Without the serial lock, one flusher can number its epoch, lose the

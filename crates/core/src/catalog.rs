@@ -60,11 +60,18 @@ pub enum SystemRelation {
     /// `sys.spans`: finished causal lineage spans (requires
     /// [`MetadataManager::enable_catalog_spans`] plus span sampling).
     Spans,
+    /// `sys.partitions`: one row per partition of the owning
+    /// [`crate::PartitionedMetadataPlane`] — node/handler counts, link
+    /// state, remote-update totals. Empty on a stand-alone manager.
+    Partitions,
+    /// `sys.remote_subscriptions`: one row per live cross-partition
+    /// proxy link of the owning plane. Empty on a stand-alone manager.
+    RemoteSubscriptions,
 }
 
 impl SystemRelation {
     /// All relations, in catalog order.
-    pub const ALL: [SystemRelation; 7] = [
+    pub const ALL: [SystemRelation; 9] = [
         SystemRelation::Items,
         SystemRelation::Handlers,
         SystemRelation::Dependencies,
@@ -72,6 +79,8 @@ impl SystemRelation {
         SystemRelation::Quarantine,
         SystemRelation::Trace,
         SystemRelation::Spans,
+        SystemRelation::Partitions,
+        SystemRelation::RemoteSubscriptions,
     ];
 
     /// The relation's qualified name (`sys.items`, …).
@@ -84,6 +93,8 @@ impl SystemRelation {
             SystemRelation::Quarantine => "sys.quarantine",
             SystemRelation::Trace => "sys.trace",
             SystemRelation::Spans => "sys.spans",
+            SystemRelation::Partitions => "sys.partitions",
+            SystemRelation::RemoteSubscriptions => "sys.remote_subscriptions",
         }
     }
 
@@ -105,6 +116,8 @@ impl SystemRelation {
             SystemRelation::Quarantine => QUARANTINE_COLUMNS,
             SystemRelation::Trace => TRACE_COLUMNS,
             SystemRelation::Spans => SPANS_COLUMNS,
+            SystemRelation::Partitions => PARTITIONS_COLUMNS,
+            SystemRelation::RemoteSubscriptions => REMOTE_SUBSCRIPTIONS_COLUMNS,
         }
     }
 }
@@ -195,6 +208,24 @@ const SPANS_COLUMNS: &[RelationColumn] = &[
     col("start", "span start time"),
     col("end", "span end time"),
     col("duration", "end - start"),
+];
+
+const PARTITIONS_COLUMNS: &[RelationColumn] = &[
+    col("part", "partition id"),
+    col("nodes", "graph nodes attached (including proxy shadows)"),
+    col("handlers", "live handlers on the partition"),
+    col("links", "cross-partition proxy links homed here"),
+    col("up", "whether the partition's link is reachable"),
+    col("updates", "remote update messages applied to its proxies"),
+];
+
+const REMOTE_SUBSCRIPTIONS_COLUMNS: &[RelationColumn] = &[
+    col("key", "remote item key the proxy mirrors"),
+    col("part", "partition hosting the proxy item"),
+    col("owner", "partition owning the real item"),
+    col("state", "`up` or `down` (owner link reachability)"),
+    col("updates", "remote update messages applied to this proxy"),
+    col("version", "owner-side version last received"),
 ];
 
 /// Cells describing one handler's identity: key, node, item.
@@ -426,6 +457,9 @@ impl MetadataManager {
                         .collect()
                 })
                 .unwrap_or_default(),
+            SystemRelation::Partitions | SystemRelation::RemoteSubscriptions => {
+                self.plane_rows(relation)
+            }
         }
     }
 }

@@ -35,6 +35,13 @@ pub enum MetadataError {
     /// [`crate::MetadataManager::read_fresh`] surfaces this; plain reads
     /// return the degraded-marked value.
     Degraded(MetadataKey),
+    /// The item was force-excluded (administratively, or by a remote
+    /// partition withdrawing it) while subscriptions to it were still
+    /// live. The surviving subscription handles keep serving the last
+    /// good value through [`crate::Subscription::get`], but fallible
+    /// reads ([`crate::Subscription::try_versioned`]) and clones report
+    /// this error instead of panicking.
+    Excluded(MetadataKey),
 }
 
 impl fmt::Display for MetadataError {
@@ -82,6 +89,12 @@ impl fmt::Display for MetadataError {
                 write!(
                     f,
                     "metadata item {k} is serving its last good value (degraded)"
+                )
+            }
+            MetadataError::Excluded(k) => {
+                write!(
+                    f,
+                    "metadata item {k} was force-excluded under a live subscription"
                 )
             }
         }

@@ -9,7 +9,7 @@
 //! metadata item during updates. Handlers are created on first subscription,
 //! shared by reference count, and removed when the count reaches zero.
 
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::sync::{LockTier, TieredMutex, TieredRwLock};
@@ -17,6 +17,7 @@ use streammeta_time::{TaskId, Timestamp};
 
 use crate::histogram::HistogramMonitor;
 use crate::item::{ItemDef, Mechanism, ResolvedDep};
+use crate::trace::SpanContext;
 use crate::{MetadataKey, MetadataValue, VersionedValue};
 
 /// Domain of the compute-latency histogram: [0, ~1.05 ms) in 256 buckets
@@ -27,6 +28,12 @@ const LATENCY_BUCKETS: usize = 256;
 
 /// Push observer signature: called with each stored value change.
 pub type ObserverFn = dyn Fn(&VersionedValue) + Send + Sync;
+
+/// Span-aware push observer (crate-internal): called with each stored
+/// value change plus the causal span of the store, if the store was
+/// sampled. The partitioned plane uses this to carry lineage across
+/// partition boundaries.
+pub(crate) type SpanObserverFn = dyn Fn(&VersionedValue, Option<&SpanContext>) + Send + Sync;
 
 /// Lock-free snapshot cell for scalar values (seqlock over atomics).
 ///
@@ -166,7 +173,7 @@ pub(crate) struct ContainmentState {
 struct Observer {
     id: u64,
     last_delivered: u64,
-    f: Box<ObserverFn>,
+    f: Box<SpanObserverFn>,
 }
 
 /// Runtime state of one included metadata item.
@@ -212,6 +219,12 @@ pub(crate) struct Handler {
     /// Id of the last epoch flush that recomputed this item (0 = never
     /// swept in epoch mode) — surfaced by the `sys.handlers` relation.
     last_epoch: AtomicU64,
+    /// Set when the item is force-excluded from under live
+    /// subscriptions: the handler keeps serving its last good value
+    /// (marked degraded) to handles that pinned it, but fallible reads
+    /// report [`crate::MetadataError::Excluded`] and dropping a pinned
+    /// handle must not decrement a fresh re-inclusion's refcount.
+    defunct: AtomicBool,
     /// Compute-latency distribution in nanoseconds. Observed only while
     /// the manager's latency profiling switch is on.
     pub(crate) latency: Arc<HistogramMonitor>,
@@ -238,6 +251,7 @@ impl Handler {
             updates: AtomicU64::new(0),
             computes: AtomicU64::new(0),
             last_epoch: AtomicU64::new(0),
+            defunct: AtomicBool::new(false),
             latency: {
                 let h = HistogramMonitor::new(0, LATENCY_HI_NS, LATENCY_BUCKETS);
                 // The manager's profiling flag is the real gate; the
@@ -270,7 +284,20 @@ impl Handler {
     /// observer's last delivered one are skipped, so each observer sees
     /// a strictly increasing version sequence even when concurrent
     /// stores reach the observer lock out of order.
+    #[cfg(test)]
     pub(crate) fn store_if_changed(&self, value: MetadataValue, now: Timestamp) -> Option<usize> {
+        self.store_if_changed_spanned(value, now, None)
+    }
+
+    /// Like [`Self::store_if_changed`], additionally handing the causal
+    /// span of the store to span-aware observers (remote-subscription
+    /// forwarders carry it across partition boundaries).
+    pub(crate) fn store_if_changed_spanned(
+        &self,
+        value: MetadataValue,
+        now: Timestamp,
+        span: Option<&SpanContext>,
+    ) -> Option<usize> {
         let snapshot = {
             let mut cur = self.value.write();
             if cur.value == value {
@@ -298,11 +325,23 @@ impl Handler {
         for obs in observers.iter_mut() {
             if snapshot.version > obs.last_delivered {
                 obs.last_delivered = snapshot.version;
-                (obs.f)(&snapshot);
+                (obs.f)(&snapshot, span);
                 delivered += 1;
             }
         }
         Some(delivered)
+    }
+
+    /// Marks the handler defunct: force-excluded from under live
+    /// subscriptions. Irreversible for this handler instance; a fresh
+    /// inclusion creates a new one.
+    pub(crate) fn mark_defunct(&self) {
+        self.defunct.store(true, Ordering::Release);
+    }
+
+    /// Whether the handler was force-excluded under live subscriptions.
+    pub(crate) fn is_defunct(&self) -> bool {
+        self.defunct.load(Ordering::Acquire)
     }
 
     /// Marks the current value as degraded: the compute path failed and
@@ -331,6 +370,13 @@ impl Handler {
     /// snapshot is read under the observer lock, so no concurrent store
     /// can slip a *newer* version in front of the initial delivery.
     pub(crate) fn add_observer_with_snapshot(&self, f: Box<ObserverFn>) -> u64 {
+        self.add_span_observer_with_snapshot(Box::new(move |v, _span| f(v)))
+    }
+
+    /// Span-aware variant of [`Self::add_observer_with_snapshot`]. The
+    /// initial synchronous delivery carries no span (it replays a store
+    /// whose span context is gone).
+    pub(crate) fn add_span_observer_with_snapshot(&self, f: Box<SpanObserverFn>) -> u64 {
         let id = self.next_observer.fetch_add(1, Ordering::Relaxed);
         let mut observers = self.observers.lock();
         let snapshot = self.snapshot();
@@ -340,7 +386,7 @@ impl Handler {
             f,
         };
         if snapshot.version > 0 {
-            (obs.f)(&snapshot);
+            (obs.f)(&snapshot, None);
         }
         observers.push(obs);
         id

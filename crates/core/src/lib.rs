@@ -81,6 +81,7 @@ mod key;
 mod manager;
 mod meta;
 mod monitor;
+mod partition;
 mod registry;
 mod shards;
 mod subscription;
@@ -104,6 +105,7 @@ pub use manager::{
 };
 pub use meta::META_NODE;
 pub use monitor::{Counter, Gauge};
+pub use partition::{PartitionedMetadataPlane, PlaneConfig};
 pub use registry::{MetadataModule, NodeRegistry, RegistryScope};
 pub use subscription::Subscription;
 pub use sync::{lock_audit, LockEvent, LockTier};

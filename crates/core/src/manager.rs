@@ -300,8 +300,27 @@ pub struct MetadataManager {
     /// names for the Chrome-trace exporter).
     tid_map: Mutex<HashMap<std::thread::ThreadId, u64>>,
     tid_labels: Mutex<BTreeMap<u64, String>>,
+    /// Partition id stamped onto every trace record when this manager is
+    /// one partition of a [`crate::PartitionedMetadataPlane`]
+    /// (`u64::MAX` = unset, the single-manager default). Merged
+    /// multi-partition traces stay per-item monotonic because tracelint
+    /// keys item state by `(partition, key)`.
+    trace_part: AtomicU64,
+    /// Live cross-partition subscription links whose proxy item lives in
+    /// this manager.
+    remote_subs: AtomicU64,
+    /// Cross-partition update messages applied to local proxy items.
+    remote_updates: AtomicU64,
+    /// Rows provider for the plane-level catalog relations
+    /// (`sys.partitions`, `sys.remote_subscriptions`), installed on every
+    /// partition by the plane; empty relations without one.
+    plane_rows: RwLock<Option<Arc<PlaneRowsFn>>>,
     self_weak: Weak<MetadataManager>,
 }
+
+/// Rows provider signature of the plane-level catalog relations.
+pub(crate) type PlaneRowsFn =
+    dyn Fn(crate::catalog::SystemRelation) -> Vec<Vec<MetadataValue>> + Send + Sync;
 
 /// How the manager reacts when an installed validator reports
 /// violations for a subscription (see [`MetadataManager::set_validator`]).
@@ -378,6 +397,10 @@ impl MetadataManager {
             trace_tids: AtomicBool::new(false),
             tid_map: Mutex::new(HashMap::new()),
             tid_labels: Mutex::new(BTreeMap::new()),
+            trace_part: AtomicU64::new(u64::MAX),
+            remote_subs: AtomicU64::new(0),
+            remote_updates: AtomicU64::new(0),
+            plane_rows: RwLock::new(None),
             self_weak: weak.clone(),
         })
     }
@@ -430,7 +453,24 @@ impl MetadataManager {
                 event: event(),
                 span: span.cloned(),
                 tid: self.current_tid(),
+                part: self.trace_partition(),
             });
+        }
+    }
+
+    /// Tags (or, with `None`, untags) every trace record this manager
+    /// emits with a partition id. Set by the partitioned plane so merged
+    /// multi-partition traces keep per-item state separable.
+    pub fn set_trace_partition(&self, part: Option<u64>) {
+        self.trace_part
+            .store(part.unwrap_or(u64::MAX), Ordering::Relaxed);
+    }
+
+    /// The partition id stamped onto trace records, if any.
+    pub fn trace_partition(&self) -> Option<u64> {
+        match self.trace_part.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            p => Some(p),
         }
     }
 
@@ -612,6 +652,14 @@ impl MetadataManager {
         self.span_ids.fetch_add(1, Ordering::Relaxed) + 1
     }
 
+    /// Rebases the span-id mint to start above `base`. The partitioned
+    /// plane gives each partition a disjoint id range so spans stay
+    /// unique across a merged multi-partition trace. Call before any
+    /// span is minted; ids already handed out are not renumbered.
+    pub fn set_span_id_base(&self, base: u64) {
+        self.span_ids.store(base, Ordering::Relaxed);
+    }
+
     /// Samples a source update: on a hit, mints the root span of the
     /// causal cascade and emits the `source_update` anchor event that
     /// tracelint's T8 rule resolves notification roots against.
@@ -688,6 +736,47 @@ impl MetadataManager {
     /// Reads that were served a degraded (stale last-good) value.
     pub fn stale_serve_count(&self) -> u64 {
         self.stale_serves.load(Ordering::Relaxed)
+    }
+
+    /// Live cross-partition subscription links whose proxy item lives in
+    /// this manager (0 outside a partitioned plane).
+    pub fn remote_subscription_count(&self) -> u64 {
+        self.remote_subs.load(Ordering::Relaxed)
+    }
+
+    /// Cross-partition update messages applied to local proxy items.
+    pub fn remote_update_count(&self) -> u64 {
+        self.remote_updates.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_remote_link(&self, delta: i64) {
+        if delta >= 0 {
+            self.remote_subs.fetch_add(delta as u64, Ordering::Relaxed);
+        } else {
+            self.remote_subs
+                .fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn note_remote_update(&self) {
+        self.remote_updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Installs (or clears) the plane-level catalog rows provider.
+    pub(crate) fn set_plane_rows(&self, rows: Option<Arc<PlaneRowsFn>>) {
+        *self.plane_rows.write() = rows;
+    }
+
+    /// The plane-level catalog rows for `relation`; empty when this
+    /// manager is not part of a partitioned plane.
+    pub(crate) fn plane_rows(
+        &self,
+        relation: crate::catalog::SystemRelation,
+    ) -> Vec<Vec<MetadataValue>> {
+        match self.plane_rows.read().clone() {
+            Some(f) => f(relation),
+            None => Vec::new(),
+        }
     }
 
     /// Number of currently quarantined items.
@@ -868,17 +957,25 @@ impl MetadataManager {
                 &mut created,
                 root.as_ref(),
             )
+            // Capture the handler while the bookkeeping lock is still
+            // held: a concurrent force-exclusion may remove it from the
+            // maps the moment the lock drops, and the subscription must
+            // pin *this* incarnation (reads then serve it as defunct)
+            // rather than panic on a failed re-lookup.
+            .map(|()| {
+                inner
+                    .handlers
+                    .get(&key)
+                    .expect("inclusion just installed the handler")
+                    .clone()
+            })
         };
         match result {
-            Ok(()) => {
+            Ok(handler) => {
                 self.run_inclusion_actions(&created, root.as_ref());
                 if let Some(root) = &root {
                     self.record_span(root, Some(&key), "subscribe", self.clock.now());
                 }
-                let handler = self
-                    .shards
-                    .get(&key)
-                    .expect("inclusion just installed the handler");
                 Ok(Subscription::new(self.clone(), key, handler))
             }
             Err(e) => {
@@ -1105,7 +1202,13 @@ impl MetadataManager {
         if handler.subscriptions.fetch_sub(1, Ordering::Relaxed) > 1 {
             return;
         }
-        let handler = inner.handlers.remove(key).expect("present");
+        // Idempotent removal: a concurrent force-exclusion may already
+        // have taken the handler out between the lookup above and here
+        // (both run under `inner`, but the force path removes without
+        // consulting this refcount). A vanished entry is simply done.
+        let Some(handler) = inner.handlers.remove(key) else {
+            return;
+        };
         self.shards.remove(key);
         self.retired_accesses
             .fetch_add(handler.access_count(), Ordering::Relaxed);
@@ -1120,13 +1223,27 @@ impl MetadataManager {
         removed.push(handler);
     }
 
-    /// Cancels one subscription on `key`. Called by [`Subscription`] on
-    /// drop; dependent items are excluded recursively (Section 2.4).
-    pub(crate) fn unsubscribe(&self, key: &MetadataKey) {
-        self.trace(|| TraceEvent::Unsubscribe { key: key.clone() });
+    /// Cancels one subscription on `key`, excluding dependent items
+    /// recursively (Section 2.4). Identity-checked, called by
+    /// [`Subscription`] on drop: decrements only if `key` still maps to
+    /// the exact handler the subscription pinned. A force-excluded
+    /// (defunct) handler was already removed from the bookkeeping —
+    /// decrementing by key alone would debit a fresh re-inclusion's
+    /// refcount instead. The identity comparison runs under the
+    /// bookkeeping mutex, so it cannot race a concurrent
+    /// force-exclusion.
+    pub(crate) fn unsubscribe_handle(&self, key: &MetadataKey, handler: &Arc<Handler>) {
         let mut removed = Vec::new();
         let remaining_after = {
             let mut inner = self.inner.lock();
+            let live = inner
+                .handlers
+                .get(key)
+                .is_some_and(|cur| Arc::ptr_eq(cur, handler));
+            if !live {
+                return; // force-excluded from under the subscription
+            }
+            self.trace(|| TraceEvent::Unsubscribe { key: key.clone() });
             self.exclude(&mut inner, key, &mut removed);
             inner.handlers.len()
         };
@@ -1168,6 +1285,72 @@ impl MetadataManager {
                 hook();
             }
         }
+    }
+
+    /// Force-excludes `key` regardless of its subscription count — the
+    /// administrative eviction a remote partition uses when it withdraws
+    /// an item (and the race the lifecycle-panic sweep hardens against).
+    ///
+    /// Outstanding [`Subscription`] handles keep serving the handler's
+    /// last good value, marked degraded; their fallible reads report
+    /// [`MetadataError::Excluded`] and their drops become no-ops.
+    /// Dependencies included on the item's behalf are excluded exactly
+    /// as if the last subscription had been dropped. Returns whether a
+    /// handler was actually removed.
+    pub fn force_exclude(&self, key: &MetadataKey) -> bool {
+        let mut removed = Vec::new();
+        let remaining_after = {
+            let mut inner = self.inner.lock();
+            let Some(handler) = inner.handlers.get(key) else {
+                return false;
+            };
+            // Defunct before degraded: a reader that observes the
+            // degraded value may already consult the defunct flag.
+            handler.mark_defunct();
+            handler.mark_degraded();
+            // Collapse the refcount so the ordinary exclusion recursion
+            // removes the handler and debits each dependency exactly
+            // once (dependency refcounts are per-inclusion, not
+            // per-subscription).
+            handler.subscriptions.store(1, Ordering::Relaxed);
+            self.trace(|| TraceEvent::Unsubscribe { key: key.clone() });
+            self.exclude(&mut inner, key, &mut removed);
+            inner.handlers.len()
+        };
+        let n = removed.len();
+        for (i, h) in removed.iter().enumerate() {
+            self.trace(|| TraceEvent::Exclude {
+                key: h.key.clone(),
+                remaining: remaining_after + (n - 1 - i),
+            });
+        }
+        self.run_exclusion_actions(&removed);
+        !removed.is_empty()
+    }
+
+    /// Registers an additional subscription on `key` against the exact
+    /// `handler` a live [`Subscription`] pinned (the panic-free clone
+    /// path). If the bookkeeping still maps `key` to that handler, the
+    /// refcount is bumped; otherwise the item was force-excluded in the
+    /// meantime and the clone pins the same defunct handler — it reads
+    /// the last good value and reports errors instead of panicking.
+    pub(crate) fn resubscribe(
+        self: &Arc<Self>,
+        key: &MetadataKey,
+        handler: &Arc<Handler>,
+    ) -> Subscription {
+        {
+            let inner = self.inner.lock();
+            if let Some(current) = inner.handlers.get(key) {
+                if Arc::ptr_eq(current, handler) {
+                    current.subscriptions.fetch_add(1, Ordering::Relaxed);
+                    self.trace(|| TraceEvent::Subscribe { key: key.clone() });
+                    return Subscription::new(self.clone(), key.clone(), handler.clone());
+                }
+            }
+        }
+        handler.mark_defunct();
+        Subscription::new(self.clone(), key.clone(), handler.clone())
     }
 
     // ------------------------------------------------------------------
@@ -1635,7 +1818,7 @@ impl MetadataManager {
         now: Timestamp,
         span: Option<&SpanContext>,
     ) -> bool {
-        let delivered = handler.store_if_changed(value, now);
+        let delivered = handler.store_if_changed_spanned(value, now, span);
         if let Some(observers) = delivered {
             let version = handler.snapshot().version;
             self.trace_span(span, || TraceEvent::ValueStored {
@@ -1776,6 +1959,21 @@ impl MetadataManager {
     pub fn notify_changed(&self, key: MetadataKey) {
         let now = self.clock.now();
         self.propagate(DepSource::Item(key), now);
+    }
+
+    /// Fires an event whose causal lineage was minted elsewhere — the
+    /// cross-partition handoff: a remote store's span context arrives
+    /// with the update message and the local cascade parents to it, so
+    /// lineage reads as one chain across the partition boundary. Without
+    /// a carried span this is [`Self::fire_event`] (local sampling).
+    pub(crate) fn fire_event_linked(&self, event: EventKey, span: Option<&SpanContext>) {
+        let now = self.clock.now();
+        match span {
+            Some(ctx) => {
+                self.propagate_rooted(DepSource::Event(event), now, Some(SpanLink::of(ctx)))
+            }
+            None => self.propagate(DepSource::Event(event), now),
+        }
     }
 
     // ------------------------------------------------------------------

@@ -149,6 +149,16 @@ impl MetadataManager {
             },
         ));
         reg.define(stat(
+            "meta.remote_subscriptions",
+            "live cross-partition proxy links homed on this partition",
+            |m| MetadataValue::U64(m.remote_subscription_count()),
+        ));
+        reg.define(stat(
+            "meta.remote_updates",
+            "cross-partition update messages applied to local proxies",
+            |m| MetadataValue::U64(m.remote_update_count()),
+        ));
+        reg.define(stat(
             "meta.fast_reads",
             "reads served through cached subscription handlers (no manager lock)",
             |m| MetadataValue::U64(m.fast_read_count()),

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use crate::handler::Handler;
 use crate::manager::MetadataManager;
-use crate::{MetadataKey, MetadataValue, VersionedValue};
+use crate::{MetadataError, MetadataKey, MetadataValue, VersionedValue};
 
 /// A live subscription to one metadata item.
 ///
@@ -68,6 +68,24 @@ impl Subscription {
         self.manager.read_cached(&self.handler)
     }
 
+    /// Fallible read: like [`Self::versioned`] but reporting
+    /// [`MetadataError::Excluded`] when the item was force-excluded from
+    /// under this subscription (e.g. by an administrative
+    /// [`MetadataManager::force_exclude`] or a remote partition
+    /// withdrawing it). Plain [`Self::get`] keeps serving the last good
+    /// value, marked degraded, for consumers that tolerate staleness.
+    pub fn try_versioned(&self) -> crate::Result<VersionedValue> {
+        if self.handler.is_defunct() {
+            return Err(MetadataError::Excluded(self.key.clone()));
+        }
+        Ok(self.manager.read_cached(&self.handler))
+    }
+
+    /// Whether the item was force-excluded from under this subscription.
+    pub fn is_excluded(&self) -> bool {
+        self.handler.is_defunct()
+    }
+
     /// Numeric shortcut: the value coerced to `f64`, if possible.
     pub fn get_f64(&self) -> Option<f64> {
         self.get().as_f64()
@@ -81,10 +99,13 @@ impl Subscription {
 
 impl Clone for Subscription {
     /// Cloning registers an additional subscription on the same item.
+    ///
+    /// If the item was force-excluded (or its node detached) since this
+    /// handle was created, the clone pins the same last-good handler
+    /// instead of panicking: it reads like the original (degraded) and
+    /// reports [`MetadataError::Excluded`] via [`Self::try_versioned`].
     fn clone(&self) -> Self {
-        self.manager
-            .subscribe(self.key.clone())
-            .expect("item is included while a subscription exists")
+        self.manager.resubscribe(&self.key, &self.handler)
     }
 }
 
@@ -93,7 +114,13 @@ impl Drop for Subscription {
         if let Some(id) = self.observer {
             self.handler.remove_observer(id);
         }
-        self.manager.unsubscribe(&self.key);
+        // Identity-checked: a defunct handler was already removed from
+        // the manager's bookkeeping by force-exclusion, and a plain
+        // unsubscribe would decrement a fresh re-inclusion's refcount
+        // instead. The manager compares handler identity under its
+        // bookkeeping lock, so the check cannot race a concurrent
+        // force-exclusion.
+        self.manager.unsubscribe_handle(&self.key, &self.handler);
     }
 }
 

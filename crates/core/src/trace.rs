@@ -354,10 +354,16 @@ pub struct TraceRecord {
     /// when [`crate::MetadataManager::set_trace_thread_ids`] is on — the
     /// Chrome-trace exporter's flame track.
     pub tid: Option<u64>,
+    /// Partition id of the emitting manager, when it is part of a
+    /// [`crate::PartitionedMetadataPlane`] (see
+    /// [`crate::MetadataManager::set_trace_partition`]). Merged
+    /// multi-partition traces key per-item lint state by
+    /// `(part, key)`.
+    pub part: Option<u64>,
 }
 
 impl TraceRecord {
-    /// A record with no span context and no thread id.
+    /// A record with no span context, thread id or partition tag.
     pub fn new(seq: u64, at: Timestamp, event: TraceEvent) -> Self {
         TraceRecord {
             seq,
@@ -365,6 +371,7 @@ impl TraceRecord {
             event,
             span: None,
             tid: None,
+            part: None,
         }
     }
 
@@ -506,6 +513,10 @@ impl TraceRecord {
         if let Some(tid) = self.tid {
             out.push_str(",\"tid\":");
             out.push_str(&tid.to_string());
+        }
+        if let Some(part) = self.part {
+            out.push_str(",\"part\":");
+            out.push_str(&part.to_string());
         }
         out.push('}');
         out
@@ -1153,6 +1164,21 @@ mod tests {
         }
         assert!(lines > 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partition_tag_renders_only_when_present() {
+        let bare = rec(0, TraceEvent::Subscribe { key: key("a") });
+        assert!(!bare.to_json().contains("\"part\""));
+        let mut tagged = rec(
+            1,
+            TraceEvent::ValueStored {
+                key: key("a"),
+                version: 2,
+            },
+        );
+        tagged.part = Some(5);
+        assert!(tagged.to_json().contains("\"part\":5"));
     }
 
     #[test]

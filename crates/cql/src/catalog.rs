@@ -40,7 +40,7 @@ use crate::parser::parse;
 pub fn relation_schema(relation: SystemRelation) -> Schema {
     Schema::new(relation.columns().iter().map(|c| {
         let ty = match c.name {
-            "degraded" | "certain" => ValueType::Bool,
+            "degraded" | "certain" | "up" => ValueType::Bool,
             "key" | "item" | "mechanism" | "source" | "source_kind" | "dependent" | "role"
             | "state" | "kind" | "detail" => ValueType::Str,
             _ => ValueType::Int,
@@ -139,7 +139,7 @@ pub fn attach_system(catalog: &mut Catalog, manager: Arc<MetadataManager>) {
     catalog.system = Some(manager);
 }
 
-/// Registers all seven `sys.*` relations as live stream sources on
+/// Registers all `sys.*` relations as live stream sources on
 /// `graph`, refreshed every `refresh` units of manager time, so stream
 /// queries (including joins and windows) can range over them. Requires
 /// [`attach_system`] first; fails with [`CqlError::DuplicateSource`] if

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use streammeta_core::NodeId;
+use streammeta_core::{NodeId, PartitionedMetadataPlane};
 use streammeta_graph::{NodeKind, QueryGraph};
 use streammeta_streams::Element;
 use streammeta_time::{Clock, TimeSpan, Timestamp, VirtualClock};
@@ -62,6 +62,10 @@ pub struct VirtualEngine {
     ops_per_tick: Option<usize>,
     tick: TimeSpan,
     stats: EngineStats,
+    /// Partitioned metadata plane driven by this engine, if any: each
+    /// tick pumps queued cross-partition updates and advances every
+    /// partition's periodic registry and epoch queue.
+    plane: Option<Arc<PartitionedMetadataPlane>>,
     scratch: Vec<Element>,
     /// Cached source list, refreshed when the graph's node count changes
     /// (queries installed or removed at runtime).
@@ -86,6 +90,7 @@ impl VirtualEngine {
             ops_per_tick: None,
             tick: TimeSpan(1),
             stats: EngineStats::default(),
+            plane: None,
             scratch: Vec::new(),
             source_cache: (usize::MAX, Vec::new()),
         }
@@ -124,6 +129,19 @@ impl VirtualEngine {
     /// The installed shedder, if any.
     pub fn shedder(&self) -> Option<&LoadShedder> {
         self.shedder.as_ref()
+    }
+
+    /// Attaches a partitioned metadata plane: every tick the engine
+    /// pumps its cross-partition update channels and advances every
+    /// partition's periodic registry and epoch queue (the graph's own
+    /// manager keeps being driven as before).
+    pub fn set_plane(&mut self, plane: Option<Arc<PartitionedMetadataPlane>>) {
+        self.plane = plane;
+    }
+
+    /// The attached plane, if any.
+    pub fn plane(&self) -> Option<&Arc<PartitionedMetadataPlane>> {
+        self.plane.as_ref()
     }
 
     /// The current queues (for inspection by experiments).
@@ -238,6 +256,9 @@ impl VirtualEngine {
         // pending epoch whose oldest update aged past `max_delay` flushes
         // here (no-op in the default per-event mode).
         self.graph.manager().flush_epoch_if_due(now);
+        if let Some(plane) = &self.plane {
+            plane.tick(now);
+        }
 
         self.stats.max_queue_elements = self
             .stats
@@ -255,6 +276,12 @@ impl VirtualEngine {
             self.tick_once();
         }
         self.graph.manager().flush_epoch();
+        if let Some(plane) = &self.plane {
+            plane.pump();
+            for m in plane.partitions() {
+                m.flush_epoch();
+            }
+        }
     }
 
     /// Runs for `span` time units from the current instant.

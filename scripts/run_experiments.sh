@@ -25,7 +25,7 @@ for exp in exp_e1_taxonomy exp_e2_fig3_cascade exp_e3_fig4_concurrent \
            exp_e16_optimizer exp_e17_qos exp_e18_observability \
            exp_e19_read_contention exp_e20_fault_injection \
            exp_e21_catalog exp_e22_batch_propagation \
-           exp_e23_span_lineage; do
+           exp_e23_span_lineage exp_e24_partition_churn; do
     echo "=== $exp ==="
     if RESULTS_DIR="$OUT" ./target/release/"$exp" | tee "$OUT/$exp.txt"; then
         passed+=("$exp")
@@ -47,6 +47,7 @@ echo "Recorder time series: $OUT/e18_observability.csv"
 echo "Catalog perf summary: $OUT/BENCH_e21.json"
 echo "Batch propagation summary: $OUT/BENCH_e22.json"
 echo "Span lineage summary: $OUT/BENCH_e23.json"
+echo "Partition churn summary: $OUT/BENCH_e24.json"
 
 if [ "${#failed[@]}" -gt 0 ]; then
     exit 1
